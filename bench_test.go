@@ -1,0 +1,201 @@
+// Package shardmanager's top-level benchmarks regenerate every table and
+// figure of the paper at quick scale — one benchmark per experiment — plus
+// microbenchmarks of the performance-critical paths (the solver's move
+// evaluation and the allocator). Run the full-parameter versions with
+// cmd/smbench.
+//
+//	go test -bench=. -benchmem
+package shardmanager
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"shardmanager/internal/allocator"
+	"shardmanager/internal/experiments"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/solver"
+	"shardmanager/internal/topology"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, experiments.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r == nil || r.ID == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// --- one bench per paper table/figure ---
+
+func BenchmarkFig01PlannedVsUnplanned(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig02AdoptionGrowth(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkFig04Demographics(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig05Deployments(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig06Replication(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig07LoadBalancing(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig08DrainPolicies(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig09StorageMachines(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig15ApplicationScale(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16MiniSMScale(b *testing.B)        { benchExperiment(b, "fig16") }
+func BenchmarkFig17Availability(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18ProductionTrace(b *testing.B)    { benchExperiment(b, "fig18") }
+func BenchmarkFig19GeoFailover(b *testing.B)        { benchExperiment(b, "fig19") }
+func BenchmarkFig20DBShardFollowing(b *testing.B)   { benchExperiment(b, "fig20") }
+func BenchmarkFig23ContinuousLB(b *testing.B)       { benchExperiment(b, "fig23") }
+
+// Fig 21/22 and the extra ablations are solver stress tests; the quick
+// registry entries are still multi-second, so bench tighter configurations
+// here and leave the full sweep to smbench.
+
+func BenchmarkFig21SolverScale(b *testing.B) {
+	p := experiments.DefaultSolverScaleParams()
+	p.Scales = [][2]int{{200, 15000}}
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig21(p); r == nil {
+			b.Fatal("nil report")
+		}
+	}
+}
+
+func BenchmarkFig22SolverAblation(b *testing.B) {
+	p := experiments.DefaultSolverAblationParams()
+	p.Servers, p.Shards, p.TimeLimit = 200, 15000, 5*time.Second
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig22(p); r == nil {
+			b.Fatal("nil report")
+		}
+	}
+}
+
+func BenchmarkAblationEquivalence(b *testing.B)  { benchAblationVariant(b, "equivalence") }
+func BenchmarkAblationBigFirst(b *testing.B)     { benchAblationVariant(b, "bigfirst") }
+func BenchmarkAblationSwapMoves(b *testing.B)    { benchAblationVariant(b, "swap") }
+func BenchmarkAblationGoalBatching(b *testing.B) { benchAblationVariant(b, "batching") }
+
+// benchAblationVariant measures one §5.3 design choice by solving the same
+// placement problem with the optimization disabled.
+func benchAblationVariant(b *testing.B, which string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rng := sim.NewRNG(1)
+		servers := makeBenchServers(rng, 200)
+		shards := makeBenchShards(rng, 6000)
+		pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
+		switch which {
+		case "equivalence":
+			pol.UseEquivalence = false
+		case "bigfirst":
+			pol.BigFirst = false
+		case "swap":
+			pol.EnableSwap = false
+		case "batching":
+			pol.GoalBatching = false
+		}
+		a := allocator.New(pol, 1)
+		res := a.Run(allocator.Input{Servers: servers, Shards: shards,
+			Current: map[shard.ID][]shard.ServerID{}}, allocator.Periodic)
+		if res.Final.Unassigned != 0 {
+			b.Fatalf("unassigned: %+v", res.Final)
+		}
+	}
+}
+
+func makeBenchServers(rng *sim.RNG, n int) []allocator.ServerInfo {
+	out := make([]allocator.ServerInfo, n)
+	for i := range out {
+		region := fmt.Sprintf("region%d", i%3)
+		out[i] = allocator.ServerInfo{
+			ID: shard.ServerID(fmt.Sprintf("srv%04d", i)),
+			Domains: map[string]string{
+				"region": region,
+				"rack":   fmt.Sprintf("%s/rack%02d", region, i%8),
+			},
+			Capacity: topology.Capacity{
+				topology.ResourceCPU:        100,
+				topology.ResourceShardCount: 1000,
+			},
+			Alive: true,
+		}
+	}
+	return out
+}
+
+func makeBenchShards(rng *sim.RNG, n int) []allocator.ShardSpec {
+	out := make([]allocator.ShardSpec, n)
+	for i := range out {
+		out[i] = allocator.ShardSpec{
+			ID:       shard.ID(fmt.Sprintf("s%05d", i)),
+			Replicas: 2,
+			Load: topology.Capacity{
+				topology.ResourceCPU:        0.2 + 2*rng.Float64(),
+				topology.ResourceShardCount: 1,
+			},
+		}
+	}
+	return out
+}
+
+// --- microbenchmarks of the hot paths ---
+
+// BenchmarkSolverMoveEvaluation measures raw local-search throughput:
+// candidate evaluations per second on a mid-size problem.
+func BenchmarkSolverMoveEvaluation(b *testing.B) {
+	rng := sim.NewRNG(1)
+	p := solver.NewProblem([]string{"cpu"})
+	for i := 0; i < 500; i++ {
+		p.AddBucket(solver.Bucket{
+			Name:     fmt.Sprintf("b%d", i),
+			Capacity: []float64{100},
+			Group:    fmt.Sprintf("g%d", i%4),
+		})
+	}
+	for i := 0; i < 20000; i++ {
+		p.AddEntity(solver.Entity{
+			Name:    fmt.Sprintf("e%d", i),
+			Load:    []float64{0.2 + 4*rng.Float64()},
+			Bucket:  solver.BucketID(rng.Intn(500)),
+			Movable: true,
+		})
+	}
+	p.AddConstraint(solver.CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(solver.BalanceSpec{Metric: "cpu", UtilCap: 0.9, MaxDiff: 0.1, Weight: 1})
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		opt := solver.DefaultOptions()
+		opt.Seed = uint64(i + 1)
+		opt.MoveBudget = 200
+		res := solver.Solve(p, opt)
+		total += res.Evaluated
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "evals/op")
+}
+
+// BenchmarkAllocatorEmergency measures the latency-critical path: replacing
+// a failed server's replicas.
+func BenchmarkAllocatorEmergency(b *testing.B) {
+	rng := sim.NewRNG(1)
+	servers := makeBenchServers(rng, 100)
+	shards := makeBenchShards(rng, 3000)
+	a := allocator.New(allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount), 1)
+	initial := a.Run(allocator.Input{Servers: servers, Shards: shards,
+		Current: map[shard.ID][]shard.ServerID{}}, allocator.Periodic)
+	servers[0].Alive = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := a.Run(allocator.Input{Servers: servers, Shards: shards,
+			Current: initial.Assignment}, allocator.Emergency)
+		if res.Final.Unassigned != 0 {
+			b.Fatalf("unassigned: %+v", res.Final)
+		}
+	}
+}

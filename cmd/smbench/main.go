@@ -1,0 +1,57 @@
+// Command smbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	smbench -fig fig17            # one experiment, full-paper parameters
+//	smbench -fig all -scale quick # everything, scaled down
+//	smbench -list                 # show available experiment ids
+//
+// Each experiment prints its parameters, result tables, downsampled curves,
+// and headline findings; EXPERIMENTS.md records the paper-vs-measured
+// comparison for every figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shardmanager/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment id (fig1..fig23, ablations) or 'all'")
+	scale := flag.String("scale", "full", "'full' (paper parameters) or 'quick'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-10s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	sc := experiments.ScaleFull
+	if *scale == "quick" {
+		sc = experiments.ScaleQuick
+	} else if *scale != "full" {
+		fmt.Fprintf(os.Stderr, "smbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		report, err := experiments.Run(id, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(report.Render())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Truncate(time.Millisecond))
+	}
+}

@@ -1,0 +1,133 @@
+// Command smctl builds a demonstration Shard Manager deployment, runs a
+// short operational scenario on it, and dumps control-plane state — a quick
+// way to see the whole system (cluster manager, orchestrator,
+// TaskController, discovery) working together.
+//
+// Usage:
+//
+//	smctl                         # default demo: 3 regions, failover + drain
+//	smctl -servers 20 -shards 500 -replicas 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shardmanager/internal/allocator"
+	"shardmanager/internal/apps"
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/cluster"
+	"shardmanager/internal/experiments"
+	"shardmanager/internal/orchestrator"
+	"shardmanager/internal/rpcnet"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/taskcontroller"
+	"shardmanager/internal/topology"
+)
+
+func main() {
+	servers := flag.Int("servers", 12, "servers per region")
+	shards := flag.Int("shards", 120, "number of shards")
+	replicas := flag.Int("replicas", 2, "replicas per shard")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	regions := []topology.RegionID{"frc", "prn", "odn"}
+	pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
+	strategy := shard.PrimarySecondary
+	if *replicas == 1 {
+		strategy = shard.PrimaryOnly
+		pol.SpreadWeight = 0
+	}
+	cfg := orchestrator.Config{
+		App:      "demo",
+		Strategy: strategy,
+		Shards: experiments.UniformShardConfigs(*shards, *replicas, topology.Capacity{
+			topology.ResourceCPU:        1,
+			topology.ResourceShardCount: 1,
+		}),
+		Policy: pol,
+		ServerCapacity: topology.Capacity{
+			topology.ResourceCPU:        100,
+			topology.ResourceShardCount: float64(*shards),
+		},
+		GracefulMigration: true,
+		FailoverGrace:     20 * time.Second,
+	}
+	tp := taskcontroller.DefaultPolicy(3)
+	backing := apps.NewKVBacking()
+	d := experiments.Build(experiments.DeploymentSpec{
+		Regions:          regions,
+		ServersPerRegion: *servers,
+		Orch:             cfg,
+		TaskPolicy:       &tp,
+		ClusterOpts:      cluster.DefaultOptions(),
+		AppFactory: func(s *appserver.Server) appserver.Application {
+			return apps.NewKVStore(s, backing)
+		},
+		Seed: *seed,
+	})
+
+	step := func(title string) {
+		fmt.Printf("\n--- %s (t=%v) ---\n", title, d.Loop.Now().Truncate(time.Second))
+		fmt.Println(d.Orch.Stats())
+	}
+
+	if err := d.Settle(10 * time.Minute); err != nil {
+		fmt.Fprintf(os.Stderr, "smctl: %v\n", err)
+		os.Exit(1)
+	}
+	step("initial placement settled")
+	dumpMap(d, 5)
+
+	// Scenario 1: unplanned machine failure and automatic failover.
+	mgr := d.Managers["frc"]
+	victim := mgr.RunningContainers(d.Jobs["frc"])[0]
+	c, _ := mgr.Container(victim)
+	fmt.Printf("\nkilling machine %s (container %s)\n", c.Machine, victim)
+	mgr.KillMachine(c.Machine)
+	d.Loop.RunFor(3 * time.Minute)
+	step("after unplanned failure + emergency reallocation")
+
+	// Scenario 2: negotiable rolling upgrade gated by the TaskController.
+	fmt.Printf("\nrolling upgrade of job %s (drain + graceful migration)\n", d.Jobs["prn"])
+	done := false
+	d.Managers["prn"].RollingUpgrade(d.Jobs["prn"], 2, "upgrade", func() { done = true })
+	for i := 0; i < 120 && !done; i++ {
+		d.Loop.RunFor(30 * time.Second)
+	}
+	step(fmt.Sprintf("after rolling upgrade (done=%v)", done))
+
+	// Scenario 3: scheduled maintenance with advance notice.
+	m2 := d.Managers["odn"].RunningContainers(d.Jobs["odn"])
+	if len(m2) > 0 {
+		cc, _ := d.Managers["odn"].Container(m2[0])
+		fmt.Printf("\nscheduling rack maintenance for machine %s\n", cc.Machine)
+		d.Managers["odn"].ScheduleMaintenance([]topology.MachineID{cc.Machine},
+			d.Loop.Now()+5*time.Minute, d.Loop.Now()+10*time.Minute, cluster.ImpactNetworkLoss)
+		d.Loop.RunFor(12 * time.Minute)
+		step("after maintenance window")
+	}
+
+	dumpMap(d, 5)
+	fmt.Println("\ndone.")
+}
+
+// dumpMap prints the first n shard-map entries.
+func dumpMap(d *experiments.Deployment, n int) {
+	m := d.Orch.AssignmentSnapshot()
+	fmt.Printf("shard map v%d (%d shards), first %d entries:\n", m.Version, len(m.Entries), n)
+	for i, id := range d.Orch.ShardIDs() {
+		if i >= n {
+			break
+		}
+		as := m.Replicas(id)
+		fmt.Printf("  %-8s %s", id, shard.FormatAssignments(as))
+		for _, a := range as {
+			fmt.Printf(" [%s]", d.Net.Region(rpcnet.Endpoint(a.Server)))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,11 @@
+// Package shardmanager is a from-scratch Go reproduction of "Shard
+// Manager: A Generic Shard Management Framework for Geo-distributed
+// Applications" (SOSP 2021).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), runnable examples under examples/, and the experiment
+// binaries under cmd/. This root package holds the benchmark suite that
+// regenerates every table and figure of the paper's evaluation:
+//
+//	go test -bench=. -benchmem
+package shardmanager

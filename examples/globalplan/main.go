@@ -1,0 +1,151 @@
+// globalplan: capacity planning + geo-distributed deployment end to end —
+// the paper's future-work item 3 (§10) implemented on top of SM.
+//
+// Given per-region client demand for each shard and a read-latency SLO, the
+// capacity planner chooses the minimal replica regions per shard and
+// forecasts the number of servers each region needs. Those decisions then
+// configure a real SM deployment, and clients in each region verify that
+// their reads meet the SLO.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"shardmanager/internal/allocator"
+	"shardmanager/internal/apps"
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/capacity"
+	"shardmanager/internal/cluster"
+	"shardmanager/internal/experiments"
+	"shardmanager/internal/orchestrator"
+	"shardmanager/internal/routing"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+func main() {
+	const numShards = 60
+	regions := []topology.RegionID{"us-east", "us-west", "eu"}
+	latency := map[[2]topology.RegionID]time.Duration{
+		{"us-east", "us-west"}: 60 * time.Millisecond,
+		{"us-east", "eu"}:      80 * time.Millisecond,
+		{"us-west", "eu"}:      140 * time.Millisecond,
+	}
+
+	// 1. Demand model: the first 20 shards are hot in the US, the next
+	//    20 hot in the EU, the rest accessed from everywhere.
+	planFleet := topology.Build(topology.Spec{
+		Regions: regions, MachinesPerRegion: 1, Latency: latency,
+	})
+	for _, r := range regions {
+		planFleet.SetLatency(r, r, 2*time.Millisecond)
+	}
+	var demands []capacity.Demand
+	for i := 0; i < numShards; i++ {
+		id := shard.ID(fmt.Sprintf("s%05d", i))
+		switch {
+		case i < 20:
+			demands = append(demands,
+				capacity.Demand{Shard: id, Region: "us-east", Rate: 40},
+				capacity.Demand{Shard: id, Region: "us-west", Rate: 20})
+		case i < 40:
+			demands = append(demands, capacity.Demand{Shard: id, Region: "eu", Rate: 50})
+		default:
+			for _, r := range regions {
+				demands = append(demands, capacity.Demand{Shard: id, Region: r, Rate: 10})
+			}
+		}
+	}
+
+	// 2. Plan: 70ms SLO means us-east can cover us-west but not the EU.
+	plan, err := capacity.Solve(capacity.Input{
+		Fleet:         planFleet,
+		Demands:       demands,
+		SLO:           70 * time.Millisecond,
+		PerServerRate: 150,
+		MinReplicas:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("capacity plan:")
+	for _, r := range regions {
+		fmt.Printf("  %-8s forecast load %.0f req/s -> %d servers\n",
+			r, plan.LoadPerRegion[r], plan.ServersPerRegion[r])
+	}
+	fmt.Printf("  total replicas: %d (vs %d if every shard went everywhere)\n",
+		plan.TotalReplicas, numShards*len(regions))
+
+	// 3. Deploy exactly what the plan says.
+	serversPerRegion := 0
+	for _, n := range plan.ServersPerRegion {
+		if n > serversPerRegion {
+			serversPerRegion = n
+		}
+	}
+	if serversPerRegion < 2 {
+		serversPerRegion = 2
+	}
+	planned := plan.ShardConfigs(300)
+	shardCfgs := make([]orchestrator.ShardConfig, len(planned))
+	for i, ps := range planned {
+		shardCfgs[i] = orchestrator.ShardConfig{
+			ID:               ps.Shard,
+			Replicas:         ps.Replicas,
+			RegionPreference: ps.RegionPreference,
+			PreferenceWeight: ps.PreferenceWeight,
+			DefaultLoad: topology.Capacity{
+				topology.ResourceCPU:        1,
+				topology.ResourceShardCount: 1,
+			},
+		}
+	}
+	pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
+	pol.AffinityWeight = 300
+	backing := apps.NewKVBacking()
+	d := experiments.Build(experiments.DeploymentSpec{
+		Regions:          regions,
+		ServersPerRegion: serversPerRegion,
+		Latency:          latency,
+		LocalLatency:     2 * time.Millisecond,
+		Orch: orchestrator.Config{
+			App:      "planned",
+			Strategy: shard.SecondaryOnly,
+			Shards:   shardCfgs,
+			Policy:   pol,
+			ServerCapacity: topology.Capacity{
+				topology.ResourceCPU:        100,
+				topology.ResourceShardCount: numShards,
+			},
+			GracefulMigration: true,
+		},
+		ClusterOpts: cluster.DefaultOptions(),
+		AppFactory: func(s *appserver.Server) appserver.Application {
+			return apps.NewKVStore(s, backing)
+		},
+		Seed: 33,
+	})
+	if err := d.Settle(10 * time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndeployed:", d.Orch.Stats())
+
+	// 4. Verify the SLO from each demand region.
+	ks := experiments.KeyspaceFor(numShards)
+	probe := func(region topology.RegionID, shardIdx int) time.Duration {
+		client := d.NewClient(region, ks, routing.DefaultOptions())
+		d.Loop.RunFor(3 * time.Second)
+		var lat time.Duration
+		client.Do(experiments.KeyForShard(shardIdx), false, apps.KVOpScan, nil,
+			func(res routing.Result) { lat = res.Latency })
+		d.Loop.RunFor(5 * time.Second)
+		return lat
+	}
+	fmt.Println("\nread latencies (SLO 70ms one-way, ~140ms round trip):")
+	fmt.Printf("  us-east -> US-hot shard:    %v\n", probe("us-east", 0))
+	fmt.Printf("  us-west -> US-hot shard:    %v\n", probe("us-west", 1))
+	fmt.Printf("  eu      -> EU-hot shard:    %v\n", probe("eu", 25))
+	fmt.Printf("  eu      -> global shard:    %v\n", probe("eu", 50))
+}

@@ -1,0 +1,3 @@
+module shardmanager
+
+go 1.22

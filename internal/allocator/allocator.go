@@ -1,0 +1,560 @@
+// Package allocator implements Shard Manager's allocator (§5): it turns the
+// current view of an application partition — servers with capacities and
+// health, shards with per-replica loads and placement preferences — into a
+// constrained optimization problem for the generic solver, runs the solver
+// in either emergency or periodic mode, and converts the solution back into
+// a bounded set of replica moves.
+//
+// The allocator is where SM's domain knowledge lives (§5.3): it groups
+// servers for sampling, orders big shards first, batches goals by priority,
+// and enforces the churn hard constraints (per-shard and global move caps)
+// on the emitted diff.
+package allocator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/solver"
+	"shardmanager/internal/topology"
+)
+
+// ServerInfo describes one candidate placement target (one application
+// server / container).
+type ServerInfo struct {
+	ID shard.ServerID
+	// Domains maps fault-domain level names ("region", "datacenter",
+	// "rack") to this server's domain at that level.
+	Domains map[string]string
+	// Capacity per resource. Resources missing from the map have zero
+	// capacity for balancing purposes.
+	Capacity topology.Capacity
+	// Alive servers can receive replicas. Dead servers' replicas are
+	// treated as unassigned.
+	Alive bool
+	// Draining servers should shed replicas (pending maintenance or
+	// upgrade, §5.1 soft goal 3).
+	Draining bool
+}
+
+// ShardSpec describes one shard's placement requirements.
+type ShardSpec struct {
+	ID shard.ID
+	// Replicas is the desired replica count (the shard scaler adjusts
+	// this, §6.1).
+	Replicas int
+	// Load is the measured per-replica load.
+	Load topology.Capacity
+	// RegionPreference, if non-empty, is the preferred region for this
+	// shard's replicas (§5.1 soft goal 1). Weight defaults to
+	// Policy.AffinityWeight when PreferenceWeight is zero.
+	RegionPreference topology.RegionID
+	PreferenceWeight float64
+}
+
+// Input is one allocation request.
+type Input struct {
+	Servers []ServerInfo
+	Shards  []ShardSpec
+	// Current maps each shard to the servers currently holding its
+	// replicas (one element per replica; length may differ from the
+	// spec's Replicas when scaling or after failures).
+	Current map[shard.ID][]shard.ServerID
+}
+
+// Mode selects the allocation mode (§5.1).
+type Mode int
+
+// Allocation modes.
+const (
+	// Periodic optimizes the placement of all shards and must not
+	// deteriorate soft goals.
+	Periodic Mode = iota
+	// Emergency places unavailable shards as quickly as possible while
+	// satisfying hard constraints; healthy replicas are pinned.
+	Emergency
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Emergency {
+		return "emergency"
+	}
+	return "periodic"
+}
+
+// Policy configures the allocator for one application.
+type Policy struct {
+	// Metrics to balance on; the first is the primary metric used for
+	// big-first ordering and sampler utilization bias.
+	Metrics []topology.Resource
+	// BalanceWeight per metric (default 1).
+	BalanceWeight map[topology.Resource]float64
+	// UtilCap is the per-server utilization threshold (§5.1 soft goal 4);
+	// 0 disables.
+	UtilCap float64
+	// MaxDiff is the allowed utilization deviation above the mean (§5.1
+	// soft goals 5-6); 0 disables.
+	MaxDiff float64
+	// SpreadLevel is the fault-domain level across which a shard's
+	// replicas spread (§5.1 soft goal 2); SpreadWeight 0 disables.
+	SpreadLevel  topology.FaultDomainLevel
+	SpreadWeight float64
+	// AffinityWeight is the default region-preference weight.
+	AffinityWeight float64
+	// DrainWeight penalizes replicas on draining servers; 0 disables.
+	DrainWeight float64
+	// PerShardMoveCap bounds concurrent replica moves per shard emitted
+	// in one run (hard constraint 1 of §5.1). 0 means 1.
+	PerShardMoveCap int
+	// MaxTotalMoves bounds total moves per run; 0 means unlimited.
+	MaxTotalMoves int
+	// SolveTime bounds solver wall-clock time per batch; 0 = unlimited.
+	SolveTime time.Duration
+
+	// Optimization toggles (all default true via DefaultPolicy; the
+	// ablation benches turn them off individually).
+	GroupedSampling bool
+	BigFirst        bool
+	UseEquivalence  bool
+	GoalBatching    bool
+	EnableSwap      bool
+}
+
+// DefaultPolicy returns a policy balancing on the given metrics with all
+// §5.3 optimizations enabled.
+func DefaultPolicy(metrics ...topology.Resource) Policy {
+	if len(metrics) == 0 {
+		metrics = []topology.Resource{topology.ResourceCPU}
+	}
+	return Policy{
+		Metrics:         metrics,
+		UtilCap:         0.9,
+		MaxDiff:         0.1,
+		SpreadLevel:     topology.LevelRegion,
+		SpreadWeight:    100,
+		AffinityWeight:  200,
+		DrainWeight:     500,
+		PerShardMoveCap: 1,
+		GroupedSampling: true,
+		BigFirst:        true,
+		UseEquivalence:  true,
+		GoalBatching:    true,
+		EnableSwap:      true,
+	}
+}
+
+// ReplicaMove is one element of the emitted diff. From == "" is a new
+// placement (add); To == "" is a removal (drop); otherwise a migration.
+type ReplicaMove struct {
+	Shard shard.ID
+	From  shard.ServerID
+	To    shard.ServerID
+}
+
+// Kind classifies the move.
+func (m ReplicaMove) Kind() string {
+	switch {
+	case m.From == "":
+		return "add"
+	case m.To == "":
+		return "drop"
+	default:
+		return "move"
+	}
+}
+
+// Result is the outcome of one allocation run.
+type Result struct {
+	// Assignment is the new shard-to-servers placement after applying
+	// the (cap-limited) moves.
+	Assignment map[shard.ID][]shard.ServerID
+	// Moves is the emitted diff, adds first.
+	Moves []ReplicaMove
+	// Deferred counts solver-proposed moves suppressed by churn caps;
+	// the next periodic run will retry them.
+	Deferred int
+	// Initial and Final are the solver's violation counts (final is
+	// before churn capping).
+	Initial, Final solver.ViolationCounts
+	// Solves is the number of solver batches run.
+	Solves int
+	// Elapsed is total solver wall-clock time.
+	Elapsed time.Duration
+	// Evaluated counts solver candidate evaluations.
+	Evaluated int
+}
+
+// Allocator runs allocations for one application partition.
+type Allocator struct {
+	policy Policy
+	seed   uint64
+}
+
+// New returns an allocator with the given policy.
+func New(policy Policy, seed uint64) *Allocator {
+	if len(policy.Metrics) == 0 {
+		panic("allocator: policy needs at least one metric")
+	}
+	if policy.PerShardMoveCap <= 0 {
+		policy.PerShardMoveCap = 1
+	}
+	return &Allocator{policy: policy, seed: seed}
+}
+
+// Policy returns the allocator's policy.
+func (a *Allocator) Policy() Policy { return a.policy }
+
+// replicaRef identifies one replica slot of a shard.
+type replicaRef struct {
+	shard shard.ID
+	idx   int
+}
+
+// Run performs one allocation and returns the bounded diff. The input is
+// not mutated.
+func (a *Allocator) Run(in Input, mode Mode) *Result {
+	p := a.policy
+	metricNames := make([]string, len(p.Metrics))
+	for i, m := range p.Metrics {
+		metricNames[i] = string(m)
+	}
+
+	prob := solver.NewProblem(metricNames)
+
+	// Buckets: live servers only. Dead servers' replicas become
+	// unassigned entities.
+	bucketOf := make(map[shard.ServerID]solver.BucketID)
+	serverOf := make(map[solver.BucketID]shard.ServerID)
+	for _, s := range in.Servers {
+		if !s.Alive {
+			continue
+		}
+		cap := make([]float64, len(p.Metrics))
+		for i, m := range p.Metrics {
+			cap[i] = s.Capacity.Get(m)
+		}
+		props := make(map[string]string, len(s.Domains))
+		for k, v := range s.Domains {
+			props[k] = v
+		}
+		group := props[topology.LevelRegion.String()]
+		if group == "" {
+			group = "all"
+		}
+		id := prob.AddBucket(solver.Bucket{
+			Name:     string(s.ID),
+			Capacity: cap,
+			Props:    props,
+			Group:    group,
+			Draining: s.Draining,
+		})
+		bucketOf[s.ID] = id
+		serverOf[id] = s.ID
+	}
+	if len(bucketOf) == 0 {
+		return &Result{Assignment: cloneAssignment(in.Current)}
+	}
+
+	// Entities: one per desired replica. Existing placements on live
+	// servers keep their bucket; others start unassigned. In emergency
+	// mode, placed replicas are pinned.
+	refs := make([]replicaRef, 0)
+	exclGroups := make(map[solver.EntityID]string)
+	conflictGroups := make(map[solver.EntityID]string)
+	var affinities []solver.AffinityGoal
+	for _, spec := range in.Shards {
+		cur := in.Current[spec.ID]
+		for idx := 0; idx < spec.Replicas; idx++ {
+			load := make([]float64, len(p.Metrics))
+			for i, m := range p.Metrics {
+				load[i] = spec.Load.Get(m)
+			}
+			bucket := solver.Unassigned
+			placed := false
+			if idx < len(cur) {
+				if b, ok := bucketOf[cur[idx]]; ok {
+					bucket = b
+					placed = true
+				}
+			}
+			movable := true
+			if mode == Emergency && placed {
+				movable = false
+			}
+			id := prob.AddEntity(solver.Entity{
+				Name:    fmt.Sprintf("%s#%d", spec.ID, idx),
+				Load:    load,
+				Bucket:  bucket,
+				Movable: movable,
+			})
+			refs = append(refs, replicaRef{shard: spec.ID, idx: idx})
+			if spec.Replicas > 1 {
+				// Invariant: a shard's replicas never share a
+				// server (hard).
+				conflictGroups[id] = string(spec.ID)
+				if p.SpreadWeight > 0 {
+					exclGroups[id] = string(spec.ID)
+				}
+			}
+			if spec.RegionPreference != "" && movable {
+				w := spec.PreferenceWeight
+				if w == 0 {
+					w = p.AffinityWeight
+				}
+				affinities = append(affinities, solver.AffinityGoal{
+					Scope:  topology.LevelRegion.String(),
+					Entity: id,
+					Domain: string(spec.RegionPreference),
+					Weight: w,
+				})
+			}
+		}
+	}
+
+	// Goal batches, highest priority first (§5.3: "groups placement
+	// goals of similar priorities into batches"). Each batch adds its
+	// goals on top of the previous ones so later batches cannot undo
+	// earlier fixes for free.
+	type batch func(*solver.Problem)
+	critical := func(pr *solver.Problem) {
+		for _, m := range metricNames {
+			pr.AddConstraint(solver.CapacitySpec{Metric: m})
+		}
+		if len(conflictGroups) > 0 {
+			pr.AddConflict(solver.ExclusionSpec{
+				Scope:  solver.ScopeBucket,
+				Groups: conflictGroups,
+			})
+		}
+		if p.DrainWeight > 0 {
+			pr.AddDrainGoal(p.DrainWeight)
+		}
+	}
+	placementGoals := func(pr *solver.Problem) {
+		if p.SpreadWeight > 0 && len(exclGroups) > 0 {
+			pr.AddExclusionGoal(solver.ExclusionSpec{
+				Scope:  p.SpreadLevel.String(),
+				Groups: exclGroups,
+				Weight: p.SpreadWeight,
+			})
+		}
+		for _, g := range affinities {
+			pr.AddAffinityGoal(g)
+		}
+	}
+	balanceGoals := func(pr *solver.Problem) {
+		for _, m := range p.Metrics {
+			w := 1.0
+			if p.BalanceWeight != nil && p.BalanceWeight[m] > 0 {
+				w = p.BalanceWeight[m]
+			}
+			if p.UtilCap > 0 || p.MaxDiff > 0 {
+				pr.AddBalanceGoal(solver.BalanceSpec{
+					Metric:  string(m),
+					UtilCap: p.UtilCap,
+					MaxDiff: p.MaxDiff,
+					Weight:  w,
+				})
+			}
+		}
+	}
+
+	var batches [][]batch
+	switch {
+	case mode == Emergency:
+		// Emergency: hard constraints + spread only, one fast batch.
+		batches = [][]batch{{critical, placementGoals}}
+	case p.GoalBatching:
+		batches = [][]batch{
+			{critical},
+			{critical, placementGoals},
+			{critical, placementGoals, balanceGoals},
+		}
+	default:
+		batches = [][]batch{{critical, placementGoals, balanceGoals}}
+	}
+
+	res := &Result{}
+	opt := solver.DefaultOptions()
+	opt.Seed = a.seed
+	opt.BigFirst = p.BigFirst
+	opt.UseEquivalence = p.UseEquivalence
+	opt.EnableSwap = p.EnableSwap
+	if p.SolveTime > 0 {
+		opt.TimeLimit = p.SolveTime / time.Duration(len(batches))
+	}
+	start := time.Now()
+	for bi, goals := range batches {
+		// Rebuild specs on a fresh copy of the problem structure:
+		// specs accumulate per batch but entity/bucket state carries
+		// over via prob (Solve updates Entities' Bucket in place).
+		pr := rebuildProblem(prob, metricNames)
+		for _, g := range goals {
+			g(pr)
+		}
+		if p.GroupedSampling {
+			opt.Sampler = solver.GroupedSampler(pr, 0)
+		} else {
+			opt.Sampler = solver.RandomSampler(pr)
+		}
+		sres := solver.Solve(pr, opt)
+		if bi == 0 {
+			res.Initial = sres.Initial
+		}
+		res.Final = sres.Final
+		res.Solves++
+		res.Evaluated += sres.Evaluated
+		// Copy the batch's final assignment back into prob for the
+		// next batch.
+		for i := range prob.Entities {
+			prob.Entities[i].Bucket = pr.Entities[i].Bucket
+		}
+	}
+	res.Elapsed = time.Since(start)
+
+	// Convert the solver assignment into per-shard server lists.
+	proposed := make(map[shard.ID][]shard.ServerID, len(in.Shards))
+	for i, ref := range refs {
+		b := prob.Entities[i].Bucket
+		var srv shard.ServerID
+		if b != solver.Unassigned {
+			srv = serverOf[b]
+		}
+		lst := proposed[ref.shard]
+		for len(lst) <= ref.idx {
+			lst = append(lst, "")
+		}
+		lst[ref.idx] = srv
+		proposed[ref.shard] = lst
+	}
+
+	res.Assignment, res.Moves, res.Deferred = a.capDiff(in, proposed)
+	sortMoves(res.Moves)
+	return res
+}
+
+// rebuildProblem clones buckets and entities (with current assignments)
+// into a new Problem without any specs, so each goal batch starts clean.
+func rebuildProblem(src *solver.Problem, metrics []string) *solver.Problem {
+	pr := solver.NewProblem(metrics)
+	for _, b := range src.Buckets {
+		pr.AddBucket(b)
+	}
+	for _, e := range src.Entities {
+		pr.AddEntity(e)
+	}
+	return pr
+}
+
+// capDiff compares the proposed placement against the current one and
+// emits a diff bounded by the churn caps. Adds (restoring availability)
+// are never capped; migrations of already-placed replicas are.
+func (a *Allocator) capDiff(in Input, proposed map[shard.ID][]shard.ServerID) (map[shard.ID][]shard.ServerID, []ReplicaMove, int) {
+	p := a.policy
+	final := make(map[shard.ID][]shard.ServerID, len(proposed))
+	var adds, migrations []ReplicaMove
+	deferred := 0
+	totalMigrations := 0
+
+	// Deterministic iteration order.
+	ids := make([]shard.ID, 0, len(proposed))
+	for id := range proposed {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	liveServers := make(map[shard.ServerID]bool)
+	for _, s := range in.Servers {
+		if s.Alive {
+			liveServers[s.ID] = true
+		}
+	}
+
+	for _, id := range ids {
+		want := proposed[id]
+		cur := in.Current[id]
+		shardMoves := 0
+		out := make([]shard.ServerID, 0, len(want))
+		for idx, target := range want {
+			var curSrv shard.ServerID
+			if idx < len(cur) && liveServers[cur[idx]] {
+				curSrv = cur[idx]
+			}
+			switch {
+			case target == "" && curSrv == "":
+				// Still unplaceable (no feasible server).
+				out = append(out, "")
+			case target == curSrv:
+				out = append(out, curSrv)
+			case curSrv == "":
+				// Add: restores availability, never capped.
+				adds = append(adds, ReplicaMove{Shard: id, From: "", To: target})
+				out = append(out, target)
+			case target == "":
+				// Solver failed to place an existing replica;
+				// keep it where it is.
+				out = append(out, curSrv)
+			default:
+				// Migration: subject to per-shard and global caps.
+				if shardMoves >= p.PerShardMoveCap ||
+					(p.MaxTotalMoves > 0 && totalMigrations >= p.MaxTotalMoves) {
+					deferred++
+					out = append(out, curSrv)
+					continue
+				}
+				shardMoves++
+				totalMigrations++
+				migrations = append(migrations, ReplicaMove{Shard: id, From: curSrv, To: target})
+				out = append(out, target)
+			}
+		}
+		// Surplus current replicas beyond the spec become drops.
+		for idx := len(want); idx < len(cur); idx++ {
+			if liveServers[cur[idx]] {
+				migrations = append(migrations, ReplicaMove{Shard: id, From: cur[idx], To: ""})
+			}
+		}
+		final[id] = out
+	}
+	return final, append(adds, migrations...), deferred
+}
+
+func cloneAssignment(cur map[shard.ID][]shard.ServerID) map[shard.ID][]shard.ServerID {
+	out := make(map[shard.ID][]shard.ServerID, len(cur))
+	for k, v := range cur {
+		out[k] = append([]shard.ServerID(nil), v...)
+	}
+	return out
+}
+
+func sortMoves(moves []ReplicaMove) {
+	sort.SliceStable(moves, func(i, j int) bool {
+		if (moves[i].From == "") != (moves[j].From == "") {
+			return moves[i].From == ""
+		}
+		if moves[i].Shard != moves[j].Shard {
+			return moves[i].Shard < moves[j].Shard
+		}
+		return moves[i].To < moves[j].To
+	})
+}
+
+// FormatMoves renders a diff compactly for logs and smctl.
+func FormatMoves(moves []ReplicaMove) string {
+	parts := make([]string, len(moves))
+	for i, m := range moves {
+		switch m.Kind() {
+		case "add":
+			parts[i] = fmt.Sprintf("+%s@%s", m.Shard, m.To)
+		case "drop":
+			parts[i] = fmt.Sprintf("-%s@%s", m.Shard, m.From)
+		default:
+			parts[i] = fmt.Sprintf("%s:%s->%s", m.Shard, m.From, m.To)
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,352 @@
+package allocator
+
+import (
+	"fmt"
+	"testing"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// makeServers builds n live servers spread across the given regions with
+// the given CPU capacity each.
+func makeServers(n int, regions []string, cpu float64) []ServerInfo {
+	out := make([]ServerInfo, n)
+	for i := range out {
+		region := regions[i%len(regions)]
+		out[i] = ServerInfo{
+			ID: shard.ServerID(fmt.Sprintf("srv%03d", i)),
+			Domains: map[string]string{
+				"region":     region,
+				"datacenter": region + "/dc0",
+				"rack":       fmt.Sprintf("%s/dc0/rack%02d", region, i%8),
+			},
+			Capacity: topology.Capacity{topology.ResourceCPU: cpu, topology.ResourceShardCount: 1000},
+			Alive:    true,
+		}
+	}
+	return out
+}
+
+func makeShards(n, replicas int, cpu float64) []ShardSpec {
+	out := make([]ShardSpec, n)
+	for i := range out {
+		out[i] = ShardSpec{
+			ID:       shard.ID(fmt.Sprintf("s%04d", i)),
+			Replicas: replicas,
+			Load:     topology.Capacity{topology.ResourceCPU: cpu, topology.ResourceShardCount: 1},
+		}
+	}
+	return out
+}
+
+func assignmentOf(res *Result) map[shard.ID][]shard.ServerID { return res.Assignment }
+
+func TestInitialPlacementAssignsEverything(t *testing.T) {
+	a := New(DefaultPolicy(topology.ResourceCPU), 1)
+	in := Input{
+		Servers: makeServers(10, []string{"r1", "r2"}, 100),
+		Shards:  makeShards(50, 2, 1),
+		Current: map[shard.ID][]shard.ServerID{},
+	}
+	res := a.Run(in, Emergency)
+	if res.Final.Unassigned != 0 {
+		t.Fatalf("unassigned after initial placement: %+v", res.Final)
+	}
+	for _, sp := range in.Shards {
+		servers := res.Assignment[sp.ID]
+		if len(servers) != 2 || servers[0] == "" || servers[1] == "" {
+			t.Fatalf("shard %s assignment = %v", sp.ID, servers)
+		}
+		if servers[0] == servers[1] {
+			t.Fatalf("shard %s replicas colocated on %s", sp.ID, servers[0])
+		}
+	}
+	// All moves are adds.
+	for _, m := range res.Moves {
+		if m.Kind() != "add" {
+			t.Fatalf("unexpected %s in initial placement", m.Kind())
+		}
+	}
+}
+
+func TestSpreadAcrossRegions(t *testing.T) {
+	a := New(DefaultPolicy(topology.ResourceCPU), 1)
+	in := Input{
+		Servers: makeServers(12, []string{"r1", "r2", "r3"}, 100),
+		Shards:  makeShards(30, 3, 1),
+		Current: map[shard.ID][]shard.ServerID{},
+	}
+	res := a.Run(in, Periodic)
+	regionOf := map[shard.ServerID]string{}
+	for _, s := range in.Servers {
+		regionOf[s.ID] = s.Domains["region"]
+	}
+	for _, sp := range in.Shards {
+		regions := map[string]bool{}
+		for _, srv := range res.Assignment[sp.ID] {
+			regions[regionOf[srv]] = true
+		}
+		if len(regions) != 3 {
+			t.Fatalf("shard %s spans %d regions, want 3", sp.ID, len(regions))
+		}
+	}
+}
+
+func TestRegionPreferenceHonored(t *testing.T) {
+	a := New(DefaultPolicy(topology.ResourceCPU), 1)
+	shards := makeShards(20, 1, 1)
+	for i := range shards {
+		shards[i].RegionPreference = "r2"
+	}
+	in := Input{
+		Servers: makeServers(10, []string{"r1", "r2"}, 100),
+		Shards:  shards,
+		Current: map[shard.ID][]shard.ServerID{},
+	}
+	res := a.Run(in, Periodic)
+	regionOf := map[shard.ServerID]string{}
+	for _, s := range in.Servers {
+		regionOf[s.ID] = s.Domains["region"]
+	}
+	for _, sp := range shards {
+		srv := res.Assignment[sp.ID][0]
+		if regionOf[srv] != "r2" {
+			t.Fatalf("shard %s placed in %s, want r2", sp.ID, regionOf[srv])
+		}
+	}
+}
+
+func TestEmergencyPinsHealthyReplicas(t *testing.T) {
+	a := New(DefaultPolicy(topology.ResourceCPU), 1)
+	servers := makeServers(6, []string{"r1", "r2"}, 100)
+	shards := makeShards(12, 2, 1)
+	in := Input{Servers: servers, Shards: shards, Current: map[shard.ID][]shard.ServerID{}}
+	first := a.Run(in, Periodic)
+
+	// Kill server 0; its replicas must move, everything else must stay.
+	servers[0].Alive = false
+	in2 := Input{Servers: servers, Shards: shards, Current: first.Assignment}
+	res := a.Run(in2, Emergency)
+	for _, sp := range shards {
+		oldList := first.Assignment[sp.ID]
+		newList := res.Assignment[sp.ID]
+		for i := range oldList {
+			if oldList[i] == "srv000" {
+				if newList[i] == "srv000" || newList[i] == "" {
+					t.Fatalf("shard %s replica %d not recovered: %v", sp.ID, i, newList)
+				}
+			} else if newList[i] != oldList[i] {
+				t.Fatalf("emergency moved healthy replica of %s: %v -> %v", sp.ID, oldList, newList)
+			}
+		}
+	}
+	if res.Final.Unassigned != 0 {
+		t.Fatalf("unassigned after emergency: %+v", res.Final)
+	}
+}
+
+func TestPerShardMoveCapLimitsChurn(t *testing.T) {
+	pol := DefaultPolicy(topology.ResourceCPU)
+	pol.PerShardMoveCap = 1
+	a := New(pol, 1)
+	servers := makeServers(9, []string{"r1", "r2", "r3"}, 100)
+	shards := makeShards(9, 3, 1)
+	// Start all replicas of each shard on the same region (violating
+	// spread twice per shard); the solver wants to move 2 replicas per
+	// shard but only 1 may move per run.
+	current := map[shard.ID][]shard.ServerID{}
+	for i, sp := range shards {
+		srv := servers[(i%3)*3].ID // a server in region r1
+		current[sp.ID] = []shard.ServerID{srv, srv, srv}
+	}
+	_ = current
+	// colocated on one server is invalid input for replicas; use three
+	// servers of the same region instead.
+	regionServers := map[string][]shard.ServerID{}
+	for _, s := range servers {
+		r := s.Domains["region"]
+		regionServers[r] = append(regionServers[r], s.ID)
+	}
+	for _, sp := range shards {
+		current[sp.ID] = append([]shard.ServerID(nil), regionServers["r1"]...)
+	}
+	in := Input{Servers: servers, Shards: shards, Current: current}
+	res := a.Run(in, Periodic)
+	perShard := map[shard.ID]int{}
+	for _, m := range res.Moves {
+		if m.Kind() == "move" {
+			perShard[m.Shard]++
+		}
+	}
+	for id, n := range perShard {
+		if n > 1 {
+			t.Fatalf("shard %s has %d concurrent moves, cap is 1", id, n)
+		}
+	}
+	if res.Deferred == 0 {
+		t.Fatal("expected deferred moves under per-shard cap")
+	}
+}
+
+func TestMaxTotalMovesCap(t *testing.T) {
+	pol := DefaultPolicy(topology.ResourceCPU)
+	pol.MaxTotalMoves = 3
+	pol.PerShardMoveCap = 2
+	a := New(pol, 1)
+	servers := makeServers(6, []string{"r1", "r2"}, 100)
+	shards := makeShards(12, 2, 1)
+	// Colocate both replicas per shard in r1 to force spread moves.
+	r1 := []shard.ServerID{}
+	for _, s := range servers {
+		if s.Domains["region"] == "r1" {
+			r1 = append(r1, s.ID)
+		}
+	}
+	current := map[shard.ID][]shard.ServerID{}
+	for i, sp := range shards {
+		current[sp.ID] = []shard.ServerID{r1[i%3], r1[(i+1)%3]}
+	}
+	in := Input{Servers: servers, Shards: shards, Current: current}
+	res := a.Run(in, Periodic)
+	migrations := 0
+	for _, m := range res.Moves {
+		if m.Kind() == "move" {
+			migrations++
+		}
+	}
+	if migrations > 3 {
+		t.Fatalf("migrations = %d, cap is 3", migrations)
+	}
+}
+
+func TestDrainingServerSheds(t *testing.T) {
+	a := New(DefaultPolicy(topology.ResourceCPU), 1)
+	servers := makeServers(4, []string{"r1"}, 100)
+	shards := makeShards(8, 1, 1)
+	in := Input{Servers: servers, Shards: shards, Current: map[shard.ID][]shard.ServerID{}}
+	first := a.Run(in, Periodic)
+
+	servers[1].Draining = true
+	in2 := Input{Servers: servers, Shards: shards, Current: first.Assignment}
+	res := a.Run(in2, Periodic)
+	for _, sp := range shards {
+		for _, srv := range res.Assignment[sp.ID] {
+			if srv == servers[1].ID {
+				t.Fatalf("shard %s still on draining server", sp.ID)
+			}
+		}
+	}
+}
+
+func TestShrinkReplicasEmitsDrops(t *testing.T) {
+	a := New(DefaultPolicy(topology.ResourceCPU), 1)
+	servers := makeServers(6, []string{"r1", "r2"}, 100)
+	shards := makeShards(4, 3, 1)
+	in := Input{Servers: servers, Shards: shards, Current: map[shard.ID][]shard.ServerID{}}
+	first := a.Run(in, Periodic)
+
+	for i := range shards {
+		shards[i].Replicas = 2
+	}
+	in2 := Input{Servers: servers, Shards: shards, Current: first.Assignment}
+	res := a.Run(in2, Periodic)
+	drops := 0
+	for _, m := range res.Moves {
+		if m.Kind() == "drop" {
+			drops++
+		}
+	}
+	if drops != 4 {
+		t.Fatalf("drops = %d, want 4 (one per shard)", drops)
+	}
+	for _, sp := range shards {
+		if len(res.Assignment[sp.ID]) != 2 {
+			t.Fatalf("shard %s has %d replicas, want 2", sp.ID, len(res.Assignment[sp.ID]))
+		}
+	}
+}
+
+func TestLoadBalancingReducesHotServer(t *testing.T) {
+	pol := DefaultPolicy(topology.ResourceCPU)
+	pol.SpreadWeight = 0 // single-replica shards; spread irrelevant
+	a := New(pol, 1)
+	servers := makeServers(4, []string{"r1"}, 100)
+	shards := makeShards(40, 1, 2) // total load 80 over 400 capacity
+	// All on server 0: utilization 0.8 > mean(0.2)+0.1.
+	current := map[shard.ID][]shard.ServerID{}
+	for _, sp := range shards {
+		current[sp.ID] = []shard.ServerID{servers[0].ID}
+	}
+	pol.PerShardMoveCap = 1
+	pol.MaxTotalMoves = 0
+	a = New(pol, 1)
+	in := Input{Servers: servers, Shards: shards, Current: current}
+	res := a.Run(in, Periodic)
+	load := map[shard.ServerID]float64{}
+	for _, sp := range shards {
+		load[res.Assignment[sp.ID][0]] += 2
+	}
+	if load[servers[0].ID] > 30+1e-9 { // mean 20, +10% of 100 => 30
+		t.Fatalf("server 0 still hot: %v", load)
+	}
+	if res.Final.Balance != 0 {
+		t.Fatalf("balance violations remain: %+v", res.Final)
+	}
+}
+
+func TestNoLiveServers(t *testing.T) {
+	a := New(DefaultPolicy(topology.ResourceCPU), 1)
+	servers := makeServers(2, []string{"r1"}, 100)
+	servers[0].Alive = false
+	servers[1].Alive = false
+	cur := map[shard.ID][]shard.ServerID{"s0001": {"srv000"}}
+	res := a.Run(Input{Servers: servers, Shards: makeShards(2, 1, 1), Current: cur}, Emergency)
+	if len(res.Moves) != 0 {
+		t.Fatalf("moves with no live servers: %v", res.Moves)
+	}
+	if got := res.Assignment["s0001"][0]; got != "srv000" {
+		t.Fatalf("assignment rewritten: %v", got)
+	}
+}
+
+func TestStablePlacementProducesNoMoves(t *testing.T) {
+	a := New(DefaultPolicy(topology.ResourceCPU), 1)
+	servers := makeServers(8, []string{"r1", "r2"}, 100)
+	shards := makeShards(24, 2, 1)
+	in := Input{Servers: servers, Shards: shards, Current: map[shard.ID][]shard.ServerID{}}
+	first := a.Run(in, Periodic)
+	in2 := Input{Servers: servers, Shards: shards, Current: first.Assignment}
+	res := a.Run(in2, Periodic)
+	if len(res.Moves) != 0 {
+		t.Fatalf("stable placement produced %d moves: %s", len(res.Moves), FormatMoves(res.Moves))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Periodic.String() != "periodic" || Emergency.String() != "emergency" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestMoveKindAndFormat(t *testing.T) {
+	add := ReplicaMove{Shard: "s", To: "b"}
+	drop := ReplicaMove{Shard: "s", From: "a"}
+	mv := ReplicaMove{Shard: "s", From: "a", To: "b"}
+	if add.Kind() != "add" || drop.Kind() != "drop" || mv.Kind() != "move" {
+		t.Fatal("kinds wrong")
+	}
+	s := FormatMoves([]ReplicaMove{add, drop, mv})
+	if s != "+s@b -s@a s:a->b" {
+		t.Fatalf("FormatMoves = %q", s)
+	}
+}
+
+func TestNewPanicsWithoutMetrics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Policy{}, 1)
+}

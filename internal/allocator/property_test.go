@@ -1,0 +1,152 @@
+package allocator
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/topology"
+)
+
+// TestRunInvariantsProperty checks the allocator's hard guarantees on
+// random inputs: every emitted placement targets a live server, no shard
+// ever has two replicas on one server, per-shard and global churn caps are
+// respected, and the result is internally consistent with its own moves.
+func TestRunInvariantsProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		nServers := 4 + rng.Intn(8)
+		nShards := 5 + rng.Intn(30)
+		replicas := 1 + rng.Intn(3)
+		if replicas > nServers {
+			replicas = nServers
+		}
+
+		servers := make([]ServerInfo, nServers)
+		for i := range servers {
+			servers[i] = ServerInfo{
+				ID: shard.ServerID(fmt.Sprintf("srv%02d", i)),
+				Domains: map[string]string{
+					"region": fmt.Sprintf("r%d", i%3),
+					"rack":   fmt.Sprintf("rk%d", i%4),
+				},
+				Capacity: topology.Capacity{
+					topology.ResourceCPU:        100,
+					topology.ResourceShardCount: 1000,
+				},
+				Alive:    rng.Intn(6) != 0, // ~17% dead
+				Draining: rng.Intn(8) == 0,
+			}
+		}
+		anyAlive := false
+		for _, s := range servers {
+			if s.Alive {
+				anyAlive = true
+			}
+		}
+		if !anyAlive {
+			servers[0].Alive = true
+		}
+		liveSet := map[shard.ServerID]bool{}
+		for _, s := range servers {
+			if s.Alive {
+				liveSet[s.ID] = true
+			}
+		}
+
+		shards := make([]ShardSpec, nShards)
+		current := map[shard.ID][]shard.ServerID{}
+		for i := range shards {
+			id := shard.ID(fmt.Sprintf("s%03d", i))
+			shards[i] = ShardSpec{
+				ID:       id,
+				Replicas: replicas,
+				Load: topology.Capacity{
+					topology.ResourceCPU:        0.5 + 2*rng.Float64(),
+					topology.ResourceShardCount: 1,
+				},
+			}
+			// Random (possibly partial, possibly dead) current
+			// placement with distinct servers.
+			n := rng.Intn(replicas + 1)
+			perm := rng.Perm(nServers)
+			var cur []shard.ServerID
+			for j := 0; j < n; j++ {
+				cur = append(cur, servers[perm[j]].ID)
+			}
+			current[id] = cur
+		}
+
+		pol := DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
+		pol.PerShardMoveCap = 1 + rng.Intn(2)
+		pol.MaxTotalMoves = 1 + rng.Intn(20)
+		a := New(pol, seed)
+
+		mode := Periodic
+		if rng.Intn(2) == 0 {
+			mode = Emergency
+		}
+		res := a.Run(Input{Servers: servers, Shards: shards, Current: current}, mode)
+
+		// (a) placements target live servers only.
+		for id, list := range res.Assignment {
+			seen := map[shard.ServerID]bool{}
+			for _, srv := range list {
+				if srv == "" {
+					continue
+				}
+				if !liveSet[srv] {
+					// A replica may legitimately remain on a
+					// dead server only if it was already there
+					// (kept, not placed).
+					was := false
+					for _, old := range current[id] {
+						if old == srv {
+							was = true
+						}
+					}
+					if !was {
+						t.Logf("seed %d: shard %s placed on dead %s", seed, id, srv)
+						return false
+					}
+					continue
+				}
+				// (b) no duplicate servers within a shard.
+				if seen[srv] {
+					t.Logf("seed %d: shard %s duplicated on %s", seed, id, srv)
+					return false
+				}
+				seen[srv] = true
+			}
+		}
+		// (c) churn caps.
+		perShard := map[shard.ID]int{}
+		totalMigrations := 0
+		for _, m := range res.Moves {
+			if m.Kind() == "move" {
+				perShard[m.Shard]++
+				totalMigrations++
+			}
+			if m.Kind() != "drop" && !liveSet[m.To] {
+				t.Logf("seed %d: move targets dead server %s", seed, m.To)
+				return false
+			}
+		}
+		for id, n := range perShard {
+			if n > pol.PerShardMoveCap {
+				t.Logf("seed %d: shard %s has %d moves > cap %d", seed, id, n, pol.PerShardMoveCap)
+				return false
+			}
+		}
+		if totalMigrations > pol.MaxTotalMoves {
+			t.Logf("seed %d: %d migrations > cap %d", seed, totalMigrations, pol.MaxTotalMoves)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

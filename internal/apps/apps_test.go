@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"testing"
+
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+func TestKVStorePutGetScan(t *testing.T) {
+	backing := NewKVBacking()
+	kv := NewKVStore(nil, backing)
+	kv.AddShard("s1", shard.RolePrimary)
+
+	if _, err := kv.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpPut, Key: "user:1", Payload: KVPut{Value: "alice"}}); err != nil {
+		t.Fatal(err)
+	}
+	kv.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpPut, Key: "user:2", Payload: KVPut{Value: "bob"}})
+	kv.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpPut, Key: "item:9", Payload: KVPut{Value: "x"}})
+
+	v, err := kv.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpGet, Key: "user:1"})
+	if err != nil || v != "alice" {
+		t.Fatalf("get = %v err=%v", v, err)
+	}
+	// Prefix scan needs key locality (§3.1).
+	scan, err := kv.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpScan, Key: "user:"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := scan.([]string)
+	if len(keys) != 2 || keys[0] != "user:1" || keys[1] != "user:2" {
+		t.Fatalf("scan = %v", keys)
+	}
+	if backing.Writes != 3 {
+		t.Fatalf("writes = %d", backing.Writes)
+	}
+}
+
+func TestKVStoreErrors(t *testing.T) {
+	kv := NewKVStore(nil, NewKVBacking())
+	if _, err := kv.HandleRequest(&appserver.Request{Shard: "nope", Op: KVOpGet}); err == nil {
+		t.Fatal("unowned shard accepted")
+	}
+	kv.AddShard("s1", shard.RolePrimary)
+	if _, err := kv.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpGet, Key: "missing"}); err == nil {
+		t.Fatal("missing key returned no error")
+	}
+	if _, err := kv.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpPut, Key: "k", Payload: 42}); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+	if _, err := kv.HandleRequest(&appserver.Request{Shard: "s1", Op: "bogus"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestKVStoreSurvivesMigration(t *testing.T) {
+	// Two replicas over the same backing: writes through the old owner
+	// are visible to the new one — the property graceful migration
+	// relies on.
+	backing := NewKVBacking()
+	a := NewKVStore(nil, backing)
+	b := NewKVStore(nil, backing)
+	a.AddShard("s1", shard.RolePrimary)
+	a.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpPut, Key: "k", Payload: KVPut{Value: "v"}})
+	a.DropShard("s1")
+	b.AddShard("s1", shard.RolePrimary)
+	v, err := b.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpGet, Key: "k"})
+	if err != nil || v != "v" {
+		t.Fatalf("migrated read = %v err=%v", v, err)
+	}
+}
+
+func TestKVStoreLoadReport(t *testing.T) {
+	kv := NewKVStore(nil, NewKVBacking())
+	kv.AddShard("s1", shard.RolePrimary)
+	kv.HandleRequest(&appserver.Request{Shard: "s1", Op: KVOpPut, Key: "k", Payload: KVPut{Value: "v"}})
+	if got := kv.ShardLoad("s1").Get(topology.ResourceStorage); got != 1 {
+		t.Fatalf("storage load = %v", got)
+	}
+	kv.SetShardLoad("s1", topology.Capacity{topology.ResourceCPU: 42})
+	if got := kv.ShardLoad("s1").Get(topology.ResourceCPU); got != 42 {
+		t.Fatalf("override load = %v", got)
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	backing := NewQueueBacking()
+	q := NewQueue(nil, backing)
+	q.AddShard("s1", shard.RolePrimary)
+	for _, m := range []string{"a", "b", "c"} {
+		if _, err := q.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpEnqueue, Payload: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	depth, _ := q.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpDepth})
+	if depth != 3 {
+		t.Fatalf("depth = %v", depth)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		got, err := q.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpDequeue})
+		if err != nil || got != want {
+			t.Fatalf("dequeue = %v err=%v, want %s", got, err, want)
+		}
+	}
+	// Empty dequeue is not an error (in-order delivery just waits).
+	got, err := q.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpDequeue})
+	if err != nil || got != "" {
+		t.Fatalf("empty dequeue = %v err=%v", got, err)
+	}
+	if backing.Enqueued != 3 || backing.Dequeued != 3 {
+		t.Fatalf("counters = %d/%d", backing.Enqueued, backing.Dequeued)
+	}
+}
+
+func TestQueueSurvivesOwnerChange(t *testing.T) {
+	backing := NewQueueBacking()
+	a := NewQueue(nil, backing)
+	b := NewQueue(nil, backing)
+	a.AddShard("s1", shard.RolePrimary)
+	a.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpEnqueue, Payload: "m1"})
+	a.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpEnqueue, Payload: "m2"})
+	a.DropShard("s1")
+	b.AddShard("s1", shard.RolePrimary)
+	got, err := b.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpDequeue})
+	if err != nil || got != "m1" {
+		t.Fatalf("in-order delivery broken across owners: %v err=%v", got, err)
+	}
+}
+
+func TestQueueErrors(t *testing.T) {
+	q := NewQueue(nil, NewQueueBacking())
+	if _, err := q.HandleRequest(&appserver.Request{Shard: "nope", Op: QueueOpDequeue}); err == nil {
+		t.Fatal("unowned shard accepted")
+	}
+	q.AddShard("s1", shard.RolePrimary)
+	if _, err := q.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpEnqueue, Payload: 3}); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+	if _, err := q.HandleRequest(&appserver.Request{Shard: "s1", Op: "bogus"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestQueueLoadReportsDepth(t *testing.T) {
+	q := NewQueue(nil, NewQueueBacking())
+	q.AddShard("s1", shard.RolePrimary)
+	q.HandleRequest(&appserver.Request{Shard: "s1", Op: QueueOpEnqueue, Payload: "x"})
+	if got := q.ShardLoad("s1").Get("queue_depth"); got != 1 {
+		t.Fatalf("queue_depth = %v", got)
+	}
+}
+
+func TestStreamProcessorMaterializesFromBus(t *testing.T) {
+	bus := NewDataBus()
+	bus.Publish(BusEvent{Shard: "s1", Key: "ad1", Count: 3})
+	bus.Publish(BusEvent{Shard: "s1", Key: "ad1", Count: 2})
+	bus.Publish(BusEvent{Shard: "s1", Key: "ad2", Count: 1})
+
+	p := NewStreamProcessor(nil, bus)
+	p.AddShard("s1", shard.RolePrimary)
+	got, err := p.HandleRequest(&appserver.Request{Shard: "s1", Op: StreamOpQuery, Key: "ad1"})
+	if err != nil || got != int64(5) {
+		t.Fatalf("query = %v err=%v", got, err)
+	}
+	// New events are consumed on poke/query.
+	bus.Publish(BusEvent{Shard: "s1", Key: "ad1", Count: 10})
+	got, _ = p.HandleRequest(&appserver.Request{Shard: "s1", Op: StreamOpQuery, Key: "ad1"})
+	if got != int64(15) {
+		t.Fatalf("query after publish = %v", got)
+	}
+}
+
+func TestStreamProcessorRebuildOnMigration(t *testing.T) {
+	bus := NewDataBus()
+	bus.Publish(BusEvent{Shard: "s1", Key: "k", Count: 7})
+	a := NewStreamProcessor(nil, bus)
+	b := NewStreamProcessor(nil, bus)
+	a.AddShard("s1", shard.RolePrimary)
+	a.DropShard("s1")
+	// The new owner rebuilds the materialized view from the bus.
+	b.AddShard("s1", shard.RolePrimary)
+	got, err := b.HandleRequest(&appserver.Request{Shard: "s1", Op: StreamOpQuery, Key: "k"})
+	if err != nil || got != int64(7) {
+		t.Fatalf("rebuilt query = %v err=%v", got, err)
+	}
+	if b.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d", b.Rebuilds)
+	}
+}
+
+func TestStreamProcessorErrors(t *testing.T) {
+	p := NewStreamProcessor(nil, NewDataBus())
+	if _, err := p.HandleRequest(&appserver.Request{Shard: "nope", Op: StreamOpQuery}); err == nil {
+		t.Fatal("unowned shard accepted")
+	}
+	p.AddShard("s1", shard.RolePrimary)
+	if _, err := p.HandleRequest(&appserver.Request{Shard: "s1", Op: "bogus"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestDataBusReadFrom(t *testing.T) {
+	bus := NewDataBus()
+	for i := 0; i < 5; i++ {
+		bus.Publish(BusEvent{Shard: "s1", Key: "k", Count: int64(i)})
+	}
+	if got := len(bus.ReadFrom("s1", 3)); got != 2 {
+		t.Fatalf("ReadFrom(3) = %d events", got)
+	}
+	if got := bus.ReadFrom("s1", 99); got != nil {
+		t.Fatalf("ReadFrom past end = %v", got)
+	}
+	if bus.Len("s1") != 5 {
+		t.Fatalf("Len = %d", bus.Len("s1"))
+	}
+}

@@ -1,0 +1,169 @@
+// Package apps contains functional example applications built on the SM
+// programming model, mirroring the application classes the paper reports
+// (§2.5): a ZippyDB-like replicated key-value store (primary-secondary,
+// persistent state), a FOQS-like priority queue (primary-only), and an
+// AdEvents-like stream processor (primary-only soft state fed by an
+// external data bus). The experiments and runnable examples use these as
+// their workloads.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// KVStore is a ZippyDB-like sharded key-value store server (§2.5): each
+// shard has a primary handling writes and secondaries serving reads.
+// Replication is modeled through a shared per-shard backing store (standing
+// in for the Paxos log + SST files): all replicas of a shard read and write
+// the same shard state, so a migrated or promoted replica sees the data.
+// What the simulation exercises is the control plane — ownership, roles,
+// forwarding, failover — not the consensus protocol itself.
+type KVStore struct {
+	server *appserver.Server
+	// backing is shared by all replicas of the application (the
+	// "durable" store); keyed by shard then key.
+	backing *KVBacking
+	// owned tracks shards this replica currently serves.
+	owned map[shard.ID]shard.Role
+	// loads optionally reports synthetic per-shard load.
+	loads map[shard.ID]topology.Capacity
+}
+
+// KVBacking is the durable shard state shared by an application's replicas.
+type KVBacking struct {
+	mu   sync.Mutex
+	data map[shard.ID]map[string]string
+	// Writes counts committed writes, for tests.
+	Writes int64
+}
+
+// NewKVBacking returns an empty backing store.
+func NewKVBacking() *KVBacking {
+	return &KVBacking{data: make(map[shard.ID]map[string]string)}
+}
+
+// Put commits a write to a shard.
+func (b *KVBacking) Put(s shard.ID, key, value string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.data[s]
+	if m == nil {
+		m = make(map[string]string)
+		b.data[s] = m
+	}
+	m[key] = value
+	b.Writes++
+}
+
+// Get reads a key from a shard.
+func (b *KVBacking) Get(s shard.ID, key string) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.data[s][key]
+	return v, ok
+}
+
+// Scan returns the sorted keys in a shard with the given prefix — the
+// prefix-scan operation that requires key locality (§3.1, the Laser
+// example).
+func (b *KVBacking) Scan(s shard.ID, prefix string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for k := range b.data[s] {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keys returns the number of keys in a shard.
+func (b *KVBacking) Keys(s shard.ID) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.data[s])
+}
+
+// NewKVStore builds the application instance for one server.
+func NewKVStore(server *appserver.Server, backing *KVBacking) *KVStore {
+	return &KVStore{
+		server:  server,
+		backing: backing,
+		owned:   make(map[shard.ID]shard.Role),
+		loads:   make(map[shard.ID]topology.Capacity),
+	}
+}
+
+// SetShardLoad sets the synthetic load reported for a shard.
+func (k *KVStore) SetShardLoad(s shard.ID, load topology.Capacity) {
+	k.loads[s] = load
+}
+
+// AddShard implements appserver.Application.
+func (k *KVStore) AddShard(s shard.ID, role shard.Role) { k.owned[s] = role }
+
+// DropShard implements appserver.Application.
+func (k *KVStore) DropShard(s shard.ID) { delete(k.owned, s) }
+
+// ChangeRole implements appserver.Application.
+func (k *KVStore) ChangeRole(s shard.ID, _, to shard.Role) { k.owned[s] = to }
+
+// ShardLoad implements appserver.LoadReporter.
+func (k *KVStore) ShardLoad(s shard.ID) topology.Capacity {
+	if l, ok := k.loads[s]; ok {
+		return l
+	}
+	return topology.Capacity{
+		topology.ResourceShardCount: 1,
+		topology.ResourceCPU:        1,
+		topology.ResourceStorage:    float64(k.backing.Keys(s)),
+	}
+}
+
+// KV operation names.
+const (
+	KVOpPut  = "put"
+	KVOpGet  = "get"
+	KVOpScan = "scan"
+)
+
+// KVPut is the payload of a put.
+type KVPut struct {
+	Value string
+}
+
+// HandleRequest implements appserver.Application.
+func (k *KVStore) HandleRequest(req *appserver.Request) (any, error) {
+	if _, ok := k.owned[req.Shard]; !ok {
+		return nil, fmt.Errorf("kvstore: shard %s not owned", req.Shard)
+	}
+	switch req.Op {
+	case KVOpPut:
+		p, ok := req.Payload.(KVPut)
+		if !ok {
+			return nil, errors.New("kvstore: bad put payload")
+		}
+		k.backing.Put(req.Shard, req.Key, p.Value)
+		return "ok", nil
+	case KVOpGet:
+		v, ok := k.backing.Get(req.Shard, req.Key)
+		if !ok {
+			return nil, errors.New("kvstore: not found")
+		}
+		return v, nil
+	case KVOpScan:
+		return k.backing.Scan(req.Shard, req.Key), nil
+	default:
+		return nil, fmt.Errorf("kvstore: unknown op %q", req.Op)
+	}
+}

@@ -1,0 +1,135 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// Queue is a FOQS-like sharded priority-queue server (§1.2, [47]): a
+// primary-only application where each shard is an independent queue
+// guaranteeing in-order delivery — the instant-messaging queue service of
+// Fig 18. Queue contents live in a shared backing store (the external
+// database of data-persistency option 2, §2.4) so an in-place restart or a
+// migrated primary resumes exactly where the old one stopped.
+type Queue struct {
+	server  *appserver.Server
+	backing *QueueBacking
+	owned   map[shard.ID]bool
+	loads   map[shard.ID]topology.Capacity
+}
+
+// QueueBacking is the durable queue state shared by an application's
+// servers.
+type QueueBacking struct {
+	mu     sync.Mutex
+	queues map[shard.ID][]string
+	// Enqueued and Dequeued count operations, for tests.
+	Enqueued, Dequeued int64
+}
+
+// NewQueueBacking returns an empty backing store.
+func NewQueueBacking() *QueueBacking {
+	return &QueueBacking{queues: make(map[shard.ID][]string)}
+}
+
+// push appends an item to a shard's queue.
+func (b *QueueBacking) push(s shard.ID, item string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.queues[s] = append(b.queues[s], item)
+	b.Enqueued++
+}
+
+// pop removes the head of a shard's queue.
+func (b *QueueBacking) pop(s shard.ID) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[s]
+	if len(q) == 0 {
+		return "", false
+	}
+	item := q[0]
+	b.queues[s] = q[1:]
+	b.Dequeued++
+	return item, true
+}
+
+// Len returns a shard queue's depth.
+func (b *QueueBacking) Len(s shard.ID) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queues[s])
+}
+
+// NewQueue builds the application instance for one server.
+func NewQueue(server *appserver.Server, backing *QueueBacking) *Queue {
+	return &Queue{
+		server:  server,
+		backing: backing,
+		owned:   make(map[shard.ID]bool),
+		loads:   make(map[shard.ID]topology.Capacity),
+	}
+}
+
+// SetShardLoad sets the synthetic load reported for a shard ("single
+// synthetic" LB on queue depth, §2.2.4).
+func (q *Queue) SetShardLoad(s shard.ID, load topology.Capacity) { q.loads[s] = load }
+
+// AddShard implements appserver.Application.
+func (q *Queue) AddShard(s shard.ID, _ shard.Role) { q.owned[s] = true }
+
+// DropShard implements appserver.Application.
+func (q *Queue) DropShard(s shard.ID) { delete(q.owned, s) }
+
+// ChangeRole implements appserver.Application (primary-only: no-op).
+func (q *Queue) ChangeRole(shard.ID, shard.Role, shard.Role) {}
+
+// ShardLoad implements appserver.LoadReporter: queue depth as the synthetic
+// metric.
+func (q *Queue) ShardLoad(s shard.ID) topology.Capacity {
+	if l, ok := q.loads[s]; ok {
+		return l
+	}
+	return topology.Capacity{
+		topology.ResourceShardCount: 1,
+		"queue_depth":               float64(q.backing.Len(s)),
+	}
+}
+
+// Queue operation names.
+const (
+	QueueOpEnqueue = "enqueue"
+	QueueOpDequeue = "dequeue"
+	QueueOpDepth   = "depth"
+)
+
+// HandleRequest implements appserver.Application.
+func (q *Queue) HandleRequest(req *appserver.Request) (any, error) {
+	if !q.owned[req.Shard] {
+		return nil, fmt.Errorf("queue: shard %s not owned", req.Shard)
+	}
+	switch req.Op {
+	case QueueOpEnqueue:
+		item, ok := req.Payload.(string)
+		if !ok {
+			return nil, errors.New("queue: bad enqueue payload")
+		}
+		q.backing.push(req.Shard, item)
+		return "ok", nil
+	case QueueOpDequeue:
+		item, ok := q.backing.pop(req.Shard)
+		if !ok {
+			return "", nil // empty queue is not an error
+		}
+		return item, nil
+	case QueueOpDepth:
+		return q.backing.Len(req.Shard), nil
+	default:
+		return nil, fmt.Errorf("queue: unknown op %q", req.Op)
+	}
+}

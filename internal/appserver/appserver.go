@@ -1,0 +1,642 @@
+// Package appserver implements the application-server side of Shard
+// Manager: the SM library that is linked into application servers (§3.2)
+// and the simple programming model of §3.3 — add_shard / drop_shard /
+// change_role / prepare_add_shard / prepare_drop_shard — plus the
+// request-forwarding machinery that makes graceful primary-replica
+// migration drop zero requests (§4.3).
+//
+// A Host bridges the cluster manager and the application: whenever a
+// container of the application's job starts, the Host spins up a Server
+// (registering it on the network and creating its ephemeral liveness node
+// in the coordination store); when the container stops, the Server dies
+// with it. The orchestrator discovers server liveness through those
+// ephemeral nodes, exactly as SM does with ZooKeeper.
+package appserver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"shardmanager/internal/cluster"
+	"shardmanager/internal/coord"
+	"shardmanager/internal/metrics"
+	"shardmanager/internal/rpcnet"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/topology"
+)
+
+// Application is the programming model implemented by application owners
+// (Fig 11). The runtime invokes these callbacks; the application manages
+// its own per-shard state.
+type Application interface {
+	// AddShard makes the server officially own the shard in the given
+	// role and accept requests for it.
+	AddShard(s shard.ID, role shard.Role)
+	// DropShard releases the shard.
+	DropShard(s shard.ID)
+	// ChangeRole switches the shard's replica between primary and
+	// secondary (demotion ahead of maintenance, promotion on failover).
+	ChangeRole(s shard.ID, from, to shard.Role)
+	// HandleRequest processes one client request for an owned shard and
+	// returns the response payload or an error.
+	HandleRequest(req *Request) (any, error)
+}
+
+// Preparer is optionally implemented by applications that need hooks during
+// graceful migration (e.g. to transfer state). The runtime's forwarding
+// works regardless.
+type Preparer interface {
+	PrepareAddShard(s shard.ID, currentOwner shard.ServerID, role shard.Role)
+	PrepareDropShard(s shard.ID, newOwner shard.ServerID, role shard.Role)
+}
+
+// LoadReporter is optionally implemented by applications that report
+// per-shard load for load balancing (§2.2.4). Servers without it report
+// shard count only.
+type LoadReporter interface {
+	ShardLoad(s shard.ID) topology.Capacity
+}
+
+// Request is one client request routed to a server.
+type Request struct {
+	App   shard.AppID
+	Shard shard.ID
+	Key   string
+	// Write marks primary-related requests that only the primary may
+	// handle.
+	Write bool
+	// Forwarded marks requests relayed from the old primary during
+	// migration (§4.3 step 1).
+	Forwarded bool
+	// Op and Payload carry application-specific data.
+	Op      string
+	Payload any
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	OK      bool
+	Err     string
+	Payload any
+	// Server that finally handled (or rejected) the request.
+	Server shard.ServerID
+	// Hops counts forwarding hops beyond the first delivery.
+	Hops int
+}
+
+// replicaPhase is the runtime state of one shard replica on one server.
+type replicaPhase int
+
+const (
+	// phaseNone: zero value; a replica in the map never keeps it.
+	phaseNone replicaPhase = iota
+	// phaseLoading: the replica is loading shard state (LoadTime) and
+	// cannot serve yet.
+	phaseLoading
+	// phasePreparingAdd: loaded and ready to take over; serves only
+	// forwarded requests.
+	phasePreparingAdd
+	// phaseActive: owns the shard; serves matching requests.
+	phaseActive
+	// phaseForwarding: handing off; forwards requests to the new owner.
+	phaseForwarding
+)
+
+type replica struct {
+	role      shard.Role
+	phase     replicaPhase
+	forwardTo shard.ServerID
+	// pendingActive marks a replica that must activate as soon as its
+	// state load completes (AddShard arrived during/starting the load).
+	pendingActive bool
+	// loadGen guards stale load-completion timers.
+	loadGen int
+}
+
+// tombstoneTTL is how long a server keeps forwarding requests for a shard
+// after drop_shard; §4.3 step 5 says the old primary "keeps forwarding
+// client requests ... and drops its replica when no more requests arrive".
+const tombstoneTTL = 30 * time.Second
+
+// Server is one application server instance (the SM library + the app).
+type Server struct {
+	ID     shard.ServerID
+	App    shard.AppID
+	Region topology.RegionID
+
+	// LoadTime is how long a newly assigned replica takes to load shard
+	// state before it can serve (0 = instant). Graceful migration hides
+	// it — the new primary loads during prepare_add_shard while the old
+	// one keeps serving; without graceful migration the shard is simply
+	// down for this long on every move (the Fig 17 gap).
+	LoadTime time.Duration
+
+	loop *sim.Loop
+	net  *rpcnet.Network
+	dir  *Directory
+	app  Application
+
+	replicas   map[shard.ID]*replica
+	tombstones map[shard.ID]shard.ServerID
+
+	// Stats.
+	Handled   metrics.Counter
+	ForwardTx metrics.Counter // requests this server forwarded away
+	Rejected  metrics.Counter
+}
+
+// Directory resolves server IDs to live Server instances for the in-process
+// RPC layer. One Directory serves a whole simulation.
+type Directory struct {
+	servers map[shard.ServerID]*Server
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{servers: make(map[shard.ServerID]*Server)}
+}
+
+// Lookup returns the live server with the given ID, or nil.
+func (d *Directory) Lookup(id shard.ServerID) *Server { return d.servers[id] }
+
+// Register adds a server to the directory (Hosts do this automatically;
+// exported for tests and hand-wired setups).
+func (d *Directory) Register(s *Server) { d.servers[s.ID] = s }
+
+// Remove deletes a server from the directory.
+func (d *Directory) Remove(id shard.ServerID) { delete(d.servers, id) }
+
+// Servers returns the number of live servers.
+func (d *Directory) Servers() int { return len(d.servers) }
+
+// NewServer constructs a server; Hosts normally do this.
+func NewServer(loop *sim.Loop, net *rpcnet.Network, dir *Directory, app Application,
+	appID shard.AppID, id shard.ServerID, region topology.RegionID) *Server {
+	return &Server{
+		ID:         id,
+		App:        appID,
+		Region:     region,
+		loop:       loop,
+		net:        net,
+		dir:        dir,
+		app:        app,
+		replicas:   make(map[shard.ID]*replica),
+		tombstones: make(map[shard.ID]shard.ServerID),
+	}
+}
+
+// --- SM library API, invoked by the orchestrator (Fig 11) ---
+
+// AddShard gives the server official ownership of the shard. A replica that
+// already prepared (or already served) activates immediately; a brand-new
+// replica first loads shard state for LoadTime and rejects requests until
+// done (step 3 of §4.3 when preceded by prepare_add_shard; a cold add
+// otherwise).
+func (s *Server) AddShard(id shard.ID, role shard.Role) {
+	r := s.replicas[id]
+	if r == nil {
+		r = &replica{}
+		s.replicas[id] = r
+	}
+	r.role = role
+	r.forwardTo = ""
+	delete(s.tombstones, id)
+	switch r.phase {
+	case phaseLoading:
+		r.pendingActive = true
+	case phaseNone:
+		if s.LoadTime > 0 {
+			r.pendingActive = true
+			s.startLoad(id, r)
+		} else {
+			r.phase = phaseActive
+		}
+	default: // prepared, active, or forwarding: state already present
+		r.phase = phaseActive
+	}
+	s.app.AddShard(id, role)
+}
+
+// startLoad begins the replica's state load; on completion it becomes
+// active (if AddShard already arrived) or prepared.
+func (s *Server) startLoad(id shard.ID, r *replica) {
+	r.phase = phaseLoading
+	r.loadGen++
+	gen := r.loadGen
+	s.loop.After(s.LoadTime, func() {
+		if s.replicas[id] != r || r.loadGen != gen || r.phase != phaseLoading {
+			return
+		}
+		if r.pendingActive {
+			r.pendingActive = false
+			r.phase = phaseActive
+		} else {
+			r.phase = phasePreparingAdd
+		}
+	})
+}
+
+// DropShard releases the shard. If the replica was forwarding, a tombstone
+// keeps forwarding stragglers for tombstoneTTL (step 5 of §4.3).
+func (s *Server) DropShard(id shard.ID) {
+	r := s.replicas[id]
+	if r == nil {
+		return
+	}
+	if r.phase == phaseForwarding && r.forwardTo != "" {
+		to := r.forwardTo
+		s.tombstones[id] = to
+		s.loop.After(tombstoneTTL, func() {
+			if s.tombstones[id] == to {
+				delete(s.tombstones, id)
+			}
+		})
+	}
+	delete(s.replicas, id)
+	s.app.DropShard(id)
+}
+
+// ChangeRole changes the replica's role in place (§2.2.3; also used to
+// demote primaries ahead of non-negotiable maintenance, §4.2).
+func (s *Server) ChangeRole(id shard.ID, from, to shard.Role) error {
+	r := s.replicas[id]
+	if r == nil {
+		return fmt.Errorf("appserver: %s does not hold shard %s", s.ID, id)
+	}
+	if r.role != from {
+		return fmt.Errorf("appserver: shard %s role is %v, not %v", id, r.role, from)
+	}
+	r.role = to
+	s.app.ChangeRole(id, from, to)
+	return nil
+}
+
+// PrepareAddShard readies this server to take over the shard: it loads
+// state (LoadTime) and then processes only requests forwarded from the
+// current owner (step 1 of §4.3). The old primary keeps serving clients
+// throughout, which is why the load is invisible to them.
+func (s *Server) PrepareAddShard(id shard.ID, currentOwner shard.ServerID, role shard.Role) {
+	r := s.replicas[id]
+	if r == nil {
+		r = &replica{}
+		s.replicas[id] = r
+	}
+	r.role = role
+	if r.phase == phaseNone && s.LoadTime > 0 {
+		s.startLoad(id, r)
+	} else if r.phase != phaseLoading {
+		r.phase = phasePreparingAdd
+	}
+	if p, ok := s.app.(Preparer); ok {
+		p.PrepareAddShard(id, currentOwner, role)
+	}
+}
+
+// PrepareDropShard tells this server that newOwner is taking over: from now
+// on it forwards the shard's requests to newOwner (step 2 of §4.3).
+func (s *Server) PrepareDropShard(id shard.ID, newOwner shard.ServerID, role shard.Role) {
+	r := s.replicas[id]
+	if r == nil {
+		return
+	}
+	r.phase = phaseForwarding
+	r.forwardTo = newOwner
+	if p, ok := s.app.(Preparer); ok {
+		p.PrepareDropShard(id, newOwner, role)
+	}
+}
+
+// Shards returns a snapshot of owned shards and their roles (all phases).
+func (s *Server) Shards() map[shard.ID]shard.Role {
+	out := make(map[shard.ID]shard.Role, len(s.replicas))
+	for id, r := range s.replicas {
+		out[id] = r.role
+	}
+	return out
+}
+
+// HoldsActive reports whether the server actively owns the shard.
+func (s *Server) HoldsActive(id shard.ID) bool {
+	r := s.replicas[id]
+	return r != nil && r.phase == phaseActive
+}
+
+// LoadReport returns per-shard load for the orchestrator's collection
+// cycle. Applications implementing LoadReporter control the numbers;
+// otherwise each shard reports shard_count=1.
+func (s *Server) LoadReport() map[shard.ID]topology.Capacity {
+	out := make(map[shard.ID]topology.Capacity, len(s.replicas))
+	for id := range s.replicas {
+		if lr, ok := s.app.(LoadReporter); ok {
+			out[id] = lr.ShardLoad(id)
+		} else {
+			out[id] = topology.Capacity{topology.ResourceShardCount: 1}
+		}
+	}
+	return out
+}
+
+// Serve processes one request, replying asynchronously (possibly after one
+// or more forwarding hops). reply is invoked exactly once and must not be
+// nil.
+func (s *Server) Serve(req *Request, reply func(Response)) {
+	r := s.replicas[req.Shard]
+	if r == nil {
+		if to, ok := s.tombstones[req.Shard]; ok {
+			s.forward(req, to, reply)
+			return
+		}
+		s.Rejected.Inc()
+		reply(Response{Err: "not-owner", Server: s.ID})
+		return
+	}
+	switch r.phase {
+	case phaseActive:
+		if req.Write && r.role != shard.RolePrimary {
+			s.Rejected.Inc()
+			reply(Response{Err: "not-primary", Server: s.ID})
+			return
+		}
+		s.handle(req, reply)
+	case phaseLoading:
+		s.Rejected.Inc()
+		reply(Response{Err: "loading", Server: s.ID})
+	case phasePreparingAdd:
+		if req.Forwarded {
+			s.handle(req, reply)
+			return
+		}
+		s.Rejected.Inc()
+		reply(Response{Err: "preparing", Server: s.ID})
+	case phaseForwarding:
+		s.forward(req, r.forwardTo, reply)
+	default:
+		panic("appserver: unknown replica phase")
+	}
+}
+
+func (s *Server) handle(req *Request, reply func(Response)) {
+	payload, err := s.app.HandleRequest(req)
+	if err != nil {
+		s.Rejected.Inc()
+		reply(Response{Err: err.Error(), Server: s.ID})
+		return
+	}
+	s.Handled.Inc()
+	reply(Response{OK: true, Payload: payload, Server: s.ID})
+}
+
+// forward relays the request to the shard's new owner and relays the
+// response back (one extra hop each way).
+func (s *Server) forward(req *Request, to shard.ServerID, reply func(Response)) {
+	if to == "" || to == s.ID {
+		s.Rejected.Inc()
+		reply(Response{Err: "forward-loop", Server: s.ID})
+		return
+	}
+	s.ForwardTx.Inc()
+	fwd := *req
+	fwd.Forwarded = true
+	s.net.Send(s.Region, rpcnet.Endpoint(to), func() {
+		target := s.dir.Lookup(to)
+		if target == nil {
+			reply(Response{Err: "forward-target-gone", Server: s.ID})
+			return
+		}
+		target.Serve(&fwd, func(resp Response) {
+			resp.Hops++
+			// Relay the response back through this server's region.
+			s.net.Send(target.Region, rpcnet.Endpoint(s.ID), func() {
+				reply(resp)
+			}, func() {
+				// Original server died mid-relay; the client's
+				// RPC times out and it retries.
+				reply(Response{Err: "relay-lost", Server: s.ID, Hops: resp.Hops})
+			})
+		})
+	}, func() {
+		reply(Response{Err: "forward-failed", Server: s.ID})
+	})
+}
+
+// --- Host: container lifecycle -> server lifecycle ---
+
+// CoordPaths groups the coordination-store layout for one application.
+type CoordPaths struct {
+	// ServersPath is the parent of per-server ephemeral liveness nodes.
+	ServersPath string
+	// AssignPath is the parent of per-server persisted assignments.
+	AssignPath string
+}
+
+// DefaultPaths returns the standard layout for an application.
+func DefaultPaths(app shard.AppID) CoordPaths {
+	return CoordPaths{
+		ServersPath: "/apps/" + string(app) + "/servers",
+		AssignPath:  "/apps/" + string(app) + "/assign",
+	}
+}
+
+// EscapeID flattens a server ID (which may contain '/', e.g. "job/3") into
+// a single coordination-store path segment.
+func EscapeID(id shard.ServerID) string {
+	b := []byte(string(id))
+	for i := range b {
+		if b[i] == '/' {
+			b[i] = '~'
+		}
+	}
+	return string(b)
+}
+
+// ServerNode returns the liveness node path for a server.
+func (p CoordPaths) ServerNode(id shard.ServerID) string {
+	return p.ServersPath + "/" + EscapeID(id)
+}
+
+// AssignNode returns the persisted-assignment node path for a server.
+func (p CoordPaths) AssignNode(id shard.ServerID) string {
+	return p.AssignPath + "/" + EscapeID(id)
+}
+
+// Host materializes application servers for the containers of one job in
+// one region. It implements cluster.Listener.
+type Host struct {
+	loop    *sim.Loop
+	net     *rpcnet.Network
+	dir     *Directory
+	store   *coord.Store
+	fleet   *topology.Fleet
+	appID   shard.AppID
+	job     cluster.JobID
+	factory func(*Server) Application
+	paths   CoordPaths
+
+	servers  map[shard.ServerID]*Server
+	sessions map[shard.ServerID]*coord.Session
+}
+
+// NewHost creates the host and prepares the coordination-store layout. The
+// factory builds the per-server application instance.
+func NewHost(loop *sim.Loop, net *rpcnet.Network, dir *Directory, store *coord.Store,
+	fleet *topology.Fleet, appID shard.AppID, job cluster.JobID,
+	factory func(*Server) Application) *Host {
+	paths := DefaultPaths(appID)
+	mustCreateAll(store, paths.ServersPath)
+	mustCreateAll(store, paths.AssignPath)
+	return &Host{
+		loop:     loop,
+		net:      net,
+		dir:      dir,
+		store:    store,
+		fleet:    fleet,
+		appID:    appID,
+		job:      job,
+		factory:  factory,
+		paths:    paths,
+		servers:  make(map[shard.ServerID]*Server),
+		sessions: make(map[shard.ServerID]*coord.Session),
+	}
+}
+
+func mustCreateAll(store *coord.Store, path string) {
+	if err := store.CreateAll(path, nil, nil); err != nil && !store.Exists(path) {
+		panic(fmt.Sprintf("appserver: creating %s: %v", path, err))
+	}
+}
+
+// Server returns the live server for an ID, or nil.
+func (h *Host) Server(id shard.ServerID) *Server { return h.servers[id] }
+
+// LiveServers returns the number of live servers under this host.
+func (h *Host) LiveServers() int { return len(h.servers) }
+
+// ContainerStarted implements cluster.Listener: boot a server.
+func (h *Host) ContainerStarted(c cluster.Container) {
+	if c.Job != h.job {
+		return
+	}
+	id := shard.ServerID(c.ID)
+	if _, dup := h.servers[id]; dup {
+		return
+	}
+	machine := h.fleet.Machine(c.Machine)
+	if machine == nil {
+		panic(fmt.Sprintf("appserver: container %s on unknown machine %s", c.ID, c.Machine))
+	}
+	srv := NewServer(h.loop, h.net, h.dir, nil, h.appID, id, machine.Region)
+	srv.app = h.factory(srv)
+	h.servers[id] = srv
+	h.dir.Register(srv)
+	h.net.Register(rpcnet.Endpoint(id), machine.Region)
+
+	// Liveness: ephemeral node, as the SM library does with ZooKeeper.
+	sess := h.store.NewSession()
+	h.sessions[id] = sess
+	path := h.paths.ServerNode(id)
+	if h.store.Exists(path) {
+		// Leftover from an earlier incarnation; replace it.
+		_ = h.store.Delete(path, -1)
+	}
+	// The payload is the machine ID; the orchestrator resolves placement
+	// metadata (region, datacenter, rack) from it.
+	if err := h.store.Create(path, []byte(machine.ID), sess); err != nil {
+		panic(fmt.Sprintf("appserver: liveness node: %v", err))
+	}
+
+	// Start-up assignment: read persisted shard assignment directly from
+	// the store, without the SM control plane (§3.2).
+	h.restoreAssignment(srv)
+}
+
+// restoreAssignment loads the server's persisted shard list, if any.
+func (h *Host) restoreAssignment(srv *Server) {
+	data, _, err := h.store.Get(h.paths.AssignNode(srv.ID))
+	if err != nil {
+		return
+	}
+	for _, entry := range splitAssign(string(data)) {
+		srv.AddShard(entry.id, entry.role)
+	}
+}
+
+// ContainerStopping implements cluster.Listener: the process dies now.
+func (h *Host) ContainerStopping(c cluster.Container, reason string) {
+	if c.Job != h.job {
+		return
+	}
+	id := shard.ServerID(c.ID)
+	if _, ok := h.servers[id]; !ok {
+		return
+	}
+	h.net.Unregister(rpcnet.Endpoint(id))
+	h.dir.Remove(id)
+	delete(h.servers, id)
+	if sess := h.sessions[id]; sess != nil {
+		sess.Expire()
+		delete(h.sessions, id)
+	}
+}
+
+// ContainerStopped implements cluster.Listener (no-op; work happens at
+// stopping time).
+func (h *Host) ContainerStopped(cluster.Container) {}
+
+// --- persisted assignment encoding (tiny, line-based) ---
+
+type assignEntry struct {
+	id   shard.ID
+	role shard.Role
+}
+
+// EncodeAssignment renders a server's shard set for persistence.
+func EncodeAssignment(shards map[shard.ID]shard.Role) []byte {
+	out := make([]byte, 0, len(shards)*16)
+	// Deterministic order for stable store contents.
+	ids := make([]string, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, id...)
+		out = append(out, ' ')
+		if shards[shard.ID(id)] == shard.RolePrimary {
+			out = append(out, 'p')
+		} else {
+			out = append(out, 's')
+		}
+		out = append(out, '\n')
+	}
+	return out
+}
+
+func splitAssign(s string) []assignEntry {
+	var out []assignEntry
+	for len(s) > 0 {
+		nl := -1
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		var line string
+		if nl == -1 {
+			line, s = s, ""
+		} else {
+			line, s = s[:nl], s[nl+1:]
+		}
+		if len(line) < 3 {
+			continue
+		}
+		role := shard.RoleSecondary
+		if line[len(line)-1] == 'p' {
+			role = shard.RolePrimary
+		}
+		out = append(out, assignEntry{id: shard.ID(line[:len(line)-2]), role: role})
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package appserver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"shardmanager/internal/cluster"
+	"shardmanager/internal/coord"
+	"shardmanager/internal/rpcnet"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/topology"
+)
+
+// echoApp records callbacks and echoes request keys.
+type echoApp struct {
+	added   []shard.ID
+	dropped []shard.ID
+	roles   map[shard.ID]shard.Role
+	prepAdd int
+	prepDrp int
+	failAll bool
+}
+
+func newEchoApp() *echoApp { return &echoApp{roles: map[shard.ID]shard.Role{}} }
+
+func (a *echoApp) AddShard(s shard.ID, role shard.Role) {
+	a.added = append(a.added, s)
+	a.roles[s] = role
+}
+func (a *echoApp) DropShard(s shard.ID) {
+	a.dropped = append(a.dropped, s)
+	delete(a.roles, s)
+}
+func (a *echoApp) ChangeRole(s shard.ID, from, to shard.Role) { a.roles[s] = to }
+func (a *echoApp) HandleRequest(req *Request) (any, error) {
+	if a.failAll {
+		return nil, errors.New("app-error")
+	}
+	return "echo:" + req.Key, nil
+}
+func (a *echoApp) PrepareAddShard(shard.ID, shard.ServerID, shard.Role)  { a.prepAdd++ }
+func (a *echoApp) PrepareDropShard(shard.ID, shard.ServerID, shard.Role) { a.prepDrp++ }
+
+type testEnv struct {
+	loop  *sim.Loop
+	fleet *topology.Fleet
+	net   *rpcnet.Network
+	dir   *Directory
+}
+
+func newEnv() *testEnv {
+	fleet := topology.Build(topology.Spec{
+		Regions:           []topology.RegionID{"a", "b"},
+		MachinesPerRegion: 4,
+	})
+	loop := sim.NewLoop(1)
+	net := rpcnet.NewNetwork(loop, fleet)
+	net.Jitter = 0
+	return &testEnv{loop: loop, fleet: fleet, net: net, dir: NewDirectory()}
+}
+
+func (e *testEnv) server(id shard.ServerID, region topology.RegionID, app Application) *Server {
+	s := NewServer(e.loop, e.net, e.dir, app, "app", id, region)
+	e.dir.servers[id] = s
+	e.net.Register(rpcnet.Endpoint(id), region)
+	return s
+}
+
+func TestAddDropShardLifecycle(t *testing.T) {
+	env := newEnv()
+	app := newEchoApp()
+	s := env.server("s1", "a", app)
+	s.AddShard("sh1", shard.RolePrimary)
+	if !s.HoldsActive("sh1") {
+		t.Fatal("shard not active after AddShard")
+	}
+	if got := s.Shards()["sh1"]; got != shard.RolePrimary {
+		t.Fatalf("role = %v", got)
+	}
+	s.DropShard("sh1")
+	if len(s.Shards()) != 0 || len(app.dropped) != 1 {
+		t.Fatal("DropShard did not release")
+	}
+	// Dropping an unowned shard is a no-op.
+	s.DropShard("ghost")
+}
+
+func TestChangeRole(t *testing.T) {
+	env := newEnv()
+	app := newEchoApp()
+	s := env.server("s1", "a", app)
+	s.AddShard("sh1", shard.RoleSecondary)
+	if err := s.ChangeRole("sh1", shard.RoleSecondary, shard.RolePrimary); err != nil {
+		t.Fatal(err)
+	}
+	if app.roles["sh1"] != shard.RolePrimary {
+		t.Fatal("app not notified of role change")
+	}
+	if err := s.ChangeRole("sh1", shard.RoleSecondary, shard.RolePrimary); err == nil {
+		t.Fatal("stale role change accepted")
+	}
+	if err := s.ChangeRole("ghost", shard.RolePrimary, shard.RoleSecondary); err == nil {
+		t.Fatal("role change on unowned shard accepted")
+	}
+}
+
+func serve(t *testing.T, env *testEnv, s *Server, req *Request) Response {
+	t.Helper()
+	var resp Response
+	got := false
+	s.Serve(req, func(r Response) { resp = r; got = true })
+	env.loop.Run()
+	if !got {
+		t.Fatal("no reply")
+	}
+	return resp
+}
+
+func TestServeActivePrimary(t *testing.T) {
+	env := newEnv()
+	s := env.server("s1", "a", newEchoApp())
+	s.AddShard("sh1", shard.RolePrimary)
+	resp := serve(t, env, s, &Request{Shard: "sh1", Key: "k", Write: true})
+	if !resp.OK || resp.Payload != "echo:k" || resp.Server != "s1" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestServeWriteOnSecondaryRejected(t *testing.T) {
+	env := newEnv()
+	s := env.server("s1", "a", newEchoApp())
+	s.AddShard("sh1", shard.RoleSecondary)
+	resp := serve(t, env, s, &Request{Shard: "sh1", Write: true})
+	if resp.OK || resp.Err != "not-primary" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Reads are fine on secondaries.
+	resp = serve(t, env, s, &Request{Shard: "sh1", Key: "k"})
+	if !resp.OK {
+		t.Fatalf("read on secondary rejected: %+v", resp)
+	}
+}
+
+func TestServeUnownedShardRejected(t *testing.T) {
+	env := newEnv()
+	s := env.server("s1", "a", newEchoApp())
+	resp := serve(t, env, s, &Request{Shard: "ghost"})
+	if resp.OK || resp.Err != "not-owner" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if s.Rejected.Value() != 1 {
+		t.Fatalf("Rejected = %d", s.Rejected.Value())
+	}
+}
+
+func TestServeAppError(t *testing.T) {
+	env := newEnv()
+	app := newEchoApp()
+	app.failAll = true
+	s := env.server("s1", "a", app)
+	s.AddShard("sh1", shard.RolePrimary)
+	resp := serve(t, env, s, &Request{Shard: "sh1", Write: true})
+	if resp.OK || resp.Err != "app-error" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestGracefulMigrationProtocol(t *testing.T) {
+	env := newEnv()
+	appOld, appNew := newEchoApp(), newEchoApp()
+	old := env.server("old", "a", appOld)
+	newer := env.server("new", "b", appNew)
+	old.AddShard("sh1", shard.RolePrimary)
+
+	// Step 1: prepare_add on the new primary. Direct client requests are
+	// rejected; only forwarded ones are served.
+	newer.PrepareAddShard("sh1", "old", shard.RolePrimary)
+	if appNew.prepAdd != 1 {
+		t.Fatal("PrepareAddShard hook not invoked")
+	}
+	resp := serve(t, env, newer, &Request{Shard: "sh1", Write: true})
+	if resp.OK || resp.Err != "preparing" {
+		t.Fatalf("direct request during prepare = %+v", resp)
+	}
+
+	// Step 2: prepare_drop on the old primary: all requests forward.
+	old.PrepareDropShard("sh1", "new", shard.RolePrimary)
+	if appOld.prepDrp != 1 {
+		t.Fatal("PrepareDropShard hook not invoked")
+	}
+	resp = serve(t, env, old, &Request{Shard: "sh1", Key: "k", Write: true})
+	if !resp.OK || resp.Server != "new" || resp.Hops != 1 {
+		t.Fatalf("forwarded resp = %+v", resp)
+	}
+
+	// Step 3: add_shard on the new primary: it serves directly.
+	newer.AddShard("sh1", shard.RolePrimary)
+	resp = serve(t, env, newer, &Request{Shard: "sh1", Write: true})
+	if !resp.OK || resp.Hops != 0 {
+		t.Fatalf("direct resp after add = %+v", resp)
+	}
+
+	// Step 5: drop_shard on the old primary; stragglers still forward
+	// via the tombstone.
+	old.DropShard("sh1")
+	resp = serve(t, env, old, &Request{Shard: "sh1", Write: true})
+	if !resp.OK || resp.Server != "new" {
+		t.Fatalf("tombstone forward = %+v", resp)
+	}
+	// After the tombstone TTL, requests are rejected.
+	env.loop.RunFor(tombstoneTTL + time.Second)
+	resp = serve(t, env, old, &Request{Shard: "sh1", Write: true})
+	if resp.OK || resp.Err != "not-owner" {
+		t.Fatalf("post-TTL resp = %+v", resp)
+	}
+}
+
+func TestForwardToDeadServerFails(t *testing.T) {
+	env := newEnv()
+	old := env.server("old", "a", newEchoApp())
+	env.server("new", "b", newEchoApp())
+	old.AddShard("sh1", shard.RolePrimary)
+	old.PrepareDropShard("sh1", "new", shard.RolePrimary)
+	env.net.Unregister("new")
+	resp := serve(t, env, old, &Request{Shard: "sh1", Write: true})
+	if resp.OK || resp.Err != "forward-failed" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestForwardLoopRejected(t *testing.T) {
+	env := newEnv()
+	s := env.server("s1", "a", newEchoApp())
+	s.AddShard("sh1", shard.RolePrimary)
+	s.PrepareDropShard("sh1", "s1", shard.RolePrimary)
+	resp := serve(t, env, s, &Request{Shard: "sh1", Write: true})
+	if resp.OK || resp.Err != "forward-loop" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestLoadReportDefaultsToShardCount(t *testing.T) {
+	env := newEnv()
+	s := env.server("s1", "a", newEchoApp())
+	s.AddShard("a", shard.RolePrimary)
+	s.AddShard("b", shard.RoleSecondary)
+	rep := s.LoadReport()
+	if len(rep) != 2 || rep["a"].Get(topology.ResourceShardCount) != 1 {
+		t.Fatalf("LoadReport = %v", rep)
+	}
+}
+
+type loadApp struct {
+	*echoApp
+}
+
+func (l loadApp) ShardLoad(s shard.ID) topology.Capacity {
+	return topology.Capacity{topology.ResourceCPU: 7}
+}
+
+func TestLoadReporterOverride(t *testing.T) {
+	env := newEnv()
+	s := env.server("s1", "a", loadApp{newEchoApp()})
+	s.AddShard("a", shard.RolePrimary)
+	if got := s.LoadReport()["a"].Get(topology.ResourceCPU); got != 7 {
+		t.Fatalf("load = %v", got)
+	}
+}
+
+func TestEncodeDecodeAssignment(t *testing.T) {
+	in := map[shard.ID]shard.Role{
+		"beta":  shard.RoleSecondary,
+		"alpha": shard.RolePrimary,
+	}
+	data := EncodeAssignment(in)
+	if string(data) != "alpha p\nbeta s\n" {
+		t.Fatalf("encoded = %q", data)
+	}
+	entries := splitAssign(string(data))
+	if len(entries) != 2 || entries[0].id != "alpha" || entries[0].role != shard.RolePrimary ||
+		entries[1].id != "beta" || entries[1].role != shard.RoleSecondary {
+		t.Fatalf("decoded = %+v", entries)
+	}
+}
+
+func TestHostLifecycle(t *testing.T) {
+	env := newEnv()
+	store := coord.NewStore()
+	mgr := cluster.NewManager(env.loop, env.fleet, "a", cluster.DefaultOptions())
+	host := NewHost(env.loop, env.net, env.dir, store, env.fleet, "app", "job", func(s *Server) Application {
+		return newEchoApp()
+	})
+	mgr.AddListener(host)
+	mgr.CreateJob("job", "app", 3)
+	env.loop.RunFor(time.Minute)
+	if host.LiveServers() != 3 {
+		t.Fatalf("live servers = %d", host.LiveServers())
+	}
+	// Liveness nodes exist.
+	kids, err := store.Children("/apps/app/servers")
+	if err != nil || len(kids) != 3 {
+		t.Fatalf("liveness nodes = %v err=%v", kids, err)
+	}
+	// Kill a container: server dies, ephemeral vanishes, endpoint down.
+	cid := mgr.RunningContainers("job")[0]
+	c, _ := mgr.Container(cid)
+	mgr.KillMachine(c.Machine)
+	if host.LiveServers() != 2 {
+		t.Fatalf("live servers after kill = %d", host.LiveServers())
+	}
+	kids, _ = store.Children("/apps/app/servers")
+	if len(kids) != 2 {
+		t.Fatalf("liveness nodes after kill = %v", kids)
+	}
+	if env.net.Reachable(rpcnet.Endpoint(cid)) {
+		t.Fatal("dead server still reachable")
+	}
+}
+
+func TestHostRestoresPersistedAssignment(t *testing.T) {
+	env := newEnv()
+	store := coord.NewStore()
+	mgr := cluster.NewManager(env.loop, env.fleet, "a", cluster.DefaultOptions())
+	host := NewHost(env.loop, env.net, env.dir, store, env.fleet, "app", "job", func(s *Server) Application {
+		return newEchoApp()
+	})
+	mgr.AddListener(host)
+	// Persist an assignment for the first container before it starts.
+	if err := store.Create(DefaultPaths("app").AssignNode("job/0"),
+		EncodeAssignment(map[shard.ID]shard.Role{"sh9": shard.RolePrimary}), nil); err != nil {
+		t.Fatal(err)
+	}
+	mgr.CreateJob("job", "app", 1)
+	env.loop.RunFor(time.Minute)
+	srv := host.Server("job/0")
+	if srv == nil {
+		t.Fatal("server not started")
+	}
+	if !srv.HoldsActive("sh9") {
+		t.Fatal("persisted assignment not restored at start-up")
+	}
+}
+
+func TestHostIgnoresOtherJobs(t *testing.T) {
+	env := newEnv()
+	store := coord.NewStore()
+	mgr := cluster.NewManager(env.loop, env.fleet, "a", cluster.DefaultOptions())
+	host := NewHost(env.loop, env.net, env.dir, store, env.fleet, "app", "job", func(s *Server) Application {
+		return newEchoApp()
+	})
+	mgr.AddListener(host)
+	mgr.CreateJob("otherjob", "other", 2)
+	env.loop.RunFor(time.Minute)
+	if host.LiveServers() != 0 {
+		t.Fatal("host adopted containers of a different job")
+	}
+}

@@ -1,0 +1,261 @@
+// Package capacity implements the third item of the paper's future work
+// (§10): "managing an application's global-placement policy and capacity
+// need, i.e., forecasting the number of servers needed for each region and
+// placing shards intelligently to meet the application's global clients'
+// latency requirements while minimizing the number of shard replicas."
+//
+// The planner takes per-region client demand for each shard, the WAN
+// latency model, a read-latency SLO, and per-server throughput, and
+// produces: (1) a minimal set of replica regions per shard such that every
+// client region with demand reaches some replica within the SLO (greedy
+// weighted set cover, with a fault-tolerance floor), and (2) the forecast
+// number of servers per region assuming nearest-replica routing. The
+// output's region preferences feed straight into orchestrator.ShardConfig.
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// Demand is one (shard, client region) request rate.
+type Demand struct {
+	Shard  shard.ID
+	Region topology.RegionID
+	// Rate in requests/second.
+	Rate float64
+}
+
+// Input describes one planning problem.
+type Input struct {
+	// Fleet supplies regions and the latency model.
+	Fleet *topology.Fleet
+	// Demands lists client load. Shards may appear multiple times (one
+	// entry per client region).
+	Demands []Demand
+	// SLO is the maximum acceptable one-way client-to-replica latency.
+	SLO time.Duration
+	// PerServerRate is the request throughput one server sustains.
+	PerServerRate float64
+	// MinReplicas is the fault-tolerance floor per shard (default 1).
+	MinReplicas int
+	// Headroom over-provisions server counts (e.g. 0.3 = 30% spare;
+	// default 0.2).
+	Headroom float64
+}
+
+// ShardPlan is the planner's decision for one shard.
+type ShardPlan struct {
+	Shard   shard.ID
+	Regions []topology.RegionID
+	// Unserved lists demand regions that no region can serve within the
+	// SLO (the SLO itself is infeasible for them); they are still routed
+	// to the nearest replica.
+	Unserved []topology.RegionID
+}
+
+// Plan is a full capacity forecast.
+type Plan struct {
+	Shards map[shard.ID]*ShardPlan
+	// ServersPerRegion is the forecast server count per region.
+	ServersPerRegion map[topology.RegionID]int
+	// LoadPerRegion is the raw forecast load (requests/second).
+	LoadPerRegion map[topology.RegionID]float64
+	// TotalReplicas across all shards — the quantity being minimized.
+	TotalReplicas int
+}
+
+// Solve computes the plan.
+func Solve(in Input) (*Plan, error) {
+	if in.Fleet == nil || len(in.Fleet.Regions()) == 0 {
+		return nil, errors.New("capacity: no fleet")
+	}
+	if len(in.Demands) == 0 {
+		return nil, errors.New("capacity: no demand")
+	}
+	if in.SLO <= 0 {
+		return nil, errors.New("capacity: non-positive SLO")
+	}
+	if in.PerServerRate <= 0 {
+		return nil, errors.New("capacity: non-positive per-server rate")
+	}
+	if in.MinReplicas <= 0 {
+		in.MinReplicas = 1
+	}
+	if in.Headroom <= 0 {
+		in.Headroom = 0.2
+	}
+	regions := in.Fleet.Regions()
+	known := make(map[topology.RegionID]bool, len(regions))
+	for _, r := range regions {
+		known[r] = true
+	}
+
+	// Group demand per shard.
+	perShard := make(map[shard.ID]map[topology.RegionID]float64)
+	var order []shard.ID
+	for _, d := range in.Demands {
+		if d.Rate < 0 {
+			return nil, fmt.Errorf("capacity: negative rate for %s", d.Shard)
+		}
+		if !known[d.Region] {
+			return nil, fmt.Errorf("capacity: demand from unknown region %q", d.Region)
+		}
+		m, ok := perShard[d.Shard]
+		if !ok {
+			m = make(map[topology.RegionID]float64)
+			perShard[d.Shard] = m
+			order = append(order, d.Shard)
+		}
+		m[d.Region] += d.Rate
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	plan := &Plan{
+		Shards:           make(map[shard.ID]*ShardPlan, len(perShard)),
+		ServersPerRegion: make(map[topology.RegionID]int, len(regions)),
+		LoadPerRegion:    make(map[topology.RegionID]float64, len(regions)),
+	}
+
+	// covers reports whether a replica in r serves clients in c within
+	// the SLO.
+	covers := func(r, c topology.RegionID) bool {
+		return in.Fleet.Latency(c, r) <= in.SLO
+	}
+
+	for _, id := range order {
+		demand := perShard[id]
+		sp := &ShardPlan{Shard: id}
+		uncovered := make(map[topology.RegionID]float64, len(demand))
+		for c, rate := range demand {
+			uncovered[c] = rate
+		}
+		// Drop demand regions no placement can serve within the SLO.
+		for c := range uncovered {
+			feasible := false
+			for _, r := range regions {
+				if covers(r, c) {
+					feasible = true
+					break
+				}
+			}
+			if !feasible {
+				sp.Unserved = append(sp.Unserved, c)
+				delete(uncovered, c)
+			}
+		}
+		sort.Slice(sp.Unserved, func(i, j int) bool { return sp.Unserved[i] < sp.Unserved[j] })
+
+		chosen := make(map[topology.RegionID]bool)
+		// Greedy weighted set cover: repeatedly pick the region that
+		// covers the most uncovered demand; break ties toward regions
+		// with more local demand, then lexicographically.
+		for len(uncovered) > 0 {
+			var best topology.RegionID
+			bestGain := -1.0
+			for _, r := range regions {
+				if chosen[r] {
+					continue
+				}
+				gain := 0.0
+				for c, rate := range uncovered {
+					if covers(r, c) {
+						gain += rate
+					}
+				}
+				// Prefer serving demand locally when gains tie.
+				gain += 1e-9 * demand[r]
+				if gain > bestGain || (gain == bestGain && (best == "" || r < best)) {
+					best, bestGain = r, gain
+				}
+			}
+			if bestGain <= 0 {
+				break // cannot happen: infeasible regions removed
+			}
+			chosen[best] = true
+			for c := range uncovered {
+				if covers(best, c) {
+					delete(uncovered, c)
+				}
+			}
+		}
+		// Fault-tolerance floor: add the regions with the highest
+		// residual demand proximity until MinReplicas is met.
+		for len(chosen) < in.MinReplicas && len(chosen) < len(regions) {
+			var best topology.RegionID
+			bestScore := -1.0
+			for _, r := range regions {
+				if chosen[r] {
+					continue
+				}
+				score := 0.0
+				for c, rate := range demand {
+					score += rate / (1 + float64(in.Fleet.Latency(c, r))/float64(time.Millisecond))
+				}
+				if score > bestScore || (score == bestScore && (best == "" || r < best)) {
+					best, bestScore = r, score
+				}
+			}
+			chosen[best] = true
+		}
+		for r := range chosen {
+			sp.Regions = append(sp.Regions, r)
+		}
+		sort.Slice(sp.Regions, func(i, j int) bool { return sp.Regions[i] < sp.Regions[j] })
+		plan.Shards[id] = sp
+		plan.TotalReplicas += len(sp.Regions)
+
+		// Nearest-replica routing determines per-region load.
+		for c, rate := range demand {
+			nearest := sp.Regions[0]
+			for _, r := range sp.Regions[1:] {
+				if in.Fleet.Latency(c, r) < in.Fleet.Latency(c, nearest) {
+					nearest = r
+				}
+			}
+			plan.LoadPerRegion[nearest] += rate
+		}
+	}
+
+	for r, load := range plan.LoadPerRegion {
+		n := int((load*(1+in.Headroom))/in.PerServerRate) + 1
+		plan.ServersPerRegion[r] = n
+	}
+	return plan, nil
+}
+
+// ShardConfigs converts a plan into orchestrator-ready region preferences:
+// the shard's first (sorted) planned region becomes its preference, and the
+// replica count equals the planned region count. Loads default to one
+// shard_count unit.
+func (p *Plan) ShardConfigs(weight float64) []PlannedShard {
+	ids := make([]shard.ID, 0, len(p.Shards))
+	for id := range p.Shards {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]PlannedShard, 0, len(ids))
+	for _, id := range ids {
+		sp := p.Shards[id]
+		out = append(out, PlannedShard{
+			Shard:            id,
+			Replicas:         len(sp.Regions),
+			RegionPreference: sp.Regions[0],
+			PreferenceWeight: weight,
+		})
+	}
+	return out
+}
+
+// PlannedShard is the planner's output row for one shard.
+type PlannedShard struct {
+	Shard            shard.ID
+	Replicas         int
+	RegionPreference topology.RegionID
+	PreferenceWeight float64
+}

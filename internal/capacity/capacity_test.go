@@ -1,0 +1,268 @@
+package capacity
+
+import (
+	"testing"
+	"time"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// testFleet builds four regions with a simple metric: us-east/us-west 60ms
+// apart, eu 80ms from us-east, asia 120ms from everything.
+func testFleet() *topology.Fleet {
+	f := topology.Build(topology.Spec{
+		Regions:           []topology.RegionID{"us-east", "us-west", "eu", "asia"},
+		MachinesPerRegion: 1,
+	})
+	for _, r := range f.Regions() {
+		f.SetLatency(r, r, 2*time.Millisecond)
+	}
+	f.SetLatency("us-east", "us-west", 60*time.Millisecond)
+	f.SetLatency("us-east", "eu", 80*time.Millisecond)
+	f.SetLatency("us-west", "eu", 140*time.Millisecond)
+	f.SetLatency("us-east", "asia", 120*time.Millisecond)
+	f.SetLatency("us-west", "asia", 120*time.Millisecond)
+	f.SetLatency("eu", "asia", 120*time.Millisecond)
+	return f
+}
+
+func TestSingleRegionDemandGetsLocalReplica(t *testing.T) {
+	plan, err := Solve(Input{
+		Fleet:         testFleet(),
+		Demands:       []Demand{{Shard: "s1", Region: "eu", Rate: 100}},
+		SLO:           10 * time.Millisecond,
+		PerServerRate: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := plan.Shards["s1"]
+	if len(sp.Regions) != 1 || sp.Regions[0] != "eu" {
+		t.Fatalf("regions = %v, want [eu]", sp.Regions)
+	}
+	// 100 rps * 1.2 headroom / 50 per server => 3 servers.
+	if plan.ServersPerRegion["eu"] != 3 {
+		t.Fatalf("eu servers = %d, want 3", plan.ServersPerRegion["eu"])
+	}
+	if plan.TotalReplicas != 1 {
+		t.Fatalf("total replicas = %d", plan.TotalReplicas)
+	}
+}
+
+func TestTightSLOForcesReplicasPerContinent(t *testing.T) {
+	plan, err := Solve(Input{
+		Fleet: testFleet(),
+		Demands: []Demand{
+			{Shard: "s1", Region: "us-east", Rate: 100},
+			{Shard: "s1", Region: "eu", Rate: 100},
+			{Shard: "s1", Region: "asia", Rate: 100},
+		},
+		SLO:           10 * time.Millisecond, // only local replicas qualify
+		PerServerRate: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := plan.Shards["s1"]
+	if len(sp.Regions) != 3 {
+		t.Fatalf("regions = %v, want one per demand continent", sp.Regions)
+	}
+}
+
+func TestLooseSLOMinimizesReplicas(t *testing.T) {
+	// 100ms SLO: us-east covers us-west (60), eu (80); asia needs its
+	// own replica or... asia is 120 from everything, so it is only
+	// coverable locally.
+	plan, err := Solve(Input{
+		Fleet: testFleet(),
+		Demands: []Demand{
+			{Shard: "s1", Region: "us-east", Rate: 50},
+			{Shard: "s1", Region: "us-west", Rate: 50},
+			{Shard: "s1", Region: "eu", Rate: 50},
+			{Shard: "s1", Region: "asia", Rate: 50},
+		},
+		SLO:           100 * time.Millisecond,
+		PerServerRate: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := plan.Shards["s1"]
+	if len(sp.Regions) != 2 {
+		t.Fatalf("regions = %v, want 2 (us-east covers 3 regions, asia local)", sp.Regions)
+	}
+	has := map[topology.RegionID]bool{}
+	for _, r := range sp.Regions {
+		has[r] = true
+	}
+	if !has["us-east"] || !has["asia"] {
+		t.Fatalf("regions = %v, want us-east + asia", sp.Regions)
+	}
+}
+
+func TestMinReplicasFloor(t *testing.T) {
+	plan, err := Solve(Input{
+		Fleet:         testFleet(),
+		Demands:       []Demand{{Shard: "s1", Region: "eu", Rate: 10}},
+		SLO:           10 * time.Millisecond,
+		PerServerRate: 100,
+		MinReplicas:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Shards["s1"].Regions); got != 3 {
+		t.Fatalf("regions = %d, want MinReplicas floor 3", got)
+	}
+}
+
+func TestInfeasibleSLOReportedAsUnserved(t *testing.T) {
+	plan, err := Solve(Input{
+		Fleet:         testFleet(),
+		Demands:       []Demand{{Shard: "s1", Region: "asia", Rate: 10}},
+		SLO:           time.Millisecond, // below even local latency (2ms)
+		PerServerRate: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := plan.Shards["s1"]
+	if len(sp.Unserved) != 1 || sp.Unserved[0] != "asia" {
+		t.Fatalf("unserved = %v", sp.Unserved)
+	}
+	// The fault-tolerance floor still places a replica somewhere.
+	if len(sp.Regions) == 0 {
+		t.Fatal("no replica placed at all")
+	}
+}
+
+func TestNearestReplicaRoutingDrivesServerCounts(t *testing.T) {
+	plan, err := Solve(Input{
+		Fleet: testFleet(),
+		Demands: []Demand{
+			{Shard: "s1", Region: "us-east", Rate: 200},
+			{Shard: "s1", Region: "us-west", Rate: 100},
+			{Shard: "s2", Region: "us-east", Rate: 100},
+		},
+		SLO:           70 * time.Millisecond, // us-east covers us-west
+		PerServerRate: 100,
+		Headroom:      0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything routes to us-east: 400 rps total => 5 servers.
+	if got := plan.ServersPerRegion["us-east"]; got != 5 {
+		t.Fatalf("us-east servers = %d (load %v)", got, plan.LoadPerRegion)
+	}
+	if plan.ServersPerRegion["us-west"] != 0 {
+		t.Fatalf("us-west should host nothing: %v", plan.ServersPerRegion)
+	}
+}
+
+func TestMultipleShardsAggregateLoad(t *testing.T) {
+	demands := []Demand{}
+	for i := 0; i < 10; i++ {
+		demands = append(demands, Demand{
+			Shard:  shard.ID(rune('a' + i)),
+			Region: "eu",
+			Rate:   30,
+		})
+	}
+	plan, err := Solve(Input{
+		Fleet:         testFleet(),
+		Demands:       demands,
+		SLO:           10 * time.Millisecond,
+		PerServerRate: 100,
+		Headroom:      0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 shards x 30 rps = 300 => 4 servers.
+	if got := plan.ServersPerRegion["eu"]; got != 4 {
+		t.Fatalf("eu servers = %d", got)
+	}
+	if plan.TotalReplicas != 10 {
+		t.Fatalf("total replicas = %d", plan.TotalReplicas)
+	}
+}
+
+func TestShardConfigsConversion(t *testing.T) {
+	plan, err := Solve(Input{
+		Fleet: testFleet(),
+		Demands: []Demand{
+			{Shard: "s1", Region: "eu", Rate: 10},
+			{Shard: "s2", Region: "asia", Rate: 10},
+		},
+		SLO:           10 * time.Millisecond,
+		PerServerRate: 100,
+		MinReplicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := plan.ShardConfigs(250)
+	if len(cfgs) != 2 {
+		t.Fatalf("configs = %d", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.Replicas != 2 || c.PreferenceWeight != 250 || c.RegionPreference == "" {
+			t.Fatalf("config = %+v", c)
+		}
+	}
+	if cfgs[0].Shard != "s1" || cfgs[1].Shard != "s2" {
+		t.Fatalf("order = %v", cfgs)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	f := testFleet()
+	good := Demand{Shard: "s", Region: "eu", Rate: 1}
+	cases := map[string]Input{
+		"no fleet":     {Demands: []Demand{good}, SLO: time.Second, PerServerRate: 1},
+		"no demand":    {Fleet: f, SLO: time.Second, PerServerRate: 1},
+		"bad slo":      {Fleet: f, Demands: []Demand{good}, PerServerRate: 1},
+		"bad rate":     {Fleet: f, Demands: []Demand{good}, SLO: time.Second},
+		"neg demand":   {Fleet: f, Demands: []Demand{{Shard: "s", Region: "eu", Rate: -1}}, SLO: time.Second, PerServerRate: 1},
+		"ghost region": {Fleet: f, Demands: []Demand{{Shard: "s", Region: "mars", Rate: 1}}, SLO: time.Second, PerServerRate: 1},
+	}
+	for name, in := range cases {
+		if _, err := Solve(in); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	in := Input{
+		Fleet: testFleet(),
+		Demands: []Demand{
+			{Shard: "s1", Region: "us-east", Rate: 10},
+			{Shard: "s1", Region: "eu", Rate: 10},
+			{Shard: "s2", Region: "asia", Rate: 10},
+		},
+		SLO:           100 * time.Millisecond,
+		PerServerRate: 10,
+	}
+	a, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Solve(in)
+	if a.TotalReplicas != b.TotalReplicas {
+		t.Fatal("nondeterministic replica count")
+	}
+	for id, sp := range a.Shards {
+		other := b.Shards[id]
+		if len(sp.Regions) != len(other.Regions) {
+			t.Fatalf("shard %s regions differ", id)
+		}
+		for i := range sp.Regions {
+			if sp.Regions[i] != other.Regions[i] {
+				t.Fatalf("shard %s region order differs", id)
+			}
+		}
+	}
+}

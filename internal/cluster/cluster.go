@@ -1,0 +1,747 @@
+// Package cluster implements a Twine-like regional cluster manager.
+//
+// The paper's Shard Manager does not start or stop containers itself; it
+// negotiates with Facebook's cluster manager Twine [60] via the TaskControl
+// protocol about *when* container lifecycle operations may safely execute
+// (§4.1), and receives advance notice of non-negotiable maintenance events
+// (§4.2). This package provides that substrate: jobs made of containers
+// placed on machines, negotiable lifecycle operations (start / stop /
+// restart / move) gated on an external Controller, rolling upgrades with a
+// concurrency limit, scheduled maintenance with advance notice, and
+// unplanned failure injection (machine and whole-region losses).
+//
+// One Manager governs one region; a geo-distributed application is hosted by
+// several Managers, and a single TaskController coordinates approvals across
+// all of them — exactly the cross-region scenario of §2.3.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"shardmanager/internal/sim"
+	"shardmanager/internal/topology"
+)
+
+// JobID names a deployed application job within a region.
+type JobID string
+
+// ContainerID names one container (task) of a job. Container IDs are stable
+// across restarts in place, matching Twine tasks.
+type ContainerID string
+
+// OperationID names a pending or executing lifecycle operation.
+type OperationID int64
+
+// OpType enumerates container lifecycle operations.
+type OpType int
+
+// Lifecycle operation types.
+const (
+	OpStart OpType = iota
+	OpStop
+	OpRestart
+	OpMove
+)
+
+// String returns the op name.
+func (o OpType) String() string {
+	switch o {
+	case OpStart:
+		return "start"
+	case OpStop:
+		return "stop"
+	case OpRestart:
+		return "restart"
+	case OpMove:
+		return "move"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// ContainerState enumerates the observable states of a container.
+type ContainerState int
+
+// Container states.
+const (
+	StateRunning ContainerState = iota
+	StateDown                   // stopped, restarting, or lost
+)
+
+// Operation is one requested container lifecycle change.
+type Operation struct {
+	ID        OperationID
+	Type      OpType
+	Container ContainerID
+	Job       JobID
+	Region    topology.RegionID
+	// Target is the destination machine for OpMove and the placement
+	// machine for OpStart (empty = manager chooses).
+	Target topology.MachineID
+	// Reason is a free-form tag ("upgrade", "autoscale", "drain", ...).
+	Reason string
+	// Negotiable operations wait for Controller approval; non-negotiable
+	// ones execute immediately (used internally for maintenance and
+	// failure handling).
+	Negotiable bool
+}
+
+// Container is one task of a job bound to a machine.
+type Container struct {
+	ID      ContainerID
+	Job     JobID
+	Machine topology.MachineID
+	State   ContainerState
+	// Generation increments on every (re)start; lets observers detect
+	// restarts in place.
+	Generation int
+}
+
+// Job is a named group of containers for one application.
+type Job struct {
+	ID         JobID
+	App        string
+	containers []ContainerID
+}
+
+// Containers returns the job's container IDs in creation order.
+func (j *Job) Containers() []ContainerID {
+	out := make([]ContainerID, len(j.containers))
+	copy(out, j.containers)
+	return out
+}
+
+// Controller is the TaskControl protocol seen from the cluster manager's
+// side: the manager offers pending operations and the controller returns the
+// subset that is safe to execute now; the manager reports each completion so
+// the controller can approve the next batch (§4.1).
+type Controller interface {
+	// OfferOperations presents the currently pending negotiable
+	// operations in one region and returns the IDs approved to execute
+	// immediately. Unapproved operations stay pending and are offered
+	// again on the next negotiation round.
+	OfferOperations(region topology.RegionID, pending []Operation) []OperationID
+	// OperationComplete reports that an approved operation finished.
+	OperationComplete(region topology.RegionID, op Operation)
+}
+
+// MaintenanceImpact classifies what a maintenance event does to the
+// machines it touches (§4.2).
+type MaintenanceImpact int
+
+// Maintenance impacts, mildest first.
+const (
+	// ImpactNetworkLoss: machines stay up but are unreachable for the
+	// duration.
+	ImpactNetworkLoss MaintenanceImpact = iota
+	// ImpactRestart: containers on the machines restart (runtime state
+	// loss); they come back when the event ends.
+	ImpactRestart
+	// ImpactMachineLoss: the machines are gone for the duration;
+	// containers die and are restarted elsewhere only if moved.
+	ImpactMachineLoss
+)
+
+// MaintenanceEvent is an unavoidable infrastructure event with advance
+// notice.
+type MaintenanceEvent struct {
+	ID       int64
+	Machines []topology.MachineID
+	Start    time.Duration
+	End      time.Duration
+	Impact   MaintenanceImpact
+}
+
+// MaintenanceListener receives advance notice of maintenance events so that
+// SM can proactively drain or demote replicas (§4.2).
+type MaintenanceListener interface {
+	MaintenanceScheduled(region topology.RegionID, ev MaintenanceEvent)
+}
+
+// Listener observes container state transitions. The application-server
+// runtime uses it to spawn and kill server processes.
+type Listener interface {
+	// ContainerStarted fires when a container reaches StateRunning.
+	ContainerStarted(c Container)
+	// ContainerStopping fires when a container begins going down for any
+	// reason (op execution, failure, maintenance). The process is about
+	// to die; requests routed to it will fail.
+	ContainerStopping(c Container, reason string)
+	// ContainerStopped fires when the container is fully down.
+	ContainerStopped(c Container)
+}
+
+// Options configure a Manager's timing.
+type Options struct {
+	// StartDuration is the time to cold-start a container.
+	StartDuration time.Duration
+	// StopDuration is the time to tear a container down.
+	StopDuration time.Duration
+	// RestartDuration is the in-place restart time (binary swap).
+	RestartDuration time.Duration
+	// NegotiationDelay batches pending ops before offering them to the
+	// controller.
+	NegotiationDelay time.Duration
+}
+
+// DefaultOptions mirror production-ish magnitudes at simulation scale.
+func DefaultOptions() Options {
+	return Options{
+		StartDuration:    30 * time.Second,
+		StopDuration:     5 * time.Second,
+		RestartDuration:  60 * time.Second,
+		NegotiationDelay: 1 * time.Second,
+	}
+}
+
+// Manager is the per-region cluster manager.
+type Manager struct {
+	Region topology.RegionID
+
+	loop  *sim.Loop
+	fleet *topology.Fleet
+	opts  Options
+
+	controller  Controller
+	maintaince  []MaintenanceListener
+	listeners   []Listener
+	jobs        map[JobID]*Job
+	containers  map[ContainerID]*Container
+	perMachine  map[topology.MachineID]int // running containers per machine
+	deadMachine map[topology.MachineID]bool
+
+	nextOp      OperationID
+	nextMaint   int64
+	pending     []*Operation
+	executing   map[OperationID]*Operation
+	tracked     map[OperationID]func()
+	negotiating bool
+
+	// Stats for Fig 1.
+	PlannedStops   int64
+	UnplannedStops int64
+}
+
+// NewManager returns a manager for the machines of one region of the fleet.
+func NewManager(loop *sim.Loop, fleet *topology.Fleet, region topology.RegionID, opts Options) *Manager {
+	if len(fleet.MachinesInRegion(region)) == 0 {
+		panic(fmt.Sprintf("cluster: region %q has no machines", region))
+	}
+	return &Manager{
+		Region:      region,
+		loop:        loop,
+		fleet:       fleet,
+		opts:        opts,
+		jobs:        make(map[JobID]*Job),
+		containers:  make(map[ContainerID]*Container),
+		perMachine:  make(map[topology.MachineID]int),
+		deadMachine: make(map[topology.MachineID]bool),
+		executing:   make(map[OperationID]*Operation),
+	}
+}
+
+// SetController installs the TaskControl peer. A nil controller approves
+// everything immediately (legacy applications without SM).
+func (m *Manager) SetController(c Controller) { m.controller = c }
+
+// AddListener registers a container-lifecycle observer.
+func (m *Manager) AddListener(l Listener) { m.listeners = append(m.listeners, l) }
+
+// AddMaintenanceListener registers for advance maintenance notices.
+func (m *Manager) AddMaintenanceListener(l MaintenanceListener) {
+	m.maintaince = append(m.maintaince, l)
+}
+
+// Job returns a job by ID, or nil.
+func (m *Manager) Job(id JobID) *Job { return m.jobs[id] }
+
+// Container returns a copy of the container's current state.
+func (m *Manager) Container(id ContainerID) (Container, bool) {
+	c, ok := m.containers[id]
+	if !ok {
+		return Container{}, false
+	}
+	return *c, true
+}
+
+// RunningContainers returns the IDs of all running containers of a job.
+func (m *Manager) RunningContainers(job JobID) []ContainerID {
+	j := m.jobs[job]
+	if j == nil {
+		return nil
+	}
+	var out []ContainerID
+	for _, id := range j.containers {
+		if c := m.containers[id]; c != nil && c.State == StateRunning {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CreateJob deploys a job with n containers spread across the region's
+// machines (fewest-containers-first placement) and starts them immediately
+// (initial placement is not negotiable — there are no shards yet). Container
+// IDs are "<job>/<index>".
+func (m *Manager) CreateJob(id JobID, app string, n int) *Job {
+	if _, dup := m.jobs[id]; dup {
+		panic(fmt.Sprintf("cluster: duplicate job %q", id))
+	}
+	if n <= 0 {
+		panic("cluster: CreateJob with no containers")
+	}
+	j := &Job{ID: id, App: app}
+	m.jobs[id] = j
+	for i := 0; i < n; i++ {
+		cid := ContainerID(fmt.Sprintf("%s/%d", id, i))
+		machine := m.pickMachine()
+		c := &Container{ID: cid, Job: id, Machine: machine, State: StateDown}
+		m.containers[cid] = c
+		m.perMachine[machine]++
+		j.containers = append(j.containers, cid)
+		m.startContainer(c, "deploy")
+	}
+	return j
+}
+
+// pickMachine returns the live machine with the fewest containers.
+func (m *Manager) pickMachine() topology.MachineID {
+	var best topology.MachineID
+	bestN := -1
+	for _, mach := range m.fleet.MachinesInRegion(m.Region) {
+		if m.deadMachine[mach.ID] {
+			continue
+		}
+		n := m.perMachine[mach.ID]
+		if bestN == -1 || n < bestN {
+			best, bestN = mach.ID, n
+		}
+	}
+	if bestN == -1 {
+		panic(fmt.Sprintf("cluster: no live machines in region %q", m.Region))
+	}
+	return best
+}
+
+func (m *Manager) startContainer(c *Container, reason string) {
+	m.loop.After(m.opts.StartDuration, func() {
+		if m.deadMachine[c.Machine] {
+			return // machine died while starting
+		}
+		if c.State == StateRunning {
+			return
+		}
+		c.State = StateRunning
+		c.Generation++
+		for _, l := range m.listeners {
+			l.ContainerStarted(*c)
+		}
+	})
+}
+
+// stopContainer takes the container down now. planned marks the stop as a
+// planned event for Fig 1 accounting.
+func (m *Manager) stopContainer(c *Container, reason string, planned bool) {
+	if c.State == StateDown {
+		return
+	}
+	if planned {
+		m.PlannedStops++
+	} else {
+		m.UnplannedStops++
+	}
+	for _, l := range m.listeners {
+		l.ContainerStopping(*c, reason)
+	}
+	c.State = StateDown
+	for _, l := range m.listeners {
+		l.ContainerStopped(*c)
+	}
+}
+
+// removeContainer permanently decommissions a stopped container.
+func (m *Manager) removeContainer(c *Container) {
+	delete(m.containers, c.ID)
+	m.perMachine[c.Machine]--
+	if j := m.jobs[c.Job]; j != nil {
+		for i, id := range j.containers {
+			if id == c.ID {
+				j.containers = append(j.containers[:i], j.containers[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Submit queues a lifecycle operation. Negotiable operations wait for
+// controller approval; others execute after NegotiationDelay without asking.
+// It returns the assigned operation ID.
+func (m *Manager) Submit(op Operation) OperationID {
+	c := m.containers[op.Container]
+	if c == nil && op.Type != OpStart {
+		panic(fmt.Sprintf("cluster: Submit %v for unknown container %q", op.Type, op.Container))
+	}
+	m.nextOp++
+	op.ID = m.nextOp
+	op.Region = m.Region
+	if c != nil {
+		op.Job = c.Job
+	}
+	stored := op
+	m.pending = append(m.pending, &stored)
+	m.scheduleNegotiation()
+	return op.ID
+}
+
+// PendingOps returns a snapshot of pending (unapproved) operations.
+func (m *Manager) PendingOps() []Operation {
+	out := make([]Operation, 0, len(m.pending))
+	for _, op := range m.pending {
+		out = append(out, *op)
+	}
+	return out
+}
+
+// ExecutingOps returns the number of approved operations still in flight.
+func (m *Manager) ExecutingOps() int { return len(m.executing) }
+
+// scheduleNegotiation coalesces negotiation rounds.
+func (m *Manager) scheduleNegotiation() {
+	if m.negotiating {
+		return
+	}
+	m.negotiating = true
+	m.loop.After(m.opts.NegotiationDelay, func() {
+		m.negotiating = false
+		m.negotiate()
+	})
+}
+
+// negotiate offers pending negotiable ops to the controller and executes the
+// approved subset plus all non-negotiable ops.
+func (m *Manager) negotiate() {
+	if len(m.pending) == 0 {
+		return
+	}
+	var negotiable []Operation
+	for _, op := range m.pending {
+		if op.Negotiable {
+			negotiable = append(negotiable, *op)
+		}
+	}
+	approved := make(map[OperationID]bool)
+	if m.controller == nil {
+		for _, op := range negotiable {
+			approved[op.ID] = true
+		}
+	} else if len(negotiable) > 0 {
+		for _, id := range m.controller.OfferOperations(m.Region, negotiable) {
+			approved[id] = true
+		}
+	}
+	var stillPending []*Operation
+	var toRun []*Operation
+	for _, op := range m.pending {
+		if !op.Negotiable || approved[op.ID] {
+			toRun = append(toRun, op)
+		} else {
+			stillPending = append(stillPending, op)
+		}
+	}
+	m.pending = stillPending
+	for _, op := range toRun {
+		m.execute(op)
+	}
+	// Keep negotiating while work remains; completion also re-arms.
+	if len(m.pending) > 0 {
+		m.scheduleNegotiation()
+	}
+}
+
+// execute runs one approved operation to completion.
+func (m *Manager) execute(op *Operation) {
+	m.executing[op.ID] = op
+	done := func() {
+		delete(m.executing, op.ID)
+		if op.Negotiable && m.controller != nil {
+			m.controller.OperationComplete(m.Region, *op)
+		}
+		if len(m.pending) > 0 {
+			m.scheduleNegotiation()
+		}
+	}
+	if cb := m.tracked[op.ID]; cb != nil {
+		delete(m.tracked, op.ID)
+		inner := done
+		done = func() {
+			inner()
+			cb()
+		}
+	}
+	c := m.containers[op.Container]
+	switch op.Type {
+	case OpRestart:
+		if c == nil || c.State == StateDown {
+			done()
+			return
+		}
+		m.stopContainer(c, op.Reason, true)
+		m.loop.After(m.opts.RestartDuration, func() {
+			if !m.deadMachine[c.Machine] {
+				c.State = StateRunning
+				c.Generation++
+				for _, l := range m.listeners {
+					l.ContainerStarted(*c)
+				}
+			}
+			done()
+		})
+	case OpStop:
+		if c != nil {
+			m.stopContainer(c, op.Reason, true)
+			m.removeContainer(c)
+		}
+		m.loop.After(m.opts.StopDuration, done)
+	case OpStart:
+		if c == nil {
+			// New container appended to the job.
+			j := m.jobs[op.Job]
+			if j == nil {
+				panic(fmt.Sprintf("cluster: OpStart for unknown job %q", op.Job))
+			}
+			machine := op.Target
+			if machine == "" {
+				machine = m.pickMachine()
+			}
+			c = &Container{ID: op.Container, Job: op.Job, Machine: machine, State: StateDown}
+			m.containers[op.Container] = c
+			m.perMachine[machine]++
+			j.containers = append(j.containers, op.Container)
+		}
+		if c.State == StateRunning {
+			done()
+			return
+		}
+		m.loop.After(m.opts.StartDuration, func() {
+			if !m.deadMachine[c.Machine] && c.State == StateDown {
+				c.State = StateRunning
+				c.Generation++
+				for _, l := range m.listeners {
+					l.ContainerStarted(*c)
+				}
+			}
+			done()
+		})
+	case OpMove:
+		if c == nil {
+			done()
+			return
+		}
+		target := op.Target
+		if target == "" {
+			target = m.pickMachine()
+		}
+		m.stopContainer(c, op.Reason, true)
+		m.loop.After(m.opts.StopDuration+m.opts.StartDuration, func() {
+			if !m.deadMachine[target] {
+				m.perMachine[c.Machine]--
+				c.Machine = target
+				m.perMachine[c.Machine]++
+				c.State = StateRunning
+				c.Generation++
+				for _, l := range m.listeners {
+					l.ContainerStarted(*c)
+				}
+			}
+			done()
+		})
+	default:
+		panic(fmt.Sprintf("cluster: unknown op type %v", op.Type))
+	}
+}
+
+// RollingUpgrade submits negotiable restart operations for every container
+// of the job, tagged with the given reason. The controller (if any) paces
+// them; with no controller, maxConcurrent bounds how many restart at once
+// (Twine's own default pacing). onDone, if non-nil, fires when every
+// container has been restarted.
+func (m *Manager) RollingUpgrade(job JobID, maxConcurrent int, reason string, onDone func()) {
+	j := m.jobs[job]
+	if j == nil {
+		panic(fmt.Sprintf("cluster: RollingUpgrade of unknown job %q", job))
+	}
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	remaining := append([]ContainerID(nil), j.containers...)
+	inFlight := 0
+	var pump func()
+	var complete func()
+	complete = func() {
+		inFlight--
+		pump()
+	}
+	pump = func() {
+		for inFlight < maxConcurrent && len(remaining) > 0 {
+			cid := remaining[0]
+			remaining = remaining[1:]
+			inFlight++
+			m.submitTracked(Operation{
+				Type:       OpRestart,
+				Container:  cid,
+				Negotiable: true,
+				Reason:     reason,
+			}, complete)
+		}
+		if inFlight == 0 && len(remaining) == 0 && onDone != nil {
+			done := onDone
+			onDone = nil
+			done()
+		}
+	}
+	pump()
+}
+
+// tracked completion callbacks keyed by op ID.
+func (m *Manager) submitTracked(op Operation, onDone func()) {
+	id := m.Submit(op)
+	if m.tracked == nil {
+		m.tracked = make(map[OperationID]func())
+	}
+	m.tracked[id] = onDone
+}
+
+// Resize grows or shrinks the job to n containers via negotiable start/stop
+// operations (the auto-scaler path of §4.1).
+func (m *Manager) Resize(job JobID, n int) {
+	j := m.jobs[job]
+	if j == nil {
+		panic(fmt.Sprintf("cluster: Resize of unknown job %q", job))
+	}
+	cur := len(j.containers)
+	for i := cur; i < n; i++ {
+		cid := ContainerID(fmt.Sprintf("%s/%d", job, i))
+		m.Submit(Operation{Type: OpStart, Container: cid, Job: job, Negotiable: true, Reason: "autoscale"})
+	}
+	for i := cur - 1; i >= n; i-- {
+		m.Submit(Operation{Type: OpStop, Container: j.containers[i], Negotiable: true, Reason: "autoscale"})
+	}
+}
+
+// ScheduleMaintenance registers a non-negotiable maintenance event and
+// notifies maintenance listeners immediately (the advance notice). At
+// event start the impact is applied; at event end machines recover.
+func (m *Manager) ScheduleMaintenance(machines []topology.MachineID, start, end time.Duration, impact MaintenanceImpact) MaintenanceEvent {
+	if end <= start {
+		panic("cluster: maintenance end before start")
+	}
+	m.nextMaint++
+	ev := MaintenanceEvent{
+		ID:       m.nextMaint,
+		Machines: append([]topology.MachineID(nil), machines...),
+		Start:    start,
+		End:      end,
+		Impact:   impact,
+	}
+	for _, l := range m.maintaince {
+		l.MaintenanceScheduled(m.Region, ev)
+	}
+	m.loop.At(start, func() { m.beginMaintenance(ev) })
+	return ev
+}
+
+func (m *Manager) beginMaintenance(ev MaintenanceEvent) {
+	switch ev.Impact {
+	case ImpactNetworkLoss, ImpactMachineLoss:
+		for _, mach := range ev.Machines {
+			m.killMachineInternal(mach, "maintenance", true)
+		}
+		m.loop.At(ev.End, func() {
+			for _, mach := range ev.Machines {
+				m.RestoreMachine(mach)
+			}
+		})
+	case ImpactRestart:
+		for _, mach := range ev.Machines {
+			for _, c := range m.containers {
+				if c.Machine == mach && c.State == StateRunning {
+					c := c
+					m.stopContainer(c, "maintenance", true)
+					m.loop.After(m.opts.RestartDuration, func() {
+						if !m.deadMachine[c.Machine] && c.State == StateDown {
+							c.State = StateRunning
+							c.Generation++
+							for _, l := range m.listeners {
+								l.ContainerStarted(*c)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// KillMachine simulates an unplanned machine failure: all its containers
+// stop (unplanned) and the machine accepts no new containers until restored.
+func (m *Manager) KillMachine(id topology.MachineID) {
+	m.killMachineInternal(id, "machine-failure", false)
+}
+
+func (m *Manager) killMachineInternal(id topology.MachineID, reason string, planned bool) {
+	if m.deadMachine[id] {
+		return
+	}
+	m.deadMachine[id] = true
+	for _, c := range m.containers {
+		if c.Machine == id {
+			m.stopContainer(c, reason, planned)
+		}
+	}
+}
+
+// RestoreMachine brings a failed machine back; its containers restart in
+// place after StartDuration.
+func (m *Manager) RestoreMachine(id topology.MachineID) {
+	if !m.deadMachine[id] {
+		return
+	}
+	delete(m.deadMachine, id)
+	for _, c := range m.containers {
+		if c.Machine == id && c.State == StateDown {
+			m.startContainer(c, "machine-restore")
+		}
+	}
+}
+
+// FailRegion kills every machine in the region (whole-region outage).
+func (m *Manager) FailRegion() {
+	for _, mach := range m.fleet.MachinesInRegion(m.Region) {
+		m.KillMachine(mach.ID)
+	}
+}
+
+// RecoverRegion restores every machine in the region.
+func (m *Manager) RecoverRegion() {
+	for _, mach := range m.fleet.MachinesInRegion(m.Region) {
+		m.RestoreMachine(mach.ID)
+	}
+}
+
+// MachineAlive reports whether the machine is currently healthy.
+func (m *Manager) MachineAlive(id topology.MachineID) bool { return !m.deadMachine[id] }
+
+// ContainersOnMachine returns the IDs of containers currently placed on the
+// machine (any state), sorted for determinism.
+func (m *Manager) ContainersOnMachine(id topology.MachineID) []ContainerID {
+	var out []ContainerID
+	for cid, c := range m.containers {
+		if c.Machine == id {
+			out = append(out, cid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

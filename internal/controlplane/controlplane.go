@@ -1,0 +1,426 @@
+// Package controlplane implements SM's scale-out global control plane
+// (§6.1): a single mini-SM cannot manage millions of servers and billions
+// of shards, so applications are divided into partitions, partitions are
+// assigned to mini-SMs, and a thin set of global components — frontend,
+// application registry, application manager, partition registry, shard
+// scaler, read service — tie the pool together.
+//
+//	Frontend -> ApplicationRegistry -> ApplicationManager -> partitions
+//	         -> PartitionRegistry  -> mini-SMs
+//
+// The package is deliberately structural: a Partition is an accounting unit
+// (server/shard counts, regions) that may optionally carry a live
+// orchestrator. The Fig 15/16 experiments partition the synthetic fleet of
+// package workload through this code; the integration tests attach real
+// orchestrators to partitions.
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// PartitionID names one partition of an application.
+type PartitionID string
+
+// MiniSMID names one mini-SM control-plane instance.
+type MiniSMID string
+
+// Kind distinguishes regional from geo-distributed mini-SMs; a mini-SM
+// manages deployments of one kind (§8.1 reports 139 regional and 48 geo
+// mini-SMs).
+type Kind int
+
+// Mini-SM kinds.
+const (
+	Regional Kind = iota
+	Geo
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if k == Geo {
+		return "geo-distributed"
+	}
+	return "regional"
+}
+
+// AppSpec registers an application with the control plane.
+type AppSpec struct {
+	App     shard.AppID
+	Servers int
+	Shards  int
+	// Regions the deployment spans; one region = regional deployment.
+	Regions []topology.RegionID
+}
+
+// Kind derives the deployment kind.
+func (a AppSpec) Kind() Kind {
+	if len(a.Regions) > 1 {
+		return Geo
+	}
+	return Regional
+}
+
+// Partition is one managed slice of an application: servers in a partition
+// may come from different regions, and a shard's replicas always stay
+// within one partition (§6.1).
+type Partition struct {
+	ID      PartitionID
+	App     shard.AppID
+	Index   int
+	Servers int
+	Shards  int
+	Regions []topology.RegionID
+	// Orchestrator optionally carries the live mini-SM state for this
+	// partition (nil in accounting-only uses).
+	Orchestrator any
+}
+
+// MiniSM is one control-plane instance managing some partitions.
+type MiniSM struct {
+	ID         MiniSMID
+	Kind       Kind
+	Partitions []*Partition
+}
+
+// Servers returns the total servers managed.
+func (m *MiniSM) Servers() int {
+	n := 0
+	for _, p := range m.Partitions {
+		n += p.Servers
+	}
+	return n
+}
+
+// Shards returns the total shard replicas managed.
+func (m *MiniSM) Shards() int {
+	n := 0
+	for _, p := range m.Partitions {
+		n += p.Shards
+	}
+	return n
+}
+
+// Limits bound what one partition and one mini-SM may hold. Paper: a
+// partition "typically comprises thousands of servers and hundreds of
+// thousands of shard replicas"; the largest mini-SMs manage ~50K servers
+// and ~1.3M shards (§8.1).
+type Limits struct {
+	PartitionMaxServers int
+	PartitionMaxShards  int
+	MiniSMMaxServers    int
+	MiniSMMaxShards     int
+}
+
+// DefaultLimits mirror the paper's magnitudes.
+func DefaultLimits() Limits {
+	return Limits{
+		PartitionMaxServers: 5000,
+		PartitionMaxShards:  500000,
+		MiniSMMaxServers:    50000,
+		MiniSMMaxShards:     1300000,
+	}
+}
+
+// ControlPlane is the global layer: registries plus the mini-SM pool.
+type ControlPlane struct {
+	limits Limits
+
+	apps       map[shard.AppID]*AppSpec
+	partitions map[PartitionID]*Partition
+	// appPartitions preserves creation order per app.
+	appPartitions map[shard.AppID][]PartitionID
+	assignment    map[PartitionID]MiniSMID
+	miniSMs       map[MiniSMID]*MiniSM
+	order         []MiniSMID
+	nextMiniSM    int
+}
+
+// New creates an empty control plane.
+func New(limits Limits) *ControlPlane {
+	if limits.PartitionMaxServers <= 0 || limits.MiniSMMaxServers <= 0 ||
+		limits.PartitionMaxShards <= 0 || limits.MiniSMMaxShards <= 0 {
+		panic("controlplane: non-positive limits")
+	}
+	return &ControlPlane{
+		limits:        limits,
+		apps:          make(map[shard.AppID]*AppSpec),
+		partitions:    make(map[PartitionID]*Partition),
+		appPartitions: make(map[shard.AppID][]PartitionID),
+		assignment:    make(map[PartitionID]MiniSMID),
+		miniSMs:       make(map[MiniSMID]*MiniSM),
+	}
+}
+
+// RegisterApp admits an application: the application manager divides it
+// into partitions and the partition registry assigns each partition to a
+// mini-SM of the right kind, creating new mini-SMs as the pool fills
+// ("as the system scales, more mini-SMs can be added to scale out").
+func (cp *ControlPlane) RegisterApp(spec AppSpec) ([]*Partition, error) {
+	if spec.App == "" || spec.Servers <= 0 || spec.Shards < 0 || len(spec.Regions) == 0 {
+		return nil, fmt.Errorf("controlplane: invalid spec %+v", spec)
+	}
+	if _, dup := cp.apps[spec.App]; dup {
+		return nil, fmt.Errorf("controlplane: app %q already registered", spec.App)
+	}
+	s := spec
+	cp.apps[spec.App] = &s
+
+	parts := cp.split(&s)
+	for _, p := range parts {
+		cp.partitions[p.ID] = p
+		cp.appPartitions[spec.App] = append(cp.appPartitions[spec.App], p.ID)
+		cp.assign(p, spec.Kind())
+	}
+	return parts, nil
+}
+
+// split divides an application into partitions under the partition limits.
+// An application manager "usually maps an application to one partition, but
+// may divide a large application into multiple partitions".
+func (cp *ControlPlane) split(spec *AppSpec) []*Partition {
+	nByServers := (spec.Servers + cp.limits.PartitionMaxServers - 1) / cp.limits.PartitionMaxServers
+	nByShards := 1
+	if spec.Shards > 0 {
+		nByShards = (spec.Shards + cp.limits.PartitionMaxShards - 1) / cp.limits.PartitionMaxShards
+	}
+	n := nByServers
+	if nByShards > n {
+		n = nByShards
+	}
+	parts := make([]*Partition, 0, n)
+	for i := 0; i < n; i++ {
+		parts = append(parts, &Partition{
+			ID:      PartitionID(fmt.Sprintf("%s/p%03d", spec.App, i)),
+			App:     spec.App,
+			Index:   i,
+			Servers: chunk(spec.Servers, n, i),
+			Shards:  chunk(spec.Shards, n, i),
+			Regions: append([]topology.RegionID(nil), spec.Regions...),
+		})
+	}
+	return parts
+}
+
+// chunk splits total into n near-equal parts and returns part i.
+func chunk(total, n, i int) int {
+	base := total / n
+	if i < total%n {
+		return base + 1
+	}
+	return base
+}
+
+// assign places a partition on the least-loaded mini-SM of the kind that
+// still fits it, creating a new mini-SM when none fits.
+func (cp *ControlPlane) assign(p *Partition, kind Kind) {
+	var best *MiniSM
+	for _, id := range cp.order {
+		m := cp.miniSMs[id]
+		if m.Kind != kind {
+			continue
+		}
+		if m.Servers()+p.Servers > cp.limits.MiniSMMaxServers ||
+			m.Shards()+p.Shards > cp.limits.MiniSMMaxShards {
+			continue
+		}
+		if best == nil || m.Servers() < best.Servers() {
+			best = m
+		}
+	}
+	if best == nil {
+		cp.nextMiniSM++
+		best = &MiniSM{
+			ID:   MiniSMID(fmt.Sprintf("minism-%03d", cp.nextMiniSM)),
+			Kind: kind,
+		}
+		cp.miniSMs[best.ID] = best
+		cp.order = append(cp.order, best.ID)
+	}
+	best.Partitions = append(best.Partitions, p)
+	cp.assignment[p.ID] = best.ID
+}
+
+// MiniSMs returns the pool in creation order.
+func (cp *ControlPlane) MiniSMs() []*MiniSM {
+	out := make([]*MiniSM, 0, len(cp.order))
+	for _, id := range cp.order {
+		out = append(out, cp.miniSMs[id])
+	}
+	return out
+}
+
+// Partitions returns an app's partitions in creation order.
+func (cp *ControlPlane) Partitions(app shard.AppID) []*Partition {
+	var out []*Partition
+	for _, id := range cp.appPartitions[app] {
+		out = append(out, cp.partitions[id])
+	}
+	return out
+}
+
+// MiniSMFor returns the mini-SM managing a partition.
+func (cp *ControlPlane) MiniSMFor(p PartitionID) (*MiniSM, error) {
+	id, ok := cp.assignment[p]
+	if !ok {
+		return nil, fmt.Errorf("controlplane: unknown partition %q", p)
+	}
+	return cp.miniSMs[id], nil
+}
+
+// Frontend is the stateless global entry point (§6.1): it answers lookup
+// queries by delegating to the registries.
+type Frontend struct {
+	cp *ControlPlane
+}
+
+// NewFrontend wraps a control plane.
+func NewFrontend(cp *ControlPlane) *Frontend { return &Frontend{cp: cp} }
+
+// Route returns the mini-SM responsible for an app's partition index.
+func (f *Frontend) Route(app shard.AppID, partition int) (MiniSMID, error) {
+	parts := f.cp.Partitions(app)
+	if partition < 0 || partition >= len(parts) {
+		return "", fmt.Errorf("controlplane: app %q has no partition %d", app, partition)
+	}
+	m, err := f.cp.MiniSMFor(parts[partition].ID)
+	if err != nil {
+		return "", err
+	}
+	return m.ID, nil
+}
+
+// ReadService builds query indices over the control-plane metadata (§6.1:
+// "the read service builds indices on mini-SM's metadata to serve
+// queries").
+type ReadService struct {
+	cp *ControlPlane
+}
+
+// NewReadService wraps a control plane.
+func NewReadService(cp *ControlPlane) *ReadService { return &ReadService{cp: cp} }
+
+// Stats summarizes the pool: counts and largest mini-SM, the numbers
+// Figure 16 plots.
+type Stats struct {
+	RegionalMiniSMs int
+	GeoMiniSMs      int
+	TotalServers    int
+	TotalShards     int
+	MaxServers      int
+	MaxShards       int
+}
+
+// Stats computes pool statistics.
+func (rs *ReadService) Stats() Stats {
+	var st Stats
+	for _, m := range rs.cp.MiniSMs() {
+		if m.Kind == Geo {
+			st.GeoMiniSMs++
+		} else {
+			st.RegionalMiniSMs++
+		}
+		s, sh := m.Servers(), m.Shards()
+		st.TotalServers += s
+		st.TotalShards += sh
+		if s > st.MaxServers {
+			st.MaxServers = s
+		}
+		if sh > st.MaxShards {
+			st.MaxShards = sh
+		}
+	}
+	return st
+}
+
+// AppsBySize returns registered apps sorted by server count, descending —
+// the Figure 15 scatter data.
+func (rs *ReadService) AppsBySize() []AppSpec {
+	out := make([]AppSpec, 0, len(rs.cp.apps))
+	for _, a := range rs.cp.apps {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Servers != out[j].Servers {
+			return out[i].Servers > out[j].Servers
+		}
+		return out[i].App < out[j].App
+	})
+	return out
+}
+
+// --- shard scaler ---
+
+// ScalerTarget is the minimal orchestrator surface the shard scaler needs.
+type ScalerTarget interface {
+	ShardIDs() []shard.ID
+	ShardLoadValue(s shard.ID, r topology.Resource) float64
+	TotalReplicas(s shard.ID) int
+	SetReplicas(s shard.ID, n int)
+}
+
+// ScalerPolicy configures the shard scaler (§6.1: "the shard scaler
+// increases or decreases a shard's replica count in response to its load
+// changes").
+type ScalerPolicy struct {
+	Metric topology.Resource
+	// ScaleUpAt / ScaleDownAt are per-replica load thresholds.
+	ScaleUpAt   float64
+	ScaleDownAt float64
+	MinReplicas int
+	MaxReplicas int
+}
+
+// Validate checks the policy.
+func (p ScalerPolicy) Validate() error {
+	if p.ScaleUpAt <= p.ScaleDownAt {
+		return errors.New("controlplane: ScaleUpAt must exceed ScaleDownAt")
+	}
+	if p.MinReplicas <= 0 || p.MaxReplicas < p.MinReplicas {
+		return errors.New("controlplane: bad replica bounds")
+	}
+	return nil
+}
+
+// Scaler adjusts per-shard replica counts.
+type Scaler struct {
+	policy ScalerPolicy
+	target ScalerTarget
+	// ScaleUps and ScaleDowns count adjustments.
+	ScaleUps, ScaleDowns int
+}
+
+// NewScaler builds a scaler; the caller schedules Tick (e.g. on the
+// simulation loop).
+func NewScaler(target ScalerTarget, policy ScalerPolicy) (*Scaler, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scaler{policy: policy, target: target}, nil
+}
+
+// Tick examines every shard and adjusts replica counts: measured
+// per-replica load above ScaleUpAt adds a replica (spreading the load over
+// one more copy); below ScaleDownAt removes one.
+func (s *Scaler) Tick() {
+	for _, id := range s.target.ShardIDs() {
+		n := s.target.TotalReplicas(id)
+		if n <= 0 {
+			continue
+		}
+		perReplica := s.target.ShardLoadValue(id, s.policy.Metric)
+		switch {
+		case perReplica > s.policy.ScaleUpAt && n < s.policy.MaxReplicas:
+			s.target.SetReplicas(id, n+1)
+			s.ScaleUps++
+		case perReplica < s.policy.ScaleDownAt && n > s.policy.MinReplicas:
+			s.target.SetReplicas(id, n-1)
+			s.ScaleDowns++
+		}
+	}
+}

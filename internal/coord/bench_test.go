@@ -1,0 +1,55 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCreateGetSet(b *testing.B) {
+	s := NewStore()
+	s.Create("/bench", nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/bench/n%d", i)
+		if err := s.Create(path, []byte("x"), nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Get(path); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Set(path, []byte("y"), -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEphemeralSessionChurn(b *testing.B) {
+	s := NewStore()
+	s.Create("/servers", nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := s.NewSession()
+		for j := 0; j < 8; j++ {
+			if err := s.Create(fmt.Sprintf("/servers/s%d-%d", i, j), nil, sess); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sess.Expire()
+	}
+}
+
+func BenchmarkChildWatchFanout(b *testing.B) {
+	s := NewStore()
+	s.Create("/servers", nil, nil)
+	fired := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.WatchChildren("/servers", func(Event) { fired++ })
+		if err := s.Create(fmt.Sprintf("/servers/s%d", i), nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fired != b.N {
+		b.Fatalf("fired = %d, want %d", fired, b.N)
+	}
+}

@@ -1,0 +1,448 @@
+// Package coord implements a ZooKeeper-like coordination store.
+//
+// Shard Manager uses ZooKeeper for three things (§3.2): storing the
+// orchestrator's persistent state, letting application servers read their
+// shard assignment at start-up without the SM control plane, and detecting
+// application-server failures by watching ephemeral nodes created by the SM
+// library. This package provides the needed primitives: a hierarchical
+// namespace of versioned znodes, sessions with session-bound ephemeral
+// nodes, and watches on node data and children.
+//
+// The store is an in-process substitute for a real ZooKeeper ensemble. It is
+// safe for concurrent use; watch callbacks are invoked outside the store's
+// lock, after the mutation that triggered them committed.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNoNode        = errors.New("coord: node does not exist")
+	ErrNodeExists    = errors.New("coord: node already exists")
+	ErrBadVersion    = errors.New("coord: version mismatch")
+	ErrNotEmpty      = errors.New("coord: node has children")
+	ErrSessionClosed = errors.New("coord: session closed")
+	ErrBadPath       = errors.New("coord: malformed path")
+)
+
+// EventType describes what changed at a watched path.
+type EventType int
+
+// Watch event types.
+const (
+	EventCreated EventType = iota
+	EventDataChanged
+	EventDeleted
+	EventChildrenChanged
+)
+
+// String returns the event-type name.
+func (e EventType) String() string {
+	switch e {
+	case EventCreated:
+		return "created"
+	case EventDataChanged:
+		return "data-changed"
+	case EventDeleted:
+		return "deleted"
+	case EventChildrenChanged:
+		return "children-changed"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}
+
+// Event is delivered to watchers.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// Watcher receives watch events. Like ZooKeeper watches, a watcher fires
+// once and must be re-registered; this forces callers to re-read state and
+// keeps the notify path simple.
+type Watcher func(Event)
+
+// Stat carries node metadata.
+type Stat struct {
+	Version   int
+	Ephemeral bool
+	NumChild  int
+}
+
+type node struct {
+	data     []byte
+	version  int
+	ephem    bool
+	owner    *Session // non-nil for ephemeral nodes
+	children map[string]*node
+	// one-shot watches
+	dataWatch  []Watcher
+	childWatch []Watcher
+}
+
+func newNode() *node {
+	return &node{children: make(map[string]*node)}
+}
+
+// Store is the coordination service. Create one with NewStore.
+type Store struct {
+	mu       sync.Mutex
+	root     *node
+	sessions map[int64]*Session
+	nextSess int64
+}
+
+// NewStore returns an empty store containing only the root node "/".
+func NewStore() *Store {
+	return &Store{root: newNode(), sessions: make(map[int64]*Session)}
+}
+
+// Session groups ephemeral nodes; closing or expiring the session deletes
+// them, which is how the orchestrator detects server failures.
+type Session struct {
+	store  *Store
+	id     int64
+	closed bool
+	ephem  map[string]struct{}
+}
+
+// NewSession opens a session.
+func (s *Store) NewSession() *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSess++
+	sess := &Session{store: s, id: s.nextSess, ephem: make(map[string]struct{})}
+	s.sessions[sess.id] = sess
+	return sess
+}
+
+// ID returns the session's unique id.
+func (sess *Session) ID() int64 { return sess.id }
+
+// Closed reports whether the session has been closed or expired.
+func (sess *Session) Closed() bool {
+	sess.store.mu.Lock()
+	defer sess.store.mu.Unlock()
+	return sess.closed
+}
+
+// Close ends the session, deleting its ephemeral nodes and firing their
+// watches. Closing twice is a no-op.
+func (sess *Session) Close() {
+	sess.store.expire(sess)
+}
+
+// Expire is an alias for Close that reads better at failure-injection sites.
+func (sess *Session) Expire() { sess.store.expire(sess) }
+
+func (s *Store) expire(sess *Session) {
+	s.mu.Lock()
+	if sess.closed {
+		s.mu.Unlock()
+		return
+	}
+	sess.closed = true
+	delete(s.sessions, sess.id)
+	paths := make([]string, 0, len(sess.ephem))
+	for p := range sess.ephem {
+		paths = append(paths, p)
+	}
+	// Delete deepest-first so parents empty out correctly.
+	sort.Slice(paths, func(i, j int) bool { return len(paths[i]) > len(paths[j]) })
+	var fire []pendingEvent
+	for _, p := range paths {
+		fire = append(fire, s.deleteLocked(p)...)
+	}
+	s.mu.Unlock()
+	dispatch(fire)
+}
+
+type pendingEvent struct {
+	watchers []Watcher
+	ev       Event
+}
+
+func dispatch(pend []pendingEvent) {
+	for _, p := range pend {
+		for _, w := range p.watchers {
+			w(p.ev)
+		}
+	}
+}
+
+// splitPath validates and splits an absolute path like "/a/b/c".
+func splitPath(path string) ([]string, error) {
+	if path == "/" {
+		return nil, nil
+	}
+	if !strings.HasPrefix(path, "/") || strings.HasSuffix(path, "/") {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+func (s *Store) lookup(path string) (*node, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n := s.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoNode, path)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+func parentPath(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// Create makes a new node at path with data. Parent must exist. If sess is
+// non-nil the node is ephemeral and bound to the session.
+func (s *Store) Create(path string, data []byte, sess *Session) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot create root", ErrNodeExists)
+	}
+	s.mu.Lock()
+	if sess != nil && sess.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	parent := s.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := parent.children[p]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: parent of %q", ErrNoNode, path)
+		}
+		parent = child
+	}
+	name := parts[len(parts)-1]
+	if _, dup := parent.children[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNodeExists, path)
+	}
+	n := newNode()
+	n.data = append([]byte(nil), data...)
+	if sess != nil {
+		n.ephem = true
+		n.owner = sess
+		sess.ephem[path] = struct{}{}
+	}
+	parent.children[name] = n
+	var fire []pendingEvent
+	if len(parent.childWatch) > 0 {
+		fire = append(fire, pendingEvent{parent.childWatch, Event{EventChildrenChanged, parentPath(path)}})
+		parent.childWatch = nil
+	}
+	s.mu.Unlock()
+	dispatch(fire)
+	return nil
+}
+
+// CreateAll creates any missing intermediate nodes (persistent, empty) and
+// then the final node with data.
+func (s *Store) CreateAll(path string, data []byte, sess *Session) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	prefix := ""
+	for _, p := range parts[:max(0, len(parts)-1)] {
+		prefix += "/" + p
+		if err := s.Create(prefix, nil, nil); err != nil && !errors.Is(err, ErrNodeExists) {
+			return err
+		}
+	}
+	return s.Create(path, data, sess)
+}
+
+// Get returns the data and stat at path.
+func (s *Store) Get(path string) ([]byte, Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return nil, Stat{}, err
+	}
+	return append([]byte(nil), n.data...), statOf(n), nil
+}
+
+func statOf(n *node) Stat {
+	return Stat{Version: n.version, Ephemeral: n.ephem, NumChild: len(n.children)}
+}
+
+// Set replaces the data at path. If version >= 0 it must match the node's
+// current version (compare-and-swap); pass -1 to overwrite unconditionally.
+func (s *Store) Set(path string, data []byte, version int) (Stat, error) {
+	s.mu.Lock()
+	n, err := s.lookup(path)
+	if err != nil {
+		s.mu.Unlock()
+		return Stat{}, err
+	}
+	if version >= 0 && version != n.version {
+		s.mu.Unlock()
+		return Stat{}, fmt.Errorf("%w: %q have %d want %d", ErrBadVersion, path, n.version, version)
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	st := statOf(n)
+	var fire []pendingEvent
+	if len(n.dataWatch) > 0 {
+		fire = append(fire, pendingEvent{n.dataWatch, Event{EventDataChanged, path}})
+		n.dataWatch = nil
+	}
+	s.mu.Unlock()
+	dispatch(fire)
+	return st, nil
+}
+
+// Delete removes the node at path. If version >= 0 it must match. Nodes with
+// children cannot be deleted.
+func (s *Store) Delete(path string, version int) error {
+	s.mu.Lock()
+	n, err := s.lookup(path)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if version >= 0 && version != n.version {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q have %d want %d", ErrBadVersion, path, n.version, version)
+	}
+	if len(n.children) > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotEmpty, path)
+	}
+	fire := s.deleteLocked(path)
+	s.mu.Unlock()
+	dispatch(fire)
+	return nil
+}
+
+// deleteLocked removes path (which must exist and be childless) and returns
+// the watch events to dispatch. Caller holds the lock.
+func (s *Store) deleteLocked(path string) []pendingEvent {
+	parts, err := splitPath(path)
+	if err != nil || len(parts) == 0 {
+		return nil
+	}
+	parent := s.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := parent.children[p]
+		if !ok {
+			return nil
+		}
+		parent = child
+	}
+	name := parts[len(parts)-1]
+	n, ok := parent.children[name]
+	if !ok {
+		return nil
+	}
+	delete(parent.children, name)
+	if n.owner != nil {
+		delete(n.owner.ephem, path)
+	}
+	var fire []pendingEvent
+	if len(n.dataWatch) > 0 {
+		fire = append(fire, pendingEvent{n.dataWatch, Event{EventDeleted, path}})
+	}
+	if len(n.childWatch) > 0 {
+		fire = append(fire, pendingEvent{n.childWatch, Event{EventDeleted, path}})
+	}
+	if len(parent.childWatch) > 0 {
+		fire = append(fire, pendingEvent{parent.childWatch, Event{EventChildrenChanged, parentPath(path)}})
+		parent.childWatch = nil
+	}
+	return fire
+}
+
+// Exists reports whether a node exists at path (false on malformed paths).
+func (s *Store) Exists(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.lookup(path)
+	return err == nil
+}
+
+// Children returns the sorted child names of path.
+func (s *Store) Children(path string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// WatchData registers a one-shot watcher for data changes or deletion of the
+// node at path. The node must exist.
+func (s *Store) WatchData(path string, w Watcher) error {
+	if w == nil {
+		return errors.New("coord: nil watcher")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return err
+	}
+	n.dataWatch = append(n.dataWatch, w)
+	return nil
+}
+
+// WatchChildren registers a one-shot watcher for child creation/deletion
+// under path (or deletion of path itself). The node must exist.
+func (s *Store) WatchChildren(path string, w Watcher) error {
+	if w == nil {
+		return errors.New("coord: nil watcher")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return err
+	}
+	n.childWatch = append(n.childWatch, w)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shardmanager/internal/sim"
+)
+
+// TestStoreAgainstModel runs random operation sequences against both the
+// real store and a trivial in-memory model, and checks they agree — a
+// model-based test of the store's CRUD semantics (watches and sessions are
+// covered by the behavioral tests).
+func TestStoreAgainstModel(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99, 12345} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runModel(t, seed)
+		})
+	}
+}
+
+type modelNode struct {
+	data    []byte
+	version int
+}
+
+func runModel(t *testing.T, seed uint64) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	store := NewStore()
+	model := map[string]*modelNode{} // path -> node
+
+	// A small fixed path universe keeps collisions (and thus interesting
+	// error paths) frequent.
+	paths := []string{
+		"/a", "/b", "/c",
+		"/a/x", "/a/y", "/b/x", "/b/x/deep",
+	}
+	parentOf := func(p string) string { return parentPath(p) }
+	hasChildren := func(p string) bool {
+		for q := range model {
+			if q != p && parentOf(q) == p {
+				return true
+			}
+		}
+		return false
+	}
+
+	for step := 0; step < 2000; step++ {
+		p := paths[rng.Intn(len(paths))]
+		switch rng.Intn(4) {
+		case 0: // Create
+			err := store.Create(p, []byte(fmt.Sprint(step)), nil)
+			_, exists := model[p]
+			parent := parentOf(p)
+			_, parentOK := model[parent]
+			if parent == "/" {
+				parentOK = true
+			}
+			switch {
+			case exists:
+				if !errors.Is(err, ErrNodeExists) {
+					t.Fatalf("step %d: Create(%s) = %v, want ErrNodeExists", step, p, err)
+				}
+			case !parentOK:
+				if !errors.Is(err, ErrNoNode) {
+					t.Fatalf("step %d: Create(%s) = %v, want ErrNoNode", step, p, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: Create(%s) = %v", step, p, err)
+				}
+				model[p] = &modelNode{data: []byte(fmt.Sprint(step))}
+			}
+		case 1: // Set (unconditional or CAS)
+			ver := -1
+			if n, ok := model[p]; ok && rng.Intn(2) == 0 {
+				ver = n.version
+				if rng.Intn(4) == 0 {
+					ver++ // deliberately stale
+				}
+			}
+			_, err := store.Set(p, []byte(fmt.Sprint(step)), ver)
+			n, exists := model[p]
+			switch {
+			case !exists:
+				if !errors.Is(err, ErrNoNode) {
+					t.Fatalf("step %d: Set(%s) = %v, want ErrNoNode", step, p, err)
+				}
+			case ver >= 0 && ver != n.version:
+				if !errors.Is(err, ErrBadVersion) {
+					t.Fatalf("step %d: Set(%s) stale = %v, want ErrBadVersion", step, p, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: Set(%s) = %v", step, p, err)
+				}
+				n.data = []byte(fmt.Sprint(step))
+				n.version++
+			}
+		case 2: // Delete
+			err := store.Delete(p, -1)
+			_, exists := model[p]
+			switch {
+			case !exists:
+				if !errors.Is(err, ErrNoNode) {
+					t.Fatalf("step %d: Delete(%s) = %v, want ErrNoNode", step, p, err)
+				}
+			case hasChildren(p):
+				if !errors.Is(err, ErrNotEmpty) {
+					t.Fatalf("step %d: Delete(%s) = %v, want ErrNotEmpty", step, p, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: Delete(%s) = %v", step, p, err)
+				}
+				delete(model, p)
+			}
+		case 3: // Get + agreement check
+			data, st, err := store.Get(p)
+			n, exists := model[p]
+			if exists != (err == nil) {
+				t.Fatalf("step %d: Get(%s) existence mismatch: model=%v err=%v", step, p, exists, err)
+			}
+			if exists {
+				if string(data) != string(n.data) {
+					t.Fatalf("step %d: Get(%s) = %q, model %q", step, p, data, n.data)
+				}
+				if st.Version != n.version {
+					t.Fatalf("step %d: Get(%s) version = %d, model %d", step, p, st.Version, n.version)
+				}
+			}
+		}
+	}
+
+	// Final sweep: every model path agrees with the store.
+	for p, n := range model {
+		data, st, err := store.Get(p)
+		if err != nil || string(data) != string(n.data) || st.Version != n.version {
+			t.Fatalf("final: %s disagrees (err=%v data=%q v=%d, model %q v=%d)",
+				p, err, data, st.Version, n.data, n.version)
+		}
+	}
+	for _, p := range paths {
+		if _, ok := model[p]; !ok && store.Exists(p) {
+			t.Fatalf("final: store has %s, model does not", p)
+		}
+	}
+}

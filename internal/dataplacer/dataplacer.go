@@ -1,0 +1,312 @@
+// Package dataplacer implements the composable-adoption path of §7 for
+// applications that cannot (or will not) adopt the whole SM framework:
+//
+//   - GenericTaskController: a TaskControl-protocol participant driven by an
+//     *application-supplied* shard map instead of the SM orchestrator. The
+//     paper reports ~100 legacy applications adopted exactly this component
+//     "without using SM's APIs, allocator, or orchestrator": the application
+//     keeps its custom control plane but tells the controller where its
+//     shards live, and the controller decides whether container operations
+//     would endanger shard availability.
+//
+//   - Placer ("Data Placer"): a derived SM allocator for the largest custom
+//     data stores (the SQL database / graph store / log store of §2.2.1).
+//     The application keeps its custom orchestrator and calls Place with its
+//     own placement constraints; Data Placer returns shard-to-server
+//     assignments that honor both the application's constraints and the
+//     infrastructure contracts (spread, drain, balance), leaving execution
+//     to the application.
+package dataplacer
+
+import (
+	"fmt"
+	"sort"
+
+	"shardmanager/internal/allocator"
+	"shardmanager/internal/cluster"
+	"shardmanager/internal/metrics"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// ShardMapSource supplies the application's current shard map. The
+// application's custom control plane implements this; the controller calls
+// it on every negotiation round so the map may change freely.
+type ShardMapSource interface {
+	// CurrentMap returns the app-maintained shard map.
+	CurrentMap() *shard.Map
+	// ReplicaTarget returns the shard's configured replica count (used
+	// to count already-missing replicas against the cap).
+	ReplicaTarget(s shard.ID) int
+}
+
+// StaticMapSource is a trivial ShardMapSource for applications whose map
+// changes rarely; update it with Set.
+type StaticMapSource struct {
+	m       *shard.Map
+	targets map[shard.ID]int
+}
+
+// NewStaticMapSource wraps an initial map. Targets default to each shard's
+// current replica count.
+func NewStaticMapSource(m *shard.Map) *StaticMapSource {
+	s := &StaticMapSource{targets: make(map[shard.ID]int)}
+	s.Set(m)
+	return s
+}
+
+// Set replaces the map (targets for new shards default to current count).
+func (s *StaticMapSource) Set(m *shard.Map) {
+	s.m = m.Clone()
+	for id, as := range m.Entries {
+		if _, ok := s.targets[id]; !ok {
+			s.targets[id] = len(as)
+		}
+	}
+}
+
+// SetTarget overrides a shard's replica target.
+func (s *StaticMapSource) SetTarget(id shard.ID, n int) { s.targets[id] = n }
+
+// CurrentMap implements ShardMapSource.
+func (s *StaticMapSource) CurrentMap() *shard.Map { return s.m.Clone() }
+
+// ReplicaTarget implements ShardMapSource.
+func (s *StaticMapSource) ReplicaTarget(id shard.ID) int {
+	if n, ok := s.targets[id]; ok {
+		return n
+	}
+	return len(s.m.Entries[id])
+}
+
+// ControllerPolicy configures a GenericTaskController.
+type ControllerPolicy struct {
+	// MaxConcurrentOps is the global concurrent-operation cap.
+	MaxConcurrentOps int
+	// MaxUnavailableReplicas is the per-shard cap on simultaneously
+	// unavailable replicas.
+	MaxUnavailableReplicas int
+}
+
+// GenericTaskController implements cluster.Controller from an
+// application-supplied shard map. Unlike the full SM TaskController it
+// never drains (it has no orchestrator to drain with); it purely delays
+// operations that would push any shard past the per-shard cap, counting
+// replicas on servers that are already down.
+type GenericTaskController struct {
+	source ShardMapSource
+	policy ControllerPolicy
+	// down tracks servers currently impacted by approved in-flight ops.
+	inFlight map[cluster.ContainerID]cluster.OperationID
+	// serverDown reports whether a server is currently unavailable for
+	// reasons other than tracked ops (unplanned failures); supplied by
+	// the application, may be nil.
+	serverDown func(shard.ServerID) bool
+
+	Approved metrics.Counter
+	Delayed  metrics.Counter
+}
+
+// NewGenericTaskController builds the controller. serverDown may be nil.
+func NewGenericTaskController(source ShardMapSource, policy ControllerPolicy,
+	serverDown func(shard.ServerID) bool) *GenericTaskController {
+	if source == nil {
+		panic("dataplacer: nil map source")
+	}
+	if policy.MaxConcurrentOps <= 0 {
+		policy.MaxConcurrentOps = 1
+	}
+	if policy.MaxUnavailableReplicas <= 0 {
+		policy.MaxUnavailableReplicas = 1
+	}
+	return &GenericTaskController{
+		source:     source,
+		policy:     policy,
+		inFlight:   make(map[cluster.ContainerID]cluster.OperationID),
+		serverDown: serverDown,
+	}
+}
+
+// Attach registers with a regional cluster manager.
+func (c *GenericTaskController) Attach(mgr *cluster.Manager) { mgr.SetController(c) }
+
+// OfferOperations implements cluster.Controller.
+func (c *GenericTaskController) OfferOperations(region topology.RegionID, pending []cluster.Operation) []cluster.OperationID {
+	sorted := append([]cluster.Operation(nil), pending...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	m := c.source.CurrentMap()
+	var approved []cluster.OperationID
+	for _, op := range sorted {
+		if _, dup := c.inFlight[op.Container]; dup {
+			c.Delayed.Inc()
+			continue
+		}
+		if len(c.inFlight) >= c.policy.MaxConcurrentOps {
+			c.Delayed.Inc()
+			continue
+		}
+		if !c.capAllows(m, shard.ServerID(op.Container)) {
+			c.Delayed.Inc()
+			continue
+		}
+		c.inFlight[op.Container] = op.ID
+		approved = append(approved, op.ID)
+		c.Approved.Inc()
+	}
+	return approved
+}
+
+// capAllows checks the per-shard unavailability cap for taking server down.
+func (c *GenericTaskController) capAllows(m *shard.Map, server shard.ServerID) bool {
+	unavailableServer := func(s shard.ServerID) bool {
+		if _, ok := c.inFlight[cluster.ContainerID(s)]; ok {
+			return true
+		}
+		return c.serverDown != nil && c.serverDown(s)
+	}
+	for id := range m.Entries {
+		onServer := false
+		unavailable := c.source.ReplicaTarget(id) - len(m.Entries[id])
+		if unavailable < 0 {
+			unavailable = 0
+		}
+		for _, a := range m.Entries[id] {
+			if a.Server == server {
+				onServer = true
+				continue
+			}
+			if unavailableServer(a.Server) {
+				unavailable++
+			}
+		}
+		if onServer && unavailable+1 > c.policy.MaxUnavailableReplicas {
+			return false
+		}
+	}
+	return true
+}
+
+// OperationComplete implements cluster.Controller.
+func (c *GenericTaskController) OperationComplete(region topology.RegionID, op cluster.Operation) {
+	if id, ok := c.inFlight[op.Container]; ok && id == op.ID {
+		delete(c.inFlight, op.Container)
+	}
+}
+
+// --- Data Placer ---
+
+// PlacementRequest is a custom data store's placement problem: its servers,
+// its shards with application-specific constraints, and its current
+// assignment. Data Placer computes where replicas should go; the
+// application's custom orchestrator executes the moves itself.
+type PlacementRequest struct {
+	Servers []allocator.ServerInfo
+	Shards  []allocator.ShardSpec
+	Current map[shard.ID][]shard.ServerID
+	// Colocate optionally groups shards that must land on the same
+	// server (e.g. a database shard and its sidecar); every shard in a
+	// group is pinned to the first member's placement.
+	Colocate map[shard.ID]shard.ID
+	// Emergency selects the fast mode (only place missing replicas).
+	Emergency bool
+}
+
+// Placer is the derived SM allocator of §7 ("reuse a derived SM allocator
+// called Data Placer ... it can generate shard-to-server assignments that
+// take into account both application-specific placement constraints and
+// the infrastructure contracts").
+type Placer struct {
+	alloc *allocator.Allocator
+}
+
+// NewPlacer builds a Data Placer with the given policy.
+func NewPlacer(policy allocator.Policy, seed uint64) *Placer {
+	return &Placer{alloc: allocator.New(policy, seed)}
+}
+
+// Place computes a new assignment. The returned moves are advisory: the
+// caller's custom orchestrator executes them at its own pace.
+func (p *Placer) Place(req PlacementRequest) (*allocator.Result, error) {
+	if len(req.Servers) == 0 {
+		return nil, fmt.Errorf("dataplacer: no servers")
+	}
+	shards := req.Shards
+	if len(req.Colocate) > 0 {
+		// Fold colocated shards into their leader's load; place the
+		// leader, then mirror the assignment.
+		shards = foldColocated(req.Shards, req.Colocate)
+	}
+	mode := allocator.Periodic
+	if req.Emergency {
+		mode = allocator.Emergency
+	}
+	res := p.alloc.Run(allocator.Input{
+		Servers: req.Servers,
+		Shards:  shards,
+		Current: req.Current,
+	}, mode)
+	if len(req.Colocate) > 0 {
+		expandColocated(res, req)
+	}
+	return res, nil
+}
+
+// foldColocated merges followers' loads into their leaders and drops the
+// followers from the solver's view.
+func foldColocated(specs []allocator.ShardSpec, colocate map[shard.ID]shard.ID) []allocator.ShardSpec {
+	byID := make(map[shard.ID]*allocator.ShardSpec, len(specs))
+	out := make([]allocator.ShardSpec, 0, len(specs))
+	for _, s := range specs {
+		if _, isFollower := colocate[s.ID]; isFollower {
+			continue
+		}
+		out = append(out, s)
+		byID[s.ID] = &out[len(out)-1]
+	}
+	for _, s := range specs {
+		leaderID, isFollower := colocate[s.ID]
+		if !isFollower {
+			continue
+		}
+		leader := byID[leaderID]
+		if leader == nil {
+			panic(fmt.Sprintf("dataplacer: colocation leader %q missing", leaderID))
+		}
+		merged := leader.Load.Clone()
+		if merged == nil {
+			merged = topology.Capacity{}
+		}
+		for k, v := range s.Load {
+			merged[k] += v
+		}
+		leader.Load = merged
+	}
+	return out
+}
+
+// expandColocated mirrors each leader's placement onto its followers.
+func expandColocated(res *allocator.Result, req PlacementRequest) {
+	for follower, leader := range req.Colocate {
+		newPlacement := append([]shard.ServerID(nil), res.Assignment[leader]...)
+		old := req.Current[follower]
+		res.Assignment[follower] = newPlacement
+		// Emit the diff for the follower too.
+		for i, srv := range newPlacement {
+			var cur shard.ServerID
+			if i < len(old) {
+				cur = old[i]
+			}
+			switch {
+			case cur == srv:
+			case cur == "":
+				res.Moves = append(res.Moves, allocator.ReplicaMove{Shard: follower, To: srv})
+			default:
+				res.Moves = append(res.Moves, allocator.ReplicaMove{Shard: follower, From: cur, To: srv})
+			}
+		}
+		for i := len(newPlacement); i < len(old); i++ {
+			res.Moves = append(res.Moves, allocator.ReplicaMove{Shard: follower, From: old[i]})
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+)
+
+// BenchmarkPublishFanout measures publishing a 1,000-shard map to 100
+// subscribers, including delivery.
+func BenchmarkPublishFanout(b *testing.B) {
+	loop := sim.NewLoop(1)
+	svc := NewService(loop, FixedDelay(time.Millisecond))
+	delivered := 0
+	for i := 0; i < 100; i++ {
+		svc.Subscribe("app", func(*shard.Map) { delivered++ })
+	}
+	m := shard.NewMap("app")
+	for i := 0; i < 1000; i++ {
+		id := shard.ID(fmt.Sprintf("s%04d", i))
+		m.Entries[id] = []shard.Assignment{{Server: "srv", Role: shard.RolePrimary}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Version = int64(i + 1)
+		svc.Publish(m)
+		loop.RunFor(10 * time.Millisecond)
+	}
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}

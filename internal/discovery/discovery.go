@@ -1,0 +1,145 @@
+// Package discovery models the service discovery system of §3.2: the
+// orchestrator publishes each application's versioned shard map, and the
+// system fans it out to all application clients "in a timely manner" through
+// a multi-level data-distribution tree. We model the tree as a per-
+// subscriber, per-publication propagation delay; what matters to SM is that
+// clients act on *eventually consistent, slightly stale* maps, which the
+// graceful migration protocol (§4.3) must tolerate without dropping
+// requests.
+package discovery
+
+import (
+	"time"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+)
+
+// DelayFunc returns the propagation delay for one delivery.
+type DelayFunc func(rng *sim.RNG) time.Duration
+
+// FixedDelay returns a DelayFunc with constant delay.
+func FixedDelay(d time.Duration) DelayFunc {
+	return func(*sim.RNG) time.Duration { return d }
+}
+
+// UniformDelay returns a DelayFunc uniform in [lo, hi].
+func UniformDelay(lo, hi time.Duration) DelayFunc {
+	if hi < lo {
+		panic("discovery: UniformDelay hi < lo")
+	}
+	return func(rng *sim.RNG) time.Duration {
+		return lo + time.Duration(rng.Int63()%int64(hi-lo+1))
+	}
+}
+
+// DefaultDelay approximates a production dissemination tree: most clients
+// learn a new map within a second or two.
+func DefaultDelay() DelayFunc { return UniformDelay(500*time.Millisecond, 2*time.Second) }
+
+// Subscription is one client's registration for an app's shard maps.
+type Subscription struct {
+	app       shard.AppID
+	fn        func(*shard.Map)
+	lastSeen  int64
+	cancelled bool
+}
+
+// Cancel stops future deliveries.
+func (s *Subscription) Cancel() { s.cancelled = true }
+
+type appState struct {
+	current *shard.Map
+	subs    []*Subscription
+}
+
+// Service is the discovery system. One instance serves all applications.
+type Service struct {
+	loop  *sim.Loop
+	rng   *sim.RNG
+	delay DelayFunc
+	apps  map[shard.AppID]*appState
+
+	// Publications counts Publish calls, for tests and smctl.
+	Publications int64
+}
+
+// NewService returns a discovery service using the given delay model (nil
+// means DefaultDelay).
+func NewService(loop *sim.Loop, delay DelayFunc) *Service {
+	if delay == nil {
+		delay = DefaultDelay()
+	}
+	return &Service{
+		loop:  loop,
+		rng:   loop.RNG().Fork(),
+		delay: delay,
+		apps:  make(map[shard.AppID]*appState),
+	}
+}
+
+func (s *Service) state(app shard.AppID) *appState {
+	st, ok := s.apps[app]
+	if !ok {
+		st = &appState{}
+		s.apps[app] = st
+	}
+	return st
+}
+
+// Publish stores the map as the app's current version and schedules delivery
+// to every subscriber after an independent propagation delay. Maps with a
+// version not newer than the current one are ignored (idempotent
+// re-publication). The map is cloned; the caller may keep mutating its copy.
+func (s *Service) Publish(m *shard.Map) {
+	if m == nil {
+		panic("discovery: Publish(nil)")
+	}
+	st := s.state(m.App)
+	if st.current != nil && m.Version <= st.current.Version {
+		return
+	}
+	snap := m.Clone()
+	st.current = snap
+	s.Publications++
+	for _, sub := range st.subs {
+		s.deliver(sub, snap)
+	}
+}
+
+func (s *Service) deliver(sub *Subscription, m *shard.Map) {
+	d := s.delay(s.rng)
+	s.loop.After(d, func() {
+		if sub.cancelled || m.Version <= sub.lastSeen {
+			return // stale delivery overtaken by a newer one
+		}
+		sub.lastSeen = m.Version
+		sub.fn(m)
+	})
+}
+
+// Subscribe registers fn to receive the app's shard maps. If a map already
+// exists it is delivered after one propagation delay (a client fetching the
+// current state at start-up).
+func (s *Service) Subscribe(app shard.AppID, fn func(*shard.Map)) *Subscription {
+	if fn == nil {
+		panic("discovery: Subscribe(nil)")
+	}
+	st := s.state(app)
+	sub := &Subscription{app: app, fn: fn}
+	st.subs = append(st.subs, sub)
+	if st.current != nil {
+		s.deliver(sub, st.current)
+	}
+	return sub
+}
+
+// Current returns the latest published map for app (no delay — this is the
+// authoritative read used by control-plane components, not clients), or nil.
+func (s *Service) Current(app shard.AppID) *shard.Map {
+	st, ok := s.apps[app]
+	if !ok || st.current == nil {
+		return nil
+	}
+	return st.current.Clone()
+}

@@ -1,0 +1,161 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+)
+
+func mapV(v int64) *shard.Map {
+	m := shard.NewMap("app")
+	m.Version = v
+	m.Entries["s1"] = []shard.Assignment{{Server: shard.ServerID("srv"), Role: shard.RolePrimary}}
+	return m
+}
+
+func TestPublishDeliversAfterDelay(t *testing.T) {
+	loop := sim.NewLoop(1)
+	svc := NewService(loop, FixedDelay(time.Second))
+	var got []int64
+	svc.Subscribe("app", func(m *shard.Map) { got = append(got, m.Version) })
+	svc.Publish(mapV(1))
+	loop.RunFor(500 * time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("delivered before propagation delay")
+	}
+	loop.RunFor(time.Second)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestSubscribeReceivesCurrentMap(t *testing.T) {
+	loop := sim.NewLoop(1)
+	svc := NewService(loop, FixedDelay(time.Second))
+	svc.Publish(mapV(7))
+	var got int64
+	svc.Subscribe("app", func(m *shard.Map) { got = m.Version })
+	loop.RunFor(2 * time.Second)
+	if got != 7 {
+		t.Fatalf("late subscriber got v%d, want 7", got)
+	}
+}
+
+func TestStaleVersionsIgnoredOnPublish(t *testing.T) {
+	loop := sim.NewLoop(1)
+	svc := NewService(loop, FixedDelay(time.Second))
+	svc.Publish(mapV(5))
+	svc.Publish(mapV(4)) // older, ignored
+	svc.Publish(mapV(5)) // same, ignored
+	if svc.Publications != 1 {
+		t.Fatalf("Publications = %d, want 1", svc.Publications)
+	}
+	if svc.Current("app").Version != 5 {
+		t.Fatalf("Current = v%d", svc.Current("app").Version)
+	}
+}
+
+func TestOutOfOrderDeliverySuppressed(t *testing.T) {
+	loop := sim.NewLoop(1)
+	// Delay alternates long, short: v1 delivery scheduled with a longer
+	// delay than v2, so v2 arrives first and v1 must be dropped.
+	delays := []time.Duration{3 * time.Second, 1 * time.Second}
+	i := 0
+	svc := NewService(loop, func(*sim.RNG) time.Duration {
+		d := delays[i%len(delays)]
+		i++
+		return d
+	})
+	var got []int64
+	svc.Subscribe("app", func(m *shard.Map) { got = append(got, m.Version) })
+	svc.Publish(mapV(1))
+	svc.Publish(mapV(2))
+	loop.RunFor(10 * time.Second)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got = %v, want just [2]", got)
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	loop := sim.NewLoop(1)
+	svc := NewService(loop, FixedDelay(time.Second))
+	n := 0
+	sub := svc.Subscribe("app", func(*shard.Map) { n++ })
+	svc.Publish(mapV(1))
+	sub.Cancel()
+	loop.RunFor(5 * time.Second)
+	if n != 0 {
+		t.Fatalf("cancelled subscriber received %d maps", n)
+	}
+}
+
+func TestPublishClonesMap(t *testing.T) {
+	loop := sim.NewLoop(1)
+	svc := NewService(loop, FixedDelay(0))
+	m := mapV(1)
+	svc.Publish(m)
+	m.Entries["s1"][0].Server = "mutated"
+	if svc.Current("app").Entries["s1"][0].Server != "srv" {
+		t.Fatal("Publish did not clone")
+	}
+}
+
+func TestCurrentUnknownApp(t *testing.T) {
+	svc := NewService(sim.NewLoop(1), nil)
+	if svc.Current("nope") != nil {
+		t.Fatal("Current of unknown app should be nil")
+	}
+}
+
+func TestUniformDelayBounds(t *testing.T) {
+	rng := sim.NewRNG(3)
+	f := UniformDelay(time.Second, 2*time.Second)
+	for i := 0; i < 1000; i++ {
+		d := f(rng)
+		if d < time.Second || d > 2*time.Second {
+			t.Fatalf("delay %v out of bounds", d)
+		}
+	}
+}
+
+func TestUniformDelayPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UniformDelay(2*time.Second, time.Second)
+}
+
+func TestMultipleSubscribersIndependentDelays(t *testing.T) {
+	loop := sim.NewLoop(42)
+	svc := NewService(loop, DefaultDelay())
+	n := 0
+	for i := 0; i < 50; i++ {
+		svc.Subscribe("app", func(*shard.Map) { n++ })
+	}
+	svc.Publish(mapV(1))
+	loop.RunFor(3 * time.Second)
+	if n != 50 {
+		t.Fatalf("deliveries = %d, want 50", n)
+	}
+}
+
+func TestPanicsOnNilArgs(t *testing.T) {
+	svc := NewService(sim.NewLoop(1), nil)
+	for name, fn := range map[string]func(){
+		"publish nil":   func() { svc.Publish(nil) },
+		"subscribe nil": func() { svc.Subscribe("app", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/cluster"
+	"shardmanager/internal/coord"
+	"shardmanager/internal/discovery"
+	"shardmanager/internal/orchestrator"
+	"shardmanager/internal/routing"
+	"shardmanager/internal/rpcnet"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/taskcontroller"
+	"shardmanager/internal/topology"
+)
+
+// DeploymentSpec wires a complete single-application world: fleet, one
+// cluster manager + job per region, application hosts, an orchestrator,
+// and optionally a TaskController.
+type DeploymentSpec struct {
+	Regions          []topology.RegionID
+	ServersPerRegion int
+	// Latency configures pairwise one-way region latency; unset pairs
+	// use topology defaults.
+	Latency map[[2]topology.RegionID]time.Duration
+	// LocalLatency is the intra-region hop (default 1ms).
+	LocalLatency time.Duration
+
+	// Orchestrator configuration; App, Shards, Strategy, Policy must be
+	// set. HomeRegion defaults to the last region (survives failures of
+	// the first).
+	Orch orchestrator.Config
+
+	// TaskPolicy, if non-nil, attaches a TaskController to every
+	// regional cluster manager.
+	TaskPolicy *taskcontroller.Policy
+
+	// AppFactory builds the per-server application (required).
+	AppFactory func(*appserver.Server) appserver.Application
+
+	// ClusterOpts configure container lifecycle timing.
+	ClusterOpts cluster.Options
+
+	// PropagationDelay bounds shard-map dissemination (default 0.5-2s).
+	PropagationDelay discovery.DelayFunc
+
+	Seed uint64
+}
+
+// Deployment is a fully wired world under simulation.
+type Deployment struct {
+	Loop     *sim.Loop
+	Fleet    *topology.Fleet
+	Store    *coord.Store
+	Disc     *discovery.Service
+	Net      *rpcnet.Network
+	Dir      *appserver.Directory
+	Managers map[topology.RegionID]*cluster.Manager
+	Jobs     map[topology.RegionID]cluster.JobID
+	Orch     *orchestrator.Orchestrator
+	Ctrl     *taskcontroller.Controller
+	App      shard.AppID
+}
+
+// Build constructs and starts the deployment. Containers begin starting at
+// t=0; call Settle to reach a converged initial placement.
+func Build(spec DeploymentSpec) *Deployment {
+	if spec.AppFactory == nil {
+		panic("experiments: DeploymentSpec.AppFactory required")
+	}
+	if spec.ServersPerRegion <= 0 || len(spec.Regions) == 0 {
+		panic("experiments: deployment needs regions and servers")
+	}
+	loop := sim.NewLoop(spec.Seed)
+	fleet := topology.Build(topology.Spec{
+		Regions:           spec.Regions,
+		MachinesPerRegion: spec.ServersPerRegion,
+		Capacity:          topology.Capacity{topology.ResourceCPU: 100},
+		Latency:           spec.Latency,
+	})
+	if spec.LocalLatency <= 0 {
+		spec.LocalLatency = time.Millisecond
+	}
+	for _, r := range spec.Regions {
+		fleet.SetLatency(r, r, spec.LocalLatency)
+	}
+	d := &Deployment{
+		Loop:     loop,
+		Fleet:    fleet,
+		Store:    coord.NewStore(),
+		Net:      rpcnet.NewNetwork(loop, fleet),
+		Dir:      appserver.NewDirectory(),
+		Managers: make(map[topology.RegionID]*cluster.Manager),
+		Jobs:     make(map[topology.RegionID]cluster.JobID),
+		App:      spec.Orch.App,
+	}
+	d.Disc = discovery.NewService(loop, spec.PropagationDelay)
+
+	for _, r := range spec.Regions {
+		mgr := cluster.NewManager(loop, fleet, r, spec.ClusterOpts)
+		d.Managers[r] = mgr
+		job := cluster.JobID(fmt.Sprintf("%s-%s", spec.Orch.App, r))
+		d.Jobs[r] = job
+		host := appserver.NewHost(loop, d.Net, d.Dir, d.Store, fleet, spec.Orch.App, job, spec.AppFactory)
+		mgr.AddListener(host)
+		mgr.CreateJob(job, string(spec.Orch.App), spec.ServersPerRegion)
+	}
+
+	cfg := spec.Orch
+	if cfg.HomeRegion == "" {
+		cfg.HomeRegion = spec.Regions[len(spec.Regions)-1]
+	}
+	d.Orch = orchestrator.New(loop, d.Store, d.Disc, d.Net, d.Dir, fleet, cfg, spec.Seed)
+	d.Orch.Start()
+
+	if spec.TaskPolicy != nil {
+		d.Ctrl = taskcontroller.New(loop, d.Orch, *spec.TaskPolicy)
+		for _, mgr := range d.Managers {
+			d.Ctrl.Attach(mgr)
+		}
+	}
+	return d
+}
+
+// Settle runs the loop until the initial placement converges (every shard
+// fully replicated), bounded by maxWait.
+func (d *Deployment) Settle(maxWait time.Duration) error {
+	deadline := d.Loop.Now() + maxWait
+	for d.Loop.Now() < deadline {
+		d.Loop.RunFor(30 * time.Second)
+		if d.converged() {
+			return nil
+		}
+	}
+	return fmt.Errorf("experiments: placement did not settle within %v (%s)", maxWait, d.Orch.Stats())
+}
+
+func (d *Deployment) converged() bool {
+	m := d.Orch.AssignmentSnapshot()
+	want := 0
+	for _, id := range d.Orch.ShardIDs() {
+		want++
+		as := m.Replicas(id)
+		if len(as) != d.Orch.TotalReplicas(id) {
+			return false
+		}
+		for _, a := range as {
+			srv := d.Dir.Lookup(a.Server)
+			if srv == nil || !srv.HoldsActive(id) {
+				return false
+			}
+		}
+	}
+	return want > 0
+}
+
+// NewClient creates a routed application client in a region.
+func (d *Deployment) NewClient(region topology.RegionID, ks *shard.Keyspace, opts routing.Options) *routing.Client {
+	return routing.NewClient(d.Loop, d.Net, d.Dir, d.Disc, d.Fleet, d.App, ks, region, opts)
+}
+
+// UniformShardConfigs builds n single-load shard configs named "sNNNNN".
+func UniformShardConfigs(n, replicas int, load topology.Capacity) []orchestrator.ShardConfig {
+	out := make([]orchestrator.ShardConfig, n)
+	for i := range out {
+		out[i] = orchestrator.ShardConfig{
+			ID:          shard.ID(fmt.Sprintf("s%05d", i)),
+			Replicas:    replicas,
+			DefaultLoad: load,
+		}
+	}
+	return out
+}
+
+// KeyspaceFor builds the app-owned keyspace matching UniformShardConfigs:
+// key "sNNNNN/..." maps to shard sNNNNN via explicit ranges, preserving key
+// locality.
+func KeyspaceFor(n int) *shard.Keyspace {
+	ids := make([]shard.ID, n)
+	starts := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = shard.ID(fmt.Sprintf("s%05d", i))
+		if i > 0 {
+			starts[i] = fmt.Sprintf("s%05d", i)
+		}
+	}
+	ks, err := shard.NewKeyspace(ids, starts)
+	if err != nil {
+		panic(err)
+	}
+	return ks
+}
+
+// KeyForShard returns a key owned by shard index i.
+func KeyForShard(i int) string { return fmt.Sprintf("s%05d/key", i) }

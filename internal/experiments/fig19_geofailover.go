@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"shardmanager/internal/allocator"
+	"shardmanager/internal/apps"
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/metrics"
+	"shardmanager/internal/orchestrator"
+	"shardmanager/internal/routing"
+	"shardmanager/internal/rpcnet"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// GeoFailoverParams configure the Fig 19 experiment: a secondary-only
+// application with 1,000 shards and two replicas per shard across three
+// regions — FRC (Forest City, NC), PRN (Prineville, OR), ODN (Odense,
+// Denmark) — 30 servers per region. 400 "east-coast" (EC) shards carry a
+// region preference for FRC. The FRC servers fail at FailAt and recover at
+// RecoverAt; the plotted curve is the latency an FRC client sees accessing
+// EC shards.
+type GeoFailoverParams struct {
+	Shards           int
+	ECShards         int
+	Replicas         int
+	ServersPerRegion int
+	RequestRate      int
+	FailAt           time.Duration
+	RecoverAt        time.Duration
+	Horizon          time.Duration
+	Seed             uint64
+}
+
+// DefaultGeoFailoverParams mirror the paper's setup.
+func DefaultGeoFailoverParams() GeoFailoverParams {
+	return GeoFailoverParams{
+		Shards:           1000,
+		ECShards:         400,
+		Replicas:         2,
+		ServersPerRegion: 30,
+		RequestRate:      60,
+		FailAt:           90 * time.Second,
+		RecoverAt:        450 * time.Second,
+		Horizon:          620 * time.Second,
+		Seed:             19,
+	}
+}
+
+// Fig19 regenerates Figure 19.
+func Fig19(p GeoFailoverParams) *Report {
+	r := &Report{
+		ID:    "fig19",
+		Title: "SM migrates a geo-distributed application's shards across regions to handle failures",
+		Params: map[string]string{
+			"shards":   fmt.Sprint(p.Shards),
+			"ec":       fmt.Sprint(p.ECShards),
+			"replicas": fmt.Sprint(p.Replicas),
+			"servers":  fmt.Sprintf("%dx3", p.ServersPerRegion),
+			"seed":     fmt.Sprint(p.Seed),
+		},
+	}
+
+	pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
+	pol.SpreadLevel = topology.LevelRegion
+	pol.SpreadWeight = 100
+	pol.AffinityWeight = 300
+	shards := UniformShardConfigs(p.Shards, p.Replicas, topology.Capacity{
+		topology.ResourceCPU:        0.5,
+		topology.ResourceShardCount: 1,
+	})
+	for i := 0; i < p.ECShards; i++ {
+		shards[i].RegionPreference = "frc"
+	}
+	cfg := orchestrator.Config{
+		App:      "geostore",
+		Strategy: shard.SecondaryOnly,
+		Shards:   shards,
+		Policy:   pol,
+		ServerCapacity: topology.Capacity{
+			topology.ResourceCPU:        100,
+			topology.ResourceShardCount: float64(p.Shards),
+		},
+		HomeRegion:              "prn",
+		GracefulMigration:       true,
+		FailoverGrace:           20 * time.Second,
+		AllocInterval:           15 * time.Second,
+		MaxConcurrentMigrations: 200,
+	}
+	backing := apps.NewKVBacking()
+	d := Build(DeploymentSpec{
+		Regions:          []topology.RegionID{"frc", "prn", "odn"},
+		ServersPerRegion: p.ServersPerRegion,
+		Latency: map[[2]topology.RegionID]time.Duration{
+			{"frc", "prn"}: 35 * time.Millisecond,
+			{"frc", "odn"}: 45 * time.Millisecond,
+			{"prn", "odn"}: 80 * time.Millisecond,
+		},
+		Orch: cfg,
+		AppFactory: func(s *appserver.Server) appserver.Application {
+			return apps.NewKVStore(s, backing)
+		},
+		Seed: p.Seed,
+	})
+	if err := d.Settle(10 * time.Minute); err != nil {
+		panic(err)
+	}
+	// Verify the region preference took hold: every EC shard should have
+	// a replica at FRC in the steady state.
+	m := d.Orch.AssignmentSnapshot()
+	atFRC := 0
+	for i := 0; i < p.ECShards; i++ {
+		for _, a := range m.Replicas(shards[i].ID) {
+			if d.Net.Region(rpcnet.Endpoint(a.Server)) == "frc" {
+				atFRC++
+				break
+			}
+		}
+	}
+	r.AddNote("steady state: %d/%d EC shards have a replica at FRC", atFRC, p.ECShards)
+
+	// FRC client reading EC shards.
+	ks := KeyspaceFor(p.Shards)
+	client := d.NewClient("frc", ks, routing.DefaultOptions())
+	rng := d.Loop.RNG().Fork()
+	latency := metrics.NewSeries("latency")
+	failures := metrics.NewSeries("failures")
+	t0 := d.Loop.Now()
+	d.Loop.Every(time.Second/time.Duration(p.RequestRate), func() {
+		key := KeyForShard(rng.Intn(p.ECShards))
+		client.Do(key, false, apps.KVOpScan, nil, func(res routing.Result) {
+			if res.OK {
+				latency.Record(d.Loop.Now()-t0, float64(res.Latency)/float64(time.Millisecond))
+			} else {
+				failures.Record(d.Loop.Now()-t0, 1)
+			}
+		})
+	})
+
+	frc := d.Managers["frc"]
+	d.Loop.At(t0+p.FailAt, frc.FailRegion)
+	d.Loop.At(t0+p.RecoverAt, frc.RecoverRegion)
+	d.Loop.RunFor(p.Horizon)
+
+	// Bucket latency into 10s means for the plotted curve.
+	curve := Curve{Name: "EC-shard read latency (FRC client)", Unit: "ms"}
+	bucket := 10 * time.Second
+	for t := time.Duration(0); t < p.Horizon; t += bucket {
+		pts := latency.Between(t, t+bucket-1)
+		if len(pts) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, pt := range pts {
+			sum += pt.V
+		}
+		curve.Points = append(curve.Points, point(t, sum/float64(len(pts))))
+	}
+	r.Curves = append(r.Curves, curve)
+
+	before := latency.MeanBetween(0, p.FailAt-1)
+	during := latency.MeanBetween(p.FailAt+60*time.Second, p.RecoverAt-1)
+	after := latency.MeanBetween(p.RecoverAt+120*time.Second, p.Horizon)
+	r.AddNote("mean latency: steady %.1fms -> failover plateau %.1fms -> after shards move back %.1fms",
+		before, during, after)
+	r.AddNote("failed requests: %d (clients retry onto surviving replicas)", failures.Len())
+	r.AddNote("paper shape: low steady latency, spike at failure, remote-replica plateau, restored after shards move back")
+	return r
+}

@@ -1,0 +1,19 @@
+package integration
+
+import (
+	"shardmanager/internal/controlplane"
+	"shardmanager/internal/experiments"
+	"shardmanager/internal/topology"
+)
+
+// newScalerImpl wires the control-plane shard scaler to the deployment's
+// orchestrator (which satisfies controlplane.ScalerTarget).
+func newScalerImpl(d *experiments.Deployment) (*controlplane.Scaler, error) {
+	return controlplane.NewScaler(d.Orch, controlplane.ScalerPolicy{
+		Metric:      topology.ResourceCPU,
+		ScaleUpAt:   80,
+		ScaleDownAt: 5,
+		MinReplicas: 2,
+		MaxReplicas: 5,
+	})
+}

@@ -1,0 +1,195 @@
+// Package legacy implements the two sharding schemes that SM competes with
+// in Figure 4 — static sharding and consistent hashing (§2.2.1) — both as
+// working routers and as comparators for the adoption analysis:
+//
+//   - Static sharding binds keys to sequentially indexed tasks
+//     (taskID = hash(key) mod total_tasks), Twine-style. Simple, but
+//     resizing the job remaps almost every key, and availability depends
+//     entirely on container-level failover.
+//   - Consistent hashing places tasks on a hash ring with virtual nodes;
+//     resizing only remaps the keys adjacent to the new/removed node.
+//
+// The paper observes that static sharding is ≈3x more popular than
+// consistent hashing despite the theoretical resharding advantage; the
+// Compare helpers quantify that trade-off (fraction of keys remapped) for
+// the repository's EXPERIMENTS notes.
+package legacy
+
+import (
+	"fmt"
+	"sort"
+
+	"shardmanager/internal/shard"
+)
+
+// fnv1a64 hashes a string and applies a splitmix64-style finalizer; raw
+// FNV-1a of short structured names ("m5#17") clusters on the ring.
+func fnv1a64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// StaticSharding routes keys by taskID = hash(key) mod tasks (§2.2.1: "the
+// task with taskID = key mod total_tasks is responsible for the key").
+type StaticSharding struct {
+	tasks int
+}
+
+// NewStaticSharding builds a static scheme over n tasks.
+func NewStaticSharding(n int) *StaticSharding {
+	if n <= 0 {
+		panic(fmt.Sprintf("legacy: NewStaticSharding(%d)", n))
+	}
+	return &StaticSharding{tasks: n}
+}
+
+// Tasks returns the task count.
+func (s *StaticSharding) Tasks() int { return s.tasks }
+
+// TaskFor returns the task index owning key.
+func (s *StaticSharding) TaskFor(key string) int {
+	return int(fnv1a64(key) % uint64(s.tasks))
+}
+
+// ServerFor returns the owning server named "<job>/<task>".
+func (s *StaticSharding) ServerFor(job, key string) shard.ServerID {
+	return shard.ServerID(fmt.Sprintf("%s/%d", job, s.TaskFor(key)))
+}
+
+// Resize returns a new scheme with n tasks (the old one is unchanged;
+// static schemes have no incremental resharding).
+func (s *StaticSharding) Resize(n int) *StaticSharding { return NewStaticSharding(n) }
+
+// HashRing is a consistent-hashing router with virtual nodes.
+type HashRing struct {
+	vnodes int
+	// ring maps sorted hash points to member names.
+	points  []uint64
+	owners  map[uint64]string
+	members map[string]bool
+}
+
+// NewHashRing builds a ring with the given virtual-node count per member
+// (e.g. 100).
+func NewHashRing(vnodes int) *HashRing {
+	if vnodes <= 0 {
+		panic(fmt.Sprintf("legacy: NewHashRing(%d)", vnodes))
+	}
+	return &HashRing{
+		vnodes:  vnodes,
+		owners:  make(map[uint64]string),
+		members: make(map[string]bool),
+	}
+}
+
+// Add inserts a member into the ring.
+func (r *HashRing) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for v := 0; v < r.vnodes; v++ {
+		h := fnv1a64(fmt.Sprintf("%s#%d", member, v))
+		// Extremely unlikely collision: skew by one until free.
+		for {
+			if _, taken := r.owners[h]; !taken {
+				break
+			}
+			h++
+		}
+		r.owners[h] = member
+		r.points = append(r.points, h)
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i] < r.points[j] })
+}
+
+// Remove deletes a member from the ring.
+func (r *HashRing) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, h := range r.points {
+		if r.owners[h] == member {
+			delete(r.owners, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.points = kept
+}
+
+// Members returns the number of ring members.
+func (r *HashRing) Members() int { return len(r.members) }
+
+// Owner returns the member owning key ("" on an empty ring).
+func (r *HashRing) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv1a64(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if idx == len(r.points) {
+		idx = 0 // wrap around
+	}
+	return r.owners[r.points[idx]]
+}
+
+// ReshardCost measures the fraction of sampled keys that change owner when
+// mutate is applied to a copy of the routing function. keys must be
+// non-empty.
+func ReshardCost(keys []string, ownerBefore, ownerAfter func(string) string) float64 {
+	if len(keys) == 0 {
+		panic("legacy: ReshardCost with no keys")
+	}
+	moved := 0
+	for _, k := range keys {
+		if ownerBefore(k) != ownerAfter(k) {
+			moved++
+		}
+	}
+	return float64(moved) / float64(len(keys))
+}
+
+// CompareReshard quantifies §2.2.1's trade-off: the key-remap fraction when
+// growing from n to n+1 servers under each scheme.
+type CompareResult struct {
+	StaticMoved     float64
+	ConsistentMoved float64
+}
+
+// CompareReshard samples the reshard cost for both legacy schemes.
+func CompareReshard(keys []string, n int) CompareResult {
+	st := NewStaticSharding(n)
+	st2 := st.Resize(n + 1)
+
+	ring := NewHashRing(100)
+	for i := 0; i < n; i++ {
+		ring.Add(fmt.Sprintf("task%d", i))
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = ring.Owner(k)
+	}
+	ring.Add(fmt.Sprintf("task%d", n))
+
+	return CompareResult{
+		StaticMoved: ReshardCost(keys,
+			func(k string) string { return fmt.Sprint(st.TaskFor(k)) },
+			func(k string) string { return fmt.Sprint(st2.TaskFor(k)) }),
+		ConsistentMoved: ReshardCost(keys,
+			func(k string) string { return before[k] },
+			func(k string) string { return ring.Owner(k) }),
+	}
+}

@@ -1,0 +1,162 @@
+package legacy
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+func TestStaticShardingDeterministicAndBounded(t *testing.T) {
+	s := NewStaticSharding(16)
+	if err := quick.Check(func(key string) bool {
+		task := s.TaskFor(key)
+		return task >= 0 && task < 16 && task == s.TaskFor(key)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticShardingSpreadsKeys(t *testing.T) {
+	s := NewStaticSharding(8)
+	counts := make([]int, 8)
+	for _, k := range sampleKeys(8000) {
+		counts[s.TaskFor(k)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("task %d has %d/8000 keys", i, c)
+		}
+	}
+}
+
+func TestStaticServerFor(t *testing.T) {
+	s := NewStaticSharding(4)
+	id := s.ServerFor("job", "k")
+	want := fmt.Sprintf("job/%d", s.TaskFor("k"))
+	if string(id) != want {
+		t.Fatalf("ServerFor = %s, want %s", id, want)
+	}
+}
+
+func TestHashRingOwnership(t *testing.T) {
+	r := NewHashRing(100)
+	if r.Owner("k") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("m%d", i))
+	}
+	if r.Members() != 8 {
+		t.Fatalf("members = %d", r.Members())
+	}
+	// Deterministic and reasonably balanced.
+	counts := map[string]int{}
+	for _, k := range sampleKeys(8000) {
+		o := r.Owner(k)
+		if o == "" || o != r.Owner(k) {
+			t.Fatal("unstable ownership")
+		}
+		counts[o]++
+	}
+	for m, c := range counts {
+		if c < 400 || c > 2000 {
+			t.Fatalf("member %s owns %d/8000 keys", m, c)
+		}
+	}
+}
+
+func TestHashRingAddRemoveIdempotent(t *testing.T) {
+	r := NewHashRing(10)
+	r.Add("a")
+	r.Add("a")
+	if r.Members() != 1 {
+		t.Fatal("double add counted twice")
+	}
+	r.Remove("a")
+	r.Remove("a")
+	if r.Members() != 0 || r.Owner("k") != "" {
+		t.Fatal("remove incomplete")
+	}
+}
+
+func TestHashRingRemoveOnlyRemapsVictimKeys(t *testing.T) {
+	r := NewHashRing(100)
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("m%d", i))
+	}
+	keys := sampleKeys(4000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("m3")
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == "m3" {
+			t.Fatal("removed member still owns keys")
+		}
+		if before[k] != "m3" && after != before[k] {
+			t.Fatalf("key %s moved although its owner was not removed", k)
+		}
+	}
+}
+
+func TestCompareReshardMatchesTheory(t *testing.T) {
+	keys := sampleKeys(20000)
+	res := CompareReshard(keys, 16)
+	// Static: going 16 -> 17 remaps ~1 - 1/17 ≈ 94% of keys.
+	if res.StaticMoved < 0.85 {
+		t.Fatalf("static remap = %.2f, want ~0.94", res.StaticMoved)
+	}
+	// Consistent hashing: ~1/17 ≈ 6% of keys move to the new member.
+	if res.ConsistentMoved > 0.15 {
+		t.Fatalf("consistent remap = %.2f, want ~0.06", res.ConsistentMoved)
+	}
+	if res.ConsistentMoved <= 0 {
+		t.Fatal("consistent hashing moved nothing; new member unused")
+	}
+}
+
+func TestReshardCostPanicsOnNoKeys(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ReshardCost(nil, nil, nil)
+}
+
+func TestConstructorsPanicOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"static": func() { NewStaticSharding(0) },
+		"ring":   func() { NewHashRing(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkHashRingOwner(b *testing.B) {
+	r := NewHashRing(100)
+	for i := 0; i < 64; i++ {
+		r.Add(fmt.Sprintf("m%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner("some-key")
+	}
+}

@@ -1,0 +1,374 @@
+// Package metrics provides the lightweight instrumentation primitives the
+// rest of the reproduction uses: counters, time series sampled on the
+// simulated clock, and percentile estimation over bounded windows. The paper
+// reports request success rates, client latency traces, violation counts,
+// and p90/p99 utilization; these types produce exactly those series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to use.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta; negative deltas panic since counters are monotonic.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("metrics: Counter.Add(%d)", delta))
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Gauge is a value that can move in both directions.
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.v += delta }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries returns a named, empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Record appends a sample at time t.
+func (s *Series) Record(t time.Duration, v float64) {
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Points returns the recorded samples in insertion order.
+func (s *Series) Points() []Point { return s.points }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.points) }
+
+// Last returns the most recent sample, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.points) == 0 {
+		return Point{}
+	}
+	return s.points[len(s.points)-1]
+}
+
+// Max returns the maximum sample value, or 0 if empty.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the minimum sample value, or 0 if empty.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Mean returns the average sample value, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.points {
+		sum += p.V
+	}
+	return sum / float64(len(s.points))
+}
+
+// Between returns the samples with T in [from, to].
+func (s *Series) Between(from, to time.Duration) []Point {
+	var out []Point
+	for _, p := range s.points {
+		if p.T >= from && p.T <= to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MeanBetween returns the mean of samples with T in [from, to], or 0 if none.
+func (s *Series) MeanBetween(from, to time.Duration) float64 {
+	pts := s.Between(from, to)
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.V
+	}
+	return sum / float64(len(pts))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of all sample values using
+// nearest-rank on a sorted copy. It returns 0 for an empty series.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(s.points))
+	for i, p := range s.points {
+		vals[i] = p.V
+	}
+	return Quantile(vals, q)
+}
+
+// Quantile returns the q-quantile of vals by nearest rank. vals is not
+// modified. It panics if q is outside [0, 1] and returns 0 for empty input.
+func Quantile(vals []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: Quantile(%v)", q))
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Histogram accumulates observations and answers quantile queries. It stores
+// raw values; experiments are bounded so memory is not a concern, and exact
+// quantiles keep figure shapes faithful.
+type Histogram struct {
+	vals   []float64
+	sorted bool
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.vals = append(h.vals, v)
+	h.sorted = false
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return len(h.vals) }
+
+// Quantile returns the q-quantile of the observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+	if len(h.vals) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(h.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.vals) {
+		idx = len(h.vals) - 1
+	}
+	return h.vals[idx]
+}
+
+// Mean returns the average observation, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.vals {
+		sum += v
+	}
+	return sum / float64(len(h.vals))
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.vals = h.vals[:0]
+	h.sorted = false
+}
+
+// Registry is a named collection of series, handy for experiments that emit
+// several curves per figure.
+type Registry struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*Series)}
+}
+
+// Series returns the series with the given name, creating it on first use.
+func (r *Registry) Series(name string) *Series {
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(name)
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	return s
+}
+
+// Names returns the series names in creation order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// SuccessRatio tracks a ratio of successes to total attempts within bucketed
+// windows of simulated time, producing the success-rate curves in Fig 17/18.
+type SuccessRatio struct {
+	Bucket  time.Duration
+	buckets map[int64]*ratioBucket
+}
+
+type ratioBucket struct {
+	ok, total int64
+}
+
+// NewSuccessRatio returns a tracker with the given bucket width.
+func NewSuccessRatio(bucket time.Duration) *SuccessRatio {
+	if bucket <= 0 {
+		panic("metrics: non-positive bucket")
+	}
+	return &SuccessRatio{Bucket: bucket, buckets: make(map[int64]*ratioBucket)}
+}
+
+// Observe records one attempt at time t.
+func (s *SuccessRatio) Observe(t time.Duration, ok bool) {
+	k := int64(t / s.Bucket)
+	b := s.buckets[k]
+	if b == nil {
+		b = &ratioBucket{}
+		s.buckets[k] = b
+	}
+	b.total++
+	if ok {
+		b.ok++
+	}
+}
+
+// Curve returns one point per bucket (at the bucket start), value = success
+// fraction in that bucket, ordered by time. Buckets with no attempts are
+// omitted.
+func (s *SuccessRatio) Curve() []Point {
+	keys := make([]int64, 0, len(s.buckets))
+	for k := range s.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Point, 0, len(keys))
+	for _, k := range keys {
+		b := s.buckets[k]
+		out = append(out, Point{
+			T: time.Duration(k) * s.Bucket,
+			V: float64(b.ok) / float64(b.total),
+		})
+	}
+	return out
+}
+
+// Totals returns the overall successes and attempts.
+func (s *SuccessRatio) Totals() (ok, total int64) {
+	for _, b := range s.buckets {
+		ok += b.ok
+		total += b.total
+	}
+	return ok, total
+}
+
+// Rate returns the overall success fraction, or 1 if nothing was observed.
+func (s *SuccessRatio) Rate() float64 {
+	ok, total := s.Totals()
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// MinBucketRate returns the worst per-bucket success fraction, or 1 if
+// nothing was observed. Fig 17's "drops below 90%" claims are about this.
+func (s *SuccessRatio) MinBucketRate() float64 {
+	return s.MinBucketBetween(0, 1<<62)
+}
+
+// RateBetween returns the success fraction over buckets starting in
+// [from, to], or 1 if none — e.g. the upgrade window only, excluding quiet
+// tails that would dilute the figure.
+func (s *SuccessRatio) RateBetween(from, to time.Duration) float64 {
+	var ok, total int64
+	for k, b := range s.buckets {
+		t := time.Duration(k) * s.Bucket
+		if t >= from && t <= to {
+			ok += b.ok
+			total += b.total
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// MinBucketBetween returns the worst per-bucket success fraction among
+// buckets starting in [from, to], or 1 if none.
+func (s *SuccessRatio) MinBucketBetween(from, to time.Duration) float64 {
+	min := 1.0
+	for k, b := range s.buckets {
+		t := time.Duration(k) * s.Bucket
+		if t < from || t > to {
+			continue
+		}
+		if r := float64(b.ok) / float64(b.total); r < min {
+			min = r
+		}
+	}
+	return min
+}

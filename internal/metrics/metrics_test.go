@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("Value = %v, want 2", g.Value())
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries("x")
+	for i, v := range []float64{5, 1, 3} {
+		s.Record(time.Duration(i)*time.Second, v)
+	}
+	if s.Len() != 3 || s.Max() != 5 || s.Min() != 1 || s.Mean() != 3 {
+		t.Fatalf("stats: len=%d max=%v min=%v mean=%v", s.Len(), s.Max(), s.Min(), s.Mean())
+	}
+	if s.Last().V != 3 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("e")
+	if s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+	if (s.Last() != Point{}) {
+		t.Fatal("empty Last should be zero Point")
+	}
+}
+
+func TestSeriesBetween(t *testing.T) {
+	s := NewSeries("b")
+	for i := 0; i < 10; i++ {
+		s.Record(time.Duration(i)*time.Second, float64(i))
+	}
+	pts := s.Between(3*time.Second, 5*time.Second)
+	if len(pts) != 3 || pts[0].V != 3 || pts[2].V != 5 {
+		t.Fatalf("Between = %v", pts)
+	}
+	if got := s.MeanBetween(3*time.Second, 5*time.Second); got != 4 {
+		t.Fatalf("MeanBetween = %v, want 4", got)
+	}
+	if got := s.MeanBetween(100*time.Second, 200*time.Second); got != 0 {
+		t.Fatalf("MeanBetween empty = %v, want 0", got)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.1, 1}, {0.5, 5}, {0.9, 9}, {0.99, 10}, {1, 10},
+	}
+	for _, c := range cases {
+		if got := Quantile(vals, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Quantile(vals, 0.5)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestQuantilePropertyWithinBounds(t *testing.T) {
+	if err := quick.Check(func(raw []float64, qRaw uint8) bool {
+		vals := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		got := Quantile(vals, q)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return got >= sorted[0] && got <= sorted[len(sorted)-1]
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("Mean = %v, want 50.5", got)
+	}
+	// Observing after a quantile query must re-sort.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("max after new observation = %v, want 1000", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Series("a")
+	b := r.Series("b")
+	if r.Series("a") != a || r.Series("b") != b {
+		t.Fatal("Series should be stable per name")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestSuccessRatio(t *testing.T) {
+	sr := NewSuccessRatio(time.Second)
+	// Bucket 0: 3 ok, 1 fail. Bucket 2: all ok.
+	sr.Observe(100*time.Millisecond, true)
+	sr.Observe(200*time.Millisecond, true)
+	sr.Observe(300*time.Millisecond, true)
+	sr.Observe(400*time.Millisecond, false)
+	sr.Observe(2500*time.Millisecond, true)
+	curve := sr.Curve()
+	if len(curve) != 2 {
+		t.Fatalf("curve buckets = %d, want 2", len(curve))
+	}
+	if curve[0].T != 0 || curve[0].V != 0.75 {
+		t.Fatalf("bucket0 = %+v", curve[0])
+	}
+	if curve[1].T != 2*time.Second || curve[1].V != 1 {
+		t.Fatalf("bucket2 = %+v", curve[1])
+	}
+	ok, total := sr.Totals()
+	if ok != 4 || total != 5 {
+		t.Fatalf("Totals = %d/%d", ok, total)
+	}
+	if got := sr.Rate(); got != 0.8 {
+		t.Fatalf("Rate = %v", got)
+	}
+	if got := sr.MinBucketRate(); got != 0.75 {
+		t.Fatalf("MinBucketRate = %v", got)
+	}
+}
+
+func TestSuccessRatioEmpty(t *testing.T) {
+	sr := NewSuccessRatio(time.Second)
+	if sr.Rate() != 1 || sr.MinBucketRate() != 1 {
+		t.Fatal("empty tracker should report perfect rate")
+	}
+	if len(sr.Curve()) != 0 {
+		t.Fatal("empty tracker should have empty curve")
+	}
+}
+
+func TestSuccessRatioRejectsBadBucket(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSuccessRatio(0)
+}

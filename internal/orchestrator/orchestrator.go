@@ -1,0 +1,1090 @@
+// Package orchestrator implements the SM orchestrator of §3.2 — the
+// control-plane component ("mini-SM", §6.1) that manages one application
+// partition:
+//
+//   - It discovers application-server liveness by watching the ephemeral
+//     nodes the SM library creates in the coordination store.
+//   - It periodically collects per-shard load from servers by direct RPC.
+//   - It invokes the allocator — in emergency mode when servers die, in
+//     periodic mode on a timer — and executes the resulting replica moves.
+//   - It performs graceful primary-replica migration with the 5-step
+//     protocol of §4.3, so that no client request is dropped.
+//   - It publishes every new shard map version to the service discovery
+//     system and persists per-server assignments to the coordination store
+//     so servers can restore them at start-up without the control plane.
+//   - It exposes the drain operation the TaskController uses to empty a
+//     container before a negotiable lifecycle operation (§4.1), and role
+//     demotion ahead of non-negotiable maintenance (§4.2).
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"shardmanager/internal/allocator"
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/coord"
+	"shardmanager/internal/discovery"
+	"shardmanager/internal/metrics"
+	"shardmanager/internal/rpcnet"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/topology"
+)
+
+// ShardConfig declares one shard of the application.
+type ShardConfig struct {
+	ID       shard.ID
+	Replicas int
+	// RegionPreference pins the shard's preferred region (§5.1 soft
+	// goal 1); empty means none.
+	RegionPreference topology.RegionID
+	PreferenceWeight float64
+	// DefaultLoad seeds the shard's load before the first collection.
+	DefaultLoad topology.Capacity
+}
+
+// Config configures an orchestrator for one application partition.
+type Config struct {
+	App      shard.AppID
+	Strategy shard.ReplicationStrategy
+	Shards   []ShardConfig
+	// Policy drives the allocator.
+	Policy allocator.Policy
+	// ServerCapacity is the per-server capacity used for balancing.
+	ServerCapacity topology.Capacity
+	// HomeRegion is where this mini-SM runs (RPC latency origin).
+	HomeRegion topology.RegionID
+	// GracefulMigration enables the §4.3 protocol for primary moves;
+	// disabling it is the "no graceful migration" ablation of Fig 17.
+	GracefulMigration bool
+	// LoadInterval is the load-collection period (default 10s).
+	LoadInterval time.Duration
+	// AllocInterval is the periodic-allocation period (default 30s).
+	AllocInterval time.Duration
+	// FailoverGrace is how long a server must stay dead before its
+	// shards are reassigned (default 30s). Quick in-place restarts stay
+	// under it.
+	FailoverGrace time.Duration
+	// PublishMargin is the wait between publishing a new map and
+	// dropping the old primary, covering map propagation (default 3s).
+	PublishMargin time.Duration
+	// MaxConcurrentMigrations caps in-flight replica migrations (§5.1
+	// hard constraint "system stability"; default 20).
+	MaxConcurrentMigrations int
+	// ShardLoadTime is how long the orchestrator waits after
+	// prepare_add_shard for the new replica to finish loading state
+	// before telling the old one to forward. Should be >= the servers'
+	// LoadTime; the old primary serves clients throughout.
+	ShardLoadTime time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.LoadInterval <= 0 {
+		c.LoadInterval = 10 * time.Second
+	}
+	if c.AllocInterval <= 0 {
+		c.AllocInterval = 30 * time.Second
+	}
+	if c.FailoverGrace <= 0 {
+		c.FailoverGrace = 30 * time.Second
+	}
+	if c.PublishMargin <= 0 {
+		c.PublishMargin = 3 * time.Second
+	}
+	if c.MaxConcurrentMigrations <= 0 {
+		c.MaxConcurrentMigrations = 20
+	}
+}
+
+type serverState struct {
+	id       shard.ServerID
+	machine  topology.MachineID
+	region   topology.RegionID
+	domains  map[string]string
+	alive    bool
+	draining bool
+	// deadSince is when the server was last seen dying.
+	deadSince time.Duration
+	// load is the latest per-shard load report.
+	load map[shard.ID]topology.Capacity
+}
+
+type replicaSlot struct {
+	server shard.ServerID
+	role   shard.Role
+}
+
+type shardState struct {
+	cfg   ShardConfig
+	slots []replicaSlot
+	// migrating marks an in-flight migration touching this shard.
+	migrating bool
+}
+
+type drainRequest struct {
+	server shard.ServerID
+	onDone func()
+}
+
+// Orchestrator is one mini-SM control-plane instance.
+type Orchestrator struct {
+	cfg   Config
+	loop  *sim.Loop
+	store *coord.Store
+	disc  *discovery.Service
+	net   *rpcnet.Network
+	dir   *appserver.Directory
+	fleet *topology.Fleet
+	alloc *allocator.Allocator
+	paths appserver.CoordPaths
+
+	servers map[shard.ServerID]*serverState
+	shards  map[shard.ID]*shardState
+	order   []shard.ID // deterministic shard iteration
+	version int64
+
+	migrationQueue  []migration
+	inFlight        int
+	draining        map[shard.ServerID]*drainRequest
+	drainCheckArmed bool
+	started         bool
+	tickers         []*sim.Ticker
+
+	// Stats.
+	ShardMoves      metrics.Counter
+	EmergencyRuns   metrics.Counter
+	PeriodicRuns    metrics.Counter
+	FailedRPCs      metrics.Counter
+	MovesSeries     *metrics.Series // shard moves applied, per allocation
+	ViolationSeries *metrics.Series
+}
+
+type migration struct {
+	shard    shard.ID
+	slot     int
+	from, to shard.ServerID
+	graceful bool
+}
+
+// New creates an orchestrator. Call Start to begin managing.
+func New(loop *sim.Loop, store *coord.Store, disc *discovery.Service,
+	net *rpcnet.Network, dir *appserver.Directory, fleet *topology.Fleet,
+	cfg Config, seed uint64) *Orchestrator {
+	cfg.fillDefaults()
+	if cfg.HomeRegion == "" {
+		cfg.HomeRegion = fleet.Regions()[0]
+	}
+	o := &Orchestrator{
+		cfg:             cfg,
+		loop:            loop,
+		store:           store,
+		disc:            disc,
+		net:             net,
+		dir:             dir,
+		fleet:           fleet,
+		alloc:           allocator.New(cfg.Policy, seed),
+		paths:           appserver.DefaultPaths(cfg.App),
+		servers:         make(map[shard.ServerID]*serverState),
+		shards:          make(map[shard.ID]*shardState),
+		draining:        make(map[shard.ServerID]*drainRequest),
+		MovesSeries:     metrics.NewSeries("shard_moves"),
+		ViolationSeries: metrics.NewSeries("violations"),
+	}
+	for _, sc := range cfg.Shards {
+		if sc.Replicas <= 0 {
+			sc.Replicas = 1
+		}
+		if _, dup := o.shards[sc.ID]; dup {
+			panic(fmt.Sprintf("orchestrator: duplicate shard %q", sc.ID))
+		}
+		o.shards[sc.ID] = &shardState{cfg: sc}
+		o.order = append(o.order, sc.ID)
+	}
+	return o
+}
+
+// Start begins membership watching, load collection, and periodic
+// allocation.
+func (o *Orchestrator) Start() {
+	if o.started {
+		return
+	}
+	o.started = true
+	mustEnsure(o.store, o.paths.ServersPath)
+	mustEnsure(o.store, o.paths.AssignPath)
+	o.watchMembership()
+	o.syncMembership()
+	o.tickers = append(o.tickers,
+		o.loop.Every(o.cfg.LoadInterval, o.collectLoads),
+		o.loop.Every(o.cfg.AllocInterval, func() { o.allocate(allocator.Periodic) }))
+	// Initial placement as soon as servers appear.
+	o.loop.After(time.Second, func() { o.allocate(allocator.Periodic) })
+}
+
+// Stop halts the control plane: no more load collection, allocations, or
+// migrations. Application clients keep using the last published shard map
+// and servers keep serving — §6.2's guarantee that an SM control-plane
+// outage does not take applications down; "new shard assignments would not
+// be generated". Start resumes.
+func (o *Orchestrator) Stop() {
+	if !o.started {
+		return
+	}
+	o.started = false
+	for _, t := range o.tickers {
+		t.Stop()
+	}
+	o.tickers = nil
+	o.migrationQueue = nil
+}
+
+func mustEnsure(store *coord.Store, path string) {
+	if !store.Exists(path) {
+		if err := store.CreateAll(path, nil, nil); err != nil {
+			panic(fmt.Sprintf("orchestrator: ensure %s: %v", path, err))
+		}
+	}
+}
+
+// --- membership ---
+
+func (o *Orchestrator) watchMembership() {
+	err := o.store.WatchChildren(o.paths.ServersPath, func(coord.Event) {
+		o.syncMembership()
+		o.watchMembership() // re-arm the one-shot watch
+	})
+	if err != nil {
+		panic(fmt.Sprintf("orchestrator: watch: %v", err))
+	}
+}
+
+// syncMembership reconciles the coordination store's liveness nodes with
+// the orchestrator's server table.
+func (o *Orchestrator) syncMembership() {
+	kids, err := o.store.Children(o.paths.ServersPath)
+	if err != nil {
+		return
+	}
+	seen := make(map[shard.ServerID]bool, len(kids))
+	for _, kid := range kids {
+		data, _, err := o.store.Get(o.paths.ServersPath + "/" + kid)
+		if err != nil {
+			continue
+		}
+		id := unescapeID(kid)
+		seen[id] = true
+		st := o.servers[id]
+		if st == nil {
+			st = &serverState{id: id, load: make(map[shard.ID]topology.Capacity)}
+			o.servers[id] = st
+		}
+		if !st.alive {
+			st.alive = true
+			o.resolveMachine(st, string(data))
+		}
+	}
+	anyDied := false
+	for id, st := range o.servers {
+		if !seen[id] && st.alive {
+			st.alive = false
+			st.deadSince = o.loop.Now()
+			anyDied = true
+			o.scheduleFailover(id, st.deadSince)
+		}
+	}
+	if anyDied && o.started {
+		// Fail the primary role over immediately; replica placement
+		// itself waits for the failover grace.
+		o.reconcileAllRoles()
+	}
+}
+
+func unescapeID(kid string) shard.ServerID {
+	b := []byte(kid)
+	for i := range b {
+		if b[i] == '~' {
+			b[i] = '/'
+		}
+	}
+	return shard.ServerID(b)
+}
+
+// resolveMachine fills the server's placement metadata from its liveness
+// node payload (the machine ID written by the SM library's host).
+func (o *Orchestrator) resolveMachine(st *serverState, payload string) {
+	m := o.fleet.Machine(topology.MachineID(payload))
+	if m == nil {
+		// Fall back: payload may be a region name (older hosts).
+		st.region = topology.RegionID(payload)
+		st.domains = map[string]string{
+			topology.LevelRegion.String():     payload,
+			topology.LevelDatacenter.String(): payload + "/dc?",
+			topology.LevelRack.String():       payload + "/dc?/rack?",
+		}
+		return
+	}
+	st.machine = m.ID
+	st.region = m.Region
+	st.domains = map[string]string{
+		topology.LevelRegion.String():     m.Domain(topology.LevelRegion),
+		topology.LevelDatacenter.String(): m.Domain(topology.LevelDatacenter),
+		topology.LevelRack.String():       m.Domain(topology.LevelRack),
+	}
+}
+
+// scheduleFailover reassigns the dead server's shards if it is still dead
+// after the grace period; quick in-place restarts never trigger it.
+func (o *Orchestrator) scheduleFailover(id shard.ServerID, at time.Duration) {
+	o.loop.After(o.cfg.FailoverGrace, func() {
+		st := o.servers[id]
+		if st == nil || st.alive || st.deadSince != at {
+			return
+		}
+		if o.hasReplicasOn(id) {
+			o.allocate(allocator.Emergency)
+		}
+	})
+}
+
+func (o *Orchestrator) hasReplicasOn(id shard.ServerID) bool {
+	for _, ss := range o.shards {
+		for _, slot := range ss.slots {
+			if slot.server == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- load collection ---
+
+// sortedServerIDs returns the server table's keys in sorted order so event
+// scheduling is deterministic (map iteration order varies per process).
+func (o *Orchestrator) sortedServerIDs() []shard.ServerID {
+	ids := make([]shard.ServerID, 0, len(o.servers))
+	for id := range o.servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (o *Orchestrator) collectLoads() {
+	for _, id := range o.sortedServerIDs() {
+		st := o.servers[id]
+		if !st.alive {
+			continue
+		}
+		id, st := id, st
+		o.net.Call(o.cfg.HomeRegion, rpcnet.Endpoint(id), func() {
+			srv := o.dir.Lookup(id)
+			if srv == nil {
+				return
+			}
+			report := srv.LoadReport()
+			o.loop.After(0, func() {
+				for sid, load := range report {
+					st.load[sid] = load
+				}
+			})
+		}, nil, func() {
+			o.FailedRPCs.Inc()
+		})
+	}
+}
+
+// shardLoad returns the shard's most recent measured load (max across
+// reporting servers) or its configured default.
+func (o *Orchestrator) shardLoad(ss *shardState) topology.Capacity {
+	var latest topology.Capacity
+	for _, slot := range ss.slots {
+		if st := o.servers[slot.server]; st != nil {
+			if l, ok := st.load[ss.cfg.ID]; ok {
+				latest = l
+			}
+		}
+	}
+	if latest == nil {
+		latest = ss.cfg.DefaultLoad
+	}
+	if latest == nil {
+		latest = topology.Capacity{topology.ResourceShardCount: 1}
+	}
+	return latest
+}
+
+// --- allocation ---
+
+// allocate runs the allocator in the given mode and executes the diff.
+func (o *Orchestrator) allocate(mode allocator.Mode) {
+	if !o.started {
+		return
+	}
+	// While a batch of migrations is still queued, a new periodic run
+	// would just recompute the same plan (migrating shards are skipped);
+	// wait for the queue to drain. Emergencies always run.
+	if mode == allocator.Periodic && len(o.migrationQueue) > 0 {
+		return
+	}
+	in := o.buildInput()
+	if len(in.Servers) == 0 {
+		return
+	}
+	res := o.alloc.Run(in, mode)
+	if mode == allocator.Emergency {
+		o.EmergencyRuns.Inc()
+	} else {
+		o.PeriodicRuns.Inc()
+	}
+	o.ViolationSeries.Record(o.loop.Now(), float64(res.Final.Total()))
+	o.executeDiff(res)
+}
+
+func (o *Orchestrator) buildInput() allocator.Input {
+	in := allocator.Input{Current: make(map[shard.ID][]shard.ServerID, len(o.shards))}
+	now := o.loop.Now()
+	for _, id := range o.sortedServerIDs() {
+		st := o.servers[id]
+		if st.domains == nil {
+			continue
+		}
+		// A server dead for less than the failover grace (e.g. a quick
+		// in-place restart) keeps its replicas: treating it as dead
+		// would make every planned restart churn the whole placement.
+		alive := st.alive || now-st.deadSince < o.cfg.FailoverGrace
+		in.Servers = append(in.Servers, allocator.ServerInfo{
+			ID:       id,
+			Domains:  st.domains,
+			Capacity: o.cfg.ServerCapacity,
+			Alive:    alive,
+			Draining: st.draining,
+		})
+	}
+	for _, id := range o.order {
+		ss := o.shards[id]
+		in.Shards = append(in.Shards, allocator.ShardSpec{
+			ID:               id,
+			Replicas:         ss.cfg.Replicas,
+			Load:             o.shardLoad(ss),
+			RegionPreference: ss.cfg.RegionPreference,
+			PreferenceWeight: ss.cfg.PreferenceWeight,
+		})
+		cur := make([]shard.ServerID, len(ss.slots))
+		for i, slot := range ss.slots {
+			cur[i] = slot.server
+		}
+		in.Current[id] = cur
+	}
+	return in
+}
+
+// executeDiff turns allocator moves into RPC sequences.
+func (o *Orchestrator) executeDiff(res *allocator.Result) {
+	changed := false
+	for _, mv := range res.Moves {
+		ss := o.shards[mv.Shard]
+		if ss == nil || ss.migrating {
+			continue
+		}
+		switch mv.Kind() {
+		case "add":
+			// Reuse an empty slot or one whose server is dead (the
+			// replica this add replaces); append only for genuine
+			// replica-count growth.
+			slot := o.findSlot(ss, "")
+			if slot == -1 {
+				slot = o.findDeadSlot(ss)
+			}
+			if slot == -1 {
+				ss.slots = append(ss.slots, replicaSlot{})
+				slot = len(ss.slots) - 1
+			}
+			role := o.roleForNewReplica(ss)
+			ss.slots[slot] = replicaSlot{server: mv.To, role: role}
+			o.rpcAddShard(mv.To, mv.Shard, role)
+			o.ShardMoves.Inc()
+			changed = true
+		case "drop":
+			slot := o.findSlot(ss, mv.From)
+			if slot == -1 {
+				continue
+			}
+			ss.slots = append(ss.slots[:slot], ss.slots[slot+1:]...)
+			o.rpcDropShard(mv.From, mv.Shard)
+			o.ShardMoves.Inc()
+			changed = true
+		case "move":
+			slot := o.findSlot(ss, mv.From)
+			if slot == -1 {
+				continue
+			}
+			graceful := o.cfg.GracefulMigration && ss.slots[slot].role == shard.RolePrimary
+			o.enqueueMigration(migration{
+				shard:    mv.Shard,
+				slot:     slot,
+				from:     mv.From,
+				to:       mv.To,
+				graceful: graceful,
+			})
+		}
+	}
+	for _, id := range o.order {
+		if o.reconcileRoles(o.shards[id]) {
+			changed = true
+		}
+	}
+	if changed {
+		o.publish()
+	}
+	o.MovesSeries.Record(o.loop.Now(), float64(len(res.Moves)))
+	o.pumpMigrations()
+}
+
+// findSlot returns the index of the slot on server (or the first empty slot
+// if server is ""), or -1.
+func (o *Orchestrator) findSlot(ss *shardState, server shard.ServerID) int {
+	for i, slot := range ss.slots {
+		if slot.server == server {
+			return i
+		}
+	}
+	return -1
+}
+
+// findDeadSlot returns the index of the first slot held by a dead server,
+// or -1.
+func (o *Orchestrator) findDeadSlot(ss *shardState) int {
+	for i, slot := range ss.slots {
+		if slot.server == "" {
+			continue
+		}
+		if st := o.servers[slot.server]; st == nil || !st.alive {
+			return i
+		}
+	}
+	return -1
+}
+
+// roleForNewReplica picks the role for a newly added replica under the
+// app's replication strategy.
+func (o *Orchestrator) roleForNewReplica(ss *shardState) shard.Role {
+	switch o.cfg.Strategy {
+	case shard.PrimaryOnly:
+		return shard.RolePrimary
+	case shard.SecondaryOnly:
+		return shard.RoleSecondary
+	default:
+		for _, slot := range ss.slots {
+			if slot.role == shard.RolePrimary && slot.server != "" {
+				if st := o.servers[slot.server]; st != nil && st.alive {
+					return shard.RoleSecondary
+				}
+			}
+		}
+		return shard.RolePrimary
+	}
+}
+
+// reconcileRoles enforces exactly one primary per shard for primary-bearing
+// strategies: primaries on dead servers are demoted in place (no RPC — the
+// server is gone; if it restarts it reads the corrected role from the
+// persisted assignment), surplus alive primaries are demoted by RPC, and if
+// no alive primary remains a secondary is promoted (automatic failover of
+// the primary role). Returns true if anything changed.
+func (o *Orchestrator) reconcileRoles(ss *shardState) bool {
+	if o.cfg.Strategy == shard.SecondaryOnly || ss.migrating {
+		return false
+	}
+	changed := false
+	alivePrimary := -1
+	for i := range ss.slots {
+		slot := &ss.slots[i]
+		if slot.server == "" || slot.role != shard.RolePrimary {
+			continue
+		}
+		st := o.servers[slot.server]
+		if st == nil || !st.alive {
+			slot.role = shard.RoleSecondary
+			changed = true
+			continue
+		}
+		if alivePrimary == -1 {
+			alivePrimary = i
+		} else {
+			slot.role = shard.RoleSecondary
+			o.rpcChangeRole(slot.server, ss.cfg.ID, shard.RolePrimary, shard.RoleSecondary)
+			changed = true
+		}
+	}
+	if alivePrimary == -1 {
+		for i := range ss.slots {
+			slot := &ss.slots[i]
+			if slot.server == "" || slot.role != shard.RoleSecondary {
+				continue
+			}
+			st := o.servers[slot.server]
+			if st != nil && st.alive {
+				slot.role = shard.RolePrimary
+				o.rpcChangeRole(slot.server, ss.cfg.ID, shard.RoleSecondary, shard.RolePrimary)
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// reconcileAllRoles repairs role invariants across every shard and
+// publishes if anything changed; invoked on membership changes so primary
+// failover does not wait for the next allocation.
+func (o *Orchestrator) reconcileAllRoles() {
+	changed := false
+	for _, id := range o.order {
+		if o.reconcileRoles(o.shards[id]) {
+			changed = true
+		}
+	}
+	if changed {
+		o.publish()
+	}
+}
+
+// --- migrations ---
+
+func (o *Orchestrator) enqueueMigration(m migration) {
+	ss := o.shards[m.shard]
+	ss.migrating = true
+	o.migrationQueue = append(o.migrationQueue, m)
+}
+
+// pumpMigrations starts queued migrations up to the concurrency cap.
+func (o *Orchestrator) pumpMigrations() {
+	for o.inFlight < o.cfg.MaxConcurrentMigrations && len(o.migrationQueue) > 0 {
+		m := o.migrationQueue[0]
+		o.migrationQueue = o.migrationQueue[1:]
+		o.inFlight++
+		o.runMigration(m)
+	}
+}
+
+func (o *Orchestrator) finishMigration(m migration, ok bool) {
+	o.inFlight--
+	ss := o.shards[m.shard]
+	ss.migrating = false
+	if ok {
+		o.ShardMoves.Inc()
+	}
+	o.pumpMigrations()
+	if !ok {
+		// The shard may be under-replicated; let emergency repair it.
+		o.allocate(allocator.Emergency)
+		return
+	}
+	o.checkDrainsDone()
+}
+
+// runMigration executes one replica move. Graceful primary migration uses
+// the 5-step protocol of §4.3; other moves use make-before-break
+// (add-then-drop) for secondaries, which never reduces read availability,
+// and break-before-make for non-graceful primary moves (the Fig 17
+// ablation), which opens a visible gap.
+func (o *Orchestrator) runMigration(m migration) {
+	ss := o.shards[m.shard]
+	slot := &ss.slots[m.slot]
+	role := slot.role
+	fail := func() {
+		o.FailedRPCs.Inc()
+		o.finishMigration(m, false)
+	}
+	commit := func() {
+		slot.server = m.to
+		o.publish()
+	}
+	switch {
+	case m.graceful && role == shard.RolePrimary:
+		// Step 1: prepare_add on the new primary, then give it time to
+		// load the shard's state; the old primary keeps serving.
+		o.call(m.to, func(srv *appserver.Server) {
+			srv.PrepareAddShard(m.shard, m.from, shard.RolePrimary)
+		}, func() {
+			o.loop.After(o.cfg.ShardLoadTime, func() { o.gracefulStep2(m, commit, fail) })
+		}, fail)
+	case role == shard.RoleSecondary:
+		// Make-before-break: add the new secondary, then drop the old.
+		o.call(m.to, func(srv *appserver.Server) {
+			srv.AddShard(m.shard, shard.RoleSecondary)
+		}, func() {
+			commit()
+			o.loop.After(o.cfg.PublishMargin, func() {
+				o.call(m.from, func(srv *appserver.Server) {
+					srv.DropShard(m.shard)
+				}, func() { o.finishMigration(m, true) },
+					func() { o.finishMigration(m, true) })
+			})
+		}, fail)
+	default:
+		// Non-graceful primary move: drop, then add. SM's guarantee
+		// that no two servers serve the same shard forces the gap.
+		o.call(m.from, func(srv *appserver.Server) {
+			srv.DropShard(m.shard)
+		}, func() {
+			o.call(m.to, func(srv *appserver.Server) {
+				srv.AddShard(m.shard, role)
+			}, func() {
+				commit()
+				o.finishMigration(m, true)
+			}, fail)
+		}, func() {
+			// Old server is already dead; just add the new one.
+			o.call(m.to, func(srv *appserver.Server) {
+				srv.AddShard(m.shard, role)
+			}, func() {
+				commit()
+				o.finishMigration(m, true)
+			}, fail)
+		})
+	}
+}
+
+// gracefulStep2 continues a graceful primary migration after the new
+// primary finished loading: prepare_drop on the old (it starts forwarding),
+// add_shard on the new, publish, and finally drop the old replica.
+func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
+	// Step 2: prepare_drop on the old; it starts forwarding.
+	o.call(m.from, func(srv *appserver.Server) {
+		srv.PrepareDropShard(m.shard, m.to, shard.RolePrimary)
+	}, func() {
+		// Step 3: add_shard on the new primary.
+		o.call(m.to, func(srv *appserver.Server) {
+			srv.AddShard(m.shard, shard.RolePrimary)
+		}, func() {
+			// Step 4: publish the new map.
+			commit()
+			// Step 5: drop the old replica once clients have
+			// learned the new map.
+			o.loop.After(o.cfg.PublishMargin, func() {
+				o.call(m.from, func(srv *appserver.Server) {
+					srv.DropShard(m.shard)
+				}, func() {
+					o.finishMigration(m, true)
+				}, func() {
+					// Old server died after handoff: the
+					// migration still succeeded.
+					o.finishMigration(m, true)
+				})
+			})
+		}, fail)
+	}, fail)
+}
+
+// call performs an orchestrator->server RPC: handle runs at the server,
+// done runs back home after the round trip, fail runs if the server is
+// unreachable.
+func (o *Orchestrator) call(id shard.ServerID, handle func(*appserver.Server), done func(), fail func()) {
+	o.net.Call(o.cfg.HomeRegion, rpcnet.Endpoint(id), func() {
+		if srv := o.dir.Lookup(id); srv != nil {
+			handle(srv)
+		}
+	}, func(time.Duration) {
+		if done != nil {
+			done()
+		}
+	}, func() {
+		if fail != nil {
+			fail()
+		}
+	})
+}
+
+func (o *Orchestrator) rpcAddShard(id shard.ServerID, s shard.ID, role shard.Role) {
+	o.call(id, func(srv *appserver.Server) { srv.AddShard(s, role) }, nil, func() { o.FailedRPCs.Inc() })
+}
+
+func (o *Orchestrator) rpcDropShard(id shard.ServerID, s shard.ID) {
+	o.call(id, func(srv *appserver.Server) { srv.DropShard(s) }, nil, func() { o.FailedRPCs.Inc() })
+}
+
+func (o *Orchestrator) rpcChangeRole(id shard.ServerID, s shard.ID, from, to shard.Role) {
+	o.call(id, func(srv *appserver.Server) { _ = srv.ChangeRole(s, from, to) }, nil, func() { o.FailedRPCs.Inc() })
+}
+
+// --- publication ---
+
+// publish pushes a new shard-map version to service discovery and persists
+// per-server assignments to the coordination store.
+func (o *Orchestrator) publish() {
+	o.version++
+	m := shard.NewMap(o.cfg.App)
+	m.Version = o.version
+	perServer := make(map[shard.ServerID]map[shard.ID]shard.Role)
+	for _, id := range o.order {
+		ss := o.shards[id]
+		var as []shard.Assignment
+		for _, slot := range ss.slots {
+			if slot.server == "" {
+				continue
+			}
+			as = append(as, shard.Assignment{Server: slot.server, Role: slot.role})
+			if perServer[slot.server] == nil {
+				perServer[slot.server] = make(map[shard.ID]shard.Role)
+			}
+			perServer[slot.server][id] = slot.role
+		}
+		if len(as) > 0 {
+			m.Entries[id] = as
+		}
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("orchestrator: invalid map: %v", err))
+	}
+	o.disc.Publish(m)
+
+	// Persist assignments for server start-up reads (§3.2). Servers with
+	// no shards get their node cleared.
+	for _, id := range o.sortedServerIDs() {
+		node := o.paths.AssignNode(id)
+		data := appserver.EncodeAssignment(perServer[id])
+		if o.store.Exists(node) {
+			_, _ = o.store.Set(node, data, -1)
+		} else {
+			_ = o.store.Create(node, data, nil)
+		}
+	}
+}
+
+// Version returns the latest published map version.
+func (o *Orchestrator) Version() int64 { return o.version }
+
+// --- TaskController-facing API ---
+
+// AssignmentSnapshot returns the current authoritative shard map (not the
+// possibly stale discovery view).
+func (o *Orchestrator) AssignmentSnapshot() *shard.Map {
+	m := shard.NewMap(o.cfg.App)
+	m.Version = o.version
+	for _, id := range o.order {
+		ss := o.shards[id]
+		var as []shard.Assignment
+		for _, slot := range ss.slots {
+			if slot.server != "" {
+				as = append(as, shard.Assignment{Server: slot.server, Role: slot.role})
+			}
+		}
+		if len(as) > 0 {
+			m.Entries[id] = as
+		}
+	}
+	return m
+}
+
+// AliveReplicas returns, for each shard with a replica on server, how many
+// of its replicas are currently on alive, non-draining servers. The
+// TaskController uses this to enforce the per-shard unavailability cap.
+func (o *Orchestrator) AliveReplicas(server shard.ServerID) map[shard.ID]int {
+	out := make(map[shard.ID]int)
+	for _, id := range o.order {
+		ss := o.shards[id]
+		onServer := false
+		alive := 0
+		for _, slot := range ss.slots {
+			if slot.server == server {
+				onServer = true
+			}
+			if st := o.servers[slot.server]; st != nil && st.alive {
+				alive++
+			}
+		}
+		if onServer {
+			out[id] = alive
+		}
+	}
+	return out
+}
+
+// SetReplicas changes a shard's desired replica count; the next allocation
+// adds or drops replicas to match (the shard scaler's lever, §6.1).
+func (o *Orchestrator) SetReplicas(s shard.ID, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("orchestrator: SetReplicas(%s, %d)", s, n))
+	}
+	if ss := o.shards[s]; ss != nil {
+		ss.cfg.Replicas = n
+	}
+}
+
+// SetRegionPreference updates a shard's regional placement preference; the
+// next periodic allocation migrates replicas toward it (the Fig 20
+// AppShard-follows-DBShard workflow).
+func (o *Orchestrator) SetRegionPreference(s shard.ID, region topology.RegionID, weight float64) {
+	if ss := o.shards[s]; ss != nil {
+		ss.cfg.RegionPreference = region
+		ss.cfg.PreferenceWeight = weight
+	}
+}
+
+// ShardLoadValue returns the latest measured load of a shard for one
+// resource (the shard scaler's input).
+func (o *Orchestrator) ShardLoadValue(s shard.ID, r topology.Resource) float64 {
+	if ss := o.shards[s]; ss != nil {
+		return o.shardLoad(ss).Get(r)
+	}
+	return 0
+}
+
+// ShardIDs returns the managed shard IDs in configuration order.
+func (o *Orchestrator) ShardIDs() []shard.ID {
+	out := make([]shard.ID, len(o.order))
+	copy(out, o.order)
+	return out
+}
+
+// TotalReplicas returns the configured replica count of a shard (0 if
+// unknown).
+func (o *Orchestrator) TotalReplicas(s shard.ID) int {
+	if ss := o.shards[s]; ss != nil {
+		return ss.cfg.Replicas
+	}
+	return 0
+}
+
+// ServerAlive reports whether the orchestrator currently believes the
+// server is alive.
+func (o *Orchestrator) ServerAlive(id shard.ServerID) bool {
+	st := o.servers[id]
+	return st != nil && st.alive
+}
+
+// ShardsOnServer returns how many replicas the server currently holds.
+func (o *Orchestrator) ShardsOnServer(id shard.ServerID) int {
+	n := 0
+	for _, ss := range o.shards {
+		for _, slot := range ss.slots {
+			if slot.server == id {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Drain moves every replica off the server and calls onDone when the
+// server is empty. The TaskController drains containers before approving
+// restarts for applications configured to do so (§4.1).
+func (o *Orchestrator) Drain(id shard.ServerID, onDone func()) {
+	st := o.servers[id]
+	if st == nil || o.ShardsOnServer(id) == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	st.draining = true
+	o.draining[id] = &drainRequest{server: id, onDone: onDone}
+	o.allocate(allocator.Periodic)
+	o.checkDrainsDone() // arms the periodic re-check
+}
+
+// CancelDrain clears the draining mark (e.g. operation aborted).
+func (o *Orchestrator) CancelDrain(id shard.ServerID) {
+	if st := o.servers[id]; st != nil {
+		st.draining = false
+	}
+	delete(o.draining, id)
+}
+
+// checkDrainsDone fires completions for servers that emptied out. Servers
+// still holding shards are picked up by the regular periodic allocation
+// (which retries moves the churn caps deferred); a single re-check timer is
+// kept armed while any drain is outstanding.
+func (o *Orchestrator) checkDrainsDone() {
+	ids := make([]shard.ServerID, 0, len(o.draining))
+	for id := range o.draining {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		req := o.draining[id]
+		if o.ShardsOnServer(id) == 0 && !o.shardsMigratingFrom(id) {
+			delete(o.draining, id)
+			if req.onDone != nil {
+				req.onDone()
+			}
+		}
+	}
+	if len(o.draining) > 0 && !o.drainCheckArmed {
+		o.drainCheckArmed = true
+		o.loop.After(o.cfg.AllocInterval, func() {
+			o.drainCheckArmed = false
+			o.checkDrainsDone()
+		})
+	}
+}
+
+func (o *Orchestrator) shardsMigratingFrom(id shard.ServerID) bool {
+	for _, m := range o.migrationQueue {
+		if m.from == id {
+			return true
+		}
+	}
+	return false
+}
+
+// DemotePrimaries demotes every primary replica on the server, promoting a
+// secondary elsewhere — SM's preparation for short non-negotiable events
+// like rack-switch maintenance (§4.2).
+func (o *Orchestrator) DemotePrimaries(id shard.ServerID) {
+	changed := false
+	for _, sid := range o.order {
+		ss := o.shards[sid]
+		if ss.migrating {
+			continue
+		}
+		for i, slot := range ss.slots {
+			if slot.server != id || slot.role != shard.RolePrimary {
+				continue
+			}
+			// Find an alive secondary to promote.
+			promote := -1
+			for j, other := range ss.slots {
+				if j == i || other.role != shard.RoleSecondary {
+					continue
+				}
+				if st := o.servers[other.server]; st != nil && st.alive && !st.draining {
+					promote = j
+					break
+				}
+			}
+			if promote == -1 {
+				continue
+			}
+			ss.slots[i].role = shard.RoleSecondary
+			ss.slots[promote].role = shard.RolePrimary
+			o.rpcChangeRole(id, sid, shard.RolePrimary, shard.RoleSecondary)
+			o.rpcChangeRole(ss.slots[promote].server, sid, shard.RoleSecondary, shard.RolePrimary)
+			changed = true
+		}
+	}
+	if changed {
+		o.publish()
+	}
+}
+
+// ForceAllocate triggers an immediate allocation (exposed for tests and
+// the smbench harness).
+func (o *Orchestrator) ForceAllocate(mode allocator.Mode) { o.allocate(mode) }
+
+// Stats returns a human-readable summary for smctl.
+func (o *Orchestrator) Stats() string {
+	alive := 0
+	for _, st := range o.servers {
+		if st.alive {
+			alive++
+		}
+	}
+	return fmt.Sprintf("app=%s servers=%d/%d shards=%d version=%d moves=%d emergencies=%d",
+		o.cfg.App, alive, len(o.servers), len(o.shards), o.version,
+		o.ShardMoves.Value(), o.EmergencyRuns.Value())
+}

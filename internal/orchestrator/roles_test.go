@@ -1,0 +1,268 @@
+package orchestrator
+
+import (
+	"testing"
+	"time"
+
+	"shardmanager/internal/cluster"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/topology"
+)
+
+// TestDeadPrimaryDemotedInMapImmediately: when a primary's server dies, the
+// published map must never show two primaries — the dead slot is demoted in
+// the same reconciliation that promotes the survivor.
+func TestDeadPrimaryDemotedInMapImmediately(t *testing.T) {
+	cfg := baseConfig(shard.PrimarySecondary, 8, 2)
+	cfg.FailoverGrace = 10 * time.Minute // placement stays put; roles move
+	w := buildWorld(t, []topology.RegionID{"r1", "r2"}, 4, cfg)
+	w.loop.RunFor(5 * time.Minute)
+	assertConverged(t, w, 2)
+
+	m := w.orch.AssignmentSnapshot()
+	prim, _ := m.Primary("s000")
+	var mgr *cluster.Manager
+	var cont cluster.Container
+	for _, cm := range w.managers {
+		if c, ok := cm.Container(cluster.ContainerID(prim)); ok {
+			mgr, cont = cm, c
+		}
+	}
+	mgr.KillMachine(cont.Machine)
+	// Within seconds (not an allocation interval), the role must fail
+	// over and the map must stay valid.
+	w.loop.RunFor(5 * time.Second)
+	m = w.orch.AssignmentSnapshot()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	newPrim, ok := m.Primary("s000")
+	if !ok {
+		t.Fatal("no primary after failover")
+	}
+	if newPrim == prim {
+		t.Fatal("primary still the dead server")
+	}
+	// Every shard that had its primary on the dead server failed over.
+	for _, id := range w.orch.ShardIDs() {
+		p, ok := m.Primary(id)
+		if !ok {
+			t.Fatalf("shard %s lost its primary", id)
+		}
+		if p == prim {
+			t.Fatalf("shard %s primary still on dead server", id)
+		}
+	}
+}
+
+// TestRestartedPrimaryComesBackAsSecondary: after the role failed over, the
+// restarted server restores the *corrected* role from the persisted
+// assignment — not its old primaryship.
+func TestRestartedPrimaryComesBackAsSecondary(t *testing.T) {
+	cfg := baseConfig(shard.PrimarySecondary, 6, 2)
+	cfg.FailoverGrace = 10 * time.Minute
+	w := buildWorld(t, []topology.RegionID{"r1", "r2"}, 3, cfg)
+	w.loop.RunFor(5 * time.Minute)
+
+	m := w.orch.AssignmentSnapshot()
+	prim, _ := m.Primary("s000")
+	var mgr *cluster.Manager
+	var cont cluster.Container
+	for _, cm := range w.managers {
+		if c, ok := cm.Container(cluster.ContainerID(prim)); ok {
+			mgr, cont = cm, c
+		}
+	}
+	mgr.KillMachine(cont.Machine)
+	w.loop.RunFor(30 * time.Second)
+	mgr.RestoreMachine(cont.Machine)
+	w.loop.RunFor(2 * time.Minute)
+
+	srv := w.dir.Lookup(prim)
+	if srv == nil {
+		t.Fatal("server did not come back")
+	}
+	if role, ok := srv.Shards()["s000"]; ok && role == shard.RolePrimary {
+		// It may have been re-promoted by reconciliation only if the
+		// map agrees; the map itself must be consistent either way.
+		m = w.orch.AssignmentSnapshot()
+		if p, _ := m.Primary("s000"); p != prim {
+			t.Fatalf("server believes it is primary but map says %s", p)
+		}
+	}
+	if err := w.orch.AssignmentSnapshot().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetReplicasGrowAndShrinkLive: the shard scaler's lever works against
+// a live deployment in both directions.
+func TestSetReplicasGrowAndShrinkLive(t *testing.T) {
+	cfg := baseConfig(shard.SecondaryOnly, 6, 2)
+	w := buildWorld(t, []topology.RegionID{"r1", "r2"}, 4, cfg)
+	w.loop.RunFor(5 * time.Minute)
+	assertConverged(t, w, 2)
+
+	w.orch.SetReplicas("s000", 3)
+	w.loop.RunFor(5 * time.Minute)
+	m := w.orch.AssignmentSnapshot()
+	if got := len(m.Replicas("s000")); got != 3 {
+		t.Fatalf("after grow: %d replicas", got)
+	}
+	// The new replica landed on a live server and is actively held.
+	for _, a := range m.Replicas("s000") {
+		srv := w.dir.Lookup(a.Server)
+		if srv == nil || !srv.HoldsActive("s000") {
+			t.Fatalf("replica on %s not active", a.Server)
+		}
+	}
+
+	w.orch.SetReplicas("s000", 2)
+	w.loop.RunFor(5 * time.Minute)
+	m = w.orch.AssignmentSnapshot()
+	if got := len(m.Replicas("s000")); got != 2 {
+		t.Fatalf("after shrink: %d replicas", got)
+	}
+}
+
+func TestSetReplicasPanicsOnZero(t *testing.T) {
+	cfg := baseConfig(shard.SecondaryOnly, 2, 2)
+	w := buildWorld(t, []topology.RegionID{"r1"}, 2, cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.orch.SetReplicas("s000", 0)
+}
+
+// TestRegionPreferenceChangeTriggersMigration: updating a shard's region
+// preference moves it at the next periodic allocation (Fig 20's lever).
+func TestRegionPreferenceChangeTriggersMigration(t *testing.T) {
+	cfg := baseConfig(shard.PrimaryOnly, 12, 1)
+	cfg.Policy.AffinityWeight = 300
+	w := buildWorld(t, []topology.RegionID{"r1", "r2"}, 4, cfg)
+	w.loop.RunFor(5 * time.Minute)
+
+	for _, id := range w.orch.ShardIDs() {
+		w.orch.SetRegionPreference(id, "r2", 300)
+	}
+	w.loop.RunFor(10 * time.Minute)
+	m := w.orch.AssignmentSnapshot()
+	for _, id := range w.orch.ShardIDs() {
+		srv, _ := m.Primary(id)
+		c := false
+		for _, cm := range w.managers {
+			if cm.Region == "r2" {
+				if _, ok := cm.Container(cluster.ContainerID(srv)); ok {
+					c = true
+				}
+			}
+		}
+		if !c {
+			t.Fatalf("shard %s not migrated to r2 (on %s)", id, srv)
+		}
+	}
+}
+
+// TestMigrationTargetDiesMidFlight: a graceful migration whose target dies
+// mid-protocol aborts and the shard is repaired by emergency allocation.
+func TestMigrationTargetDiesMidFlight(t *testing.T) {
+	cfg := baseConfig(shard.PrimaryOnly, 12, 1)
+	cfg.FailoverGrace = 15 * time.Second
+	cfg.ShardLoadTime = 10 * time.Second // long window to inject the failure
+	cfg.Policy.AffinityWeight = 300
+	w := buildWorld(t, []topology.RegionID{"r1", "r2"}, 4, cfg)
+	w.loop.RunFor(5 * time.Minute)
+
+	// Force migrations toward r2, then kill all of r2 mid-flight.
+	for _, id := range w.orch.ShardIDs() {
+		w.orch.SetRegionPreference(id, "r2", 300)
+	}
+	w.orch.ForceAllocate(0) // Periodic
+	// Kill r2 during the migrations' state-load window (prepare_add has
+	// been sent; add_shard has not), so the protocol aborts mid-flight.
+	w.loop.RunFor(5 * time.Second)
+	w.managers["r2"].FailRegion()
+	w.loop.RunFor(10 * time.Minute)
+
+	// All shards must end up assigned to live servers with a valid map.
+	m := w.orch.AssignmentSnapshot()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range w.orch.ShardIDs() {
+		as := m.Replicas(id)
+		if len(as) != 1 {
+			t.Fatalf("shard %s has %d replicas", id, len(as))
+		}
+		if w.dir.Lookup(as[0].Server) == nil {
+			t.Fatalf("shard %s stranded on dead server %s", id, as[0].Server)
+		}
+	}
+	// The region failure must have been handled through the abort path
+	// (failed migration RPCs) and/or emergency reallocation.
+	if w.orch.FailedRPCs.Value() == 0 && w.orch.EmergencyRuns.Value() == 0 {
+		t.Fatal("neither failed RPCs nor emergency runs after mid-flight region loss")
+	}
+}
+
+// TestDrainWithZeroShardLoadTime covers graceful migration without a
+// configured load window (ShardLoadTime 0): the protocol still completes.
+func TestDrainWithZeroShardLoadTime(t *testing.T) {
+	cfg := baseConfig(shard.PrimaryOnly, 10, 1)
+	w := buildWorld(t, []topology.RegionID{"r1"}, 4, cfg)
+	w.loop.RunFor(3 * time.Minute)
+	victim := shard.ServerID(w.managers["r1"].RunningContainers("app-job-r1")[0])
+	done := false
+	w.orch.Drain(victim, func() { done = true })
+	w.loop.RunFor(10 * time.Minute)
+	if !done || w.orch.ShardsOnServer(victim) != 0 {
+		t.Fatalf("drain incomplete: done=%v remaining=%d", done, w.orch.ShardsOnServer(victim))
+	}
+}
+
+// TestAccessorsAndStop covers the small control-plane accessors and the
+// §6.2 Stop/Start path at the package level.
+func TestAccessorsAndStop(t *testing.T) {
+	cfg := baseConfig(shard.PrimaryOnly, 6, 1)
+	w := buildWorld(t, []topology.RegionID{"r1"}, 3, cfg)
+	w.loop.RunFor(3 * time.Minute)
+
+	if w.orch.Version() == 0 {
+		t.Fatal("no map published")
+	}
+	if w.orch.TotalReplicas("s000") != 1 || w.orch.TotalReplicas("ghost") != 0 {
+		t.Fatal("TotalReplicas wrong")
+	}
+	if got := len(w.orch.ShardIDs()); got != 6 {
+		t.Fatalf("ShardIDs = %d", got)
+	}
+	if w.orch.ShardLoadValue("s000", topology.ResourceShardCount) != 1 {
+		t.Fatal("ShardLoadValue wrong")
+	}
+	if w.orch.ShardLoadValue("ghost", topology.ResourceCPU) != 0 {
+		t.Fatal("ghost load should be 0")
+	}
+	m := w.orch.AssignmentSnapshot()
+	srv, _ := m.Primary("s000")
+	if !w.orch.ServerAlive(srv) || w.orch.ServerAlive("ghost") {
+		t.Fatal("ServerAlive wrong")
+	}
+
+	// Stop freezes the version; Start resumes; double calls are no-ops.
+	v := w.orch.Version()
+	w.orch.Stop()
+	w.orch.Stop()
+	w.orch.SetReplicas("s000", 1)
+	w.loop.RunFor(5 * time.Minute)
+	if w.orch.Version() != v {
+		t.Fatal("version moved while stopped")
+	}
+	w.orch.Start()
+	w.loop.RunFor(time.Minute)
+	// Still converged and valid after resume.
+	if err := w.orch.AssignmentSnapshot().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package routing
+
+import (
+	"testing"
+	"time"
+
+	"shardmanager/internal/shard"
+)
+
+func TestForwardedRequestCountsHops(t *testing.T) {
+	e := newEnv(t)
+	old := e.addServer("old", "near")
+	newer := e.addServer("new", "far")
+	old.AddShard("s1", shard.RolePrimary)
+	newer.PrepareAddShard("s1", "old", shard.RolePrimary)
+	old.PrepareDropShard("s1", "new", shard.RolePrimary)
+	e.publish(1, map[shard.ID][]shard.Assignment{
+		"s1": {{Server: "old", Role: shard.RolePrimary}},
+	})
+	c := e.client("near")
+	e.loop.RunFor(time.Second)
+	res := do(t, e, c, "abc", true)
+	if !res.OK || res.Hops != 1 || res.Server != "new" {
+		t.Fatalf("res = %+v", res)
+	}
+	// The forwarding adds cross-region hops: near->old(near)->new(far)
+	// ->old(near)->client: at least 2x60ms on top of local RTT.
+	if res.Latency < 120*time.Millisecond {
+		t.Fatalf("forwarded latency = %v", res.Latency)
+	}
+}
+
+func TestMaxAttemptsOptionRespected(t *testing.T) {
+	e := newEnv(t)
+	opts := Options{MaxAttempts: 2, RetryDelay: 50 * time.Millisecond}
+	c := NewClient(e.loop, e.net, e.dir, e.disc, e.fleet, "app", e.ks, "near", opts)
+	res := do(t, e, c, "abc", false)
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestDefaultsAppliedForZeroOptions(t *testing.T) {
+	e := newEnv(t)
+	c := NewClient(e.loop, e.net, e.dir, e.disc, e.fleet, "app", e.ks, "near", Options{})
+	res := do(t, e, c, "abc", false)
+	if res.Attempts != 4 {
+		t.Fatalf("attempts = %d, want default 4", res.Attempts)
+	}
+}
+
+func TestRetrySucceedsWhenServerRecovers(t *testing.T) {
+	e := newEnv(t)
+	srv := e.addServer("srv", "near")
+	srv.AddShard("s1", shard.RolePrimary)
+	e.publish(1, map[shard.ID][]shard.Assignment{
+		"s1": {{Server: "srv", Role: shard.RolePrimary}},
+	})
+	c := e.client("near")
+	e.loop.RunFor(time.Second)
+	// Take the server down, issue a request, revive the server before
+	// the retries run out.
+	e.net.Unregister("srv")
+	var res Result
+	gotIt := false
+	c.Do("abc", true, "op", nil, func(r Result) { res = r; gotIt = true })
+	e.loop.After(300*time.Millisecond, func() {
+		e.net.Register("srv", "near")
+	})
+	e.loop.RunFor(time.Minute)
+	if !gotIt || !res.OK {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want retries", res.Attempts)
+	}
+}
+
+func TestReadSpreadsAcrossEquidistantReplicas(t *testing.T) {
+	e := newEnv(t)
+	a := e.addServer("a", "near")
+	b := e.addServer("b", "near")
+	a.AddShard("s1", shard.RoleSecondary)
+	b.AddShard("s1", shard.RoleSecondary)
+	e.publish(1, map[shard.ID][]shard.Assignment{
+		"s1": {{Server: "a", Role: shard.RoleSecondary}, {Server: "b", Role: shard.RoleSecondary}},
+	})
+	c := e.client("near")
+	e.loop.RunFor(time.Second)
+	counts := map[shard.ServerID]int{}
+	for i := 0; i < 60; i++ {
+		res := do(t, e, c, "abc", false)
+		counts[res.Server]++
+	}
+	if counts["a"] == 0 || counts["b"] == 0 {
+		t.Fatalf("reads not spread: %v", counts)
+	}
+}
+
+func TestServerGoneFromDirectoryFails(t *testing.T) {
+	e := newEnv(t)
+	srv := e.addServer("srv", "near")
+	srv.AddShard("s1", shard.RolePrimary)
+	e.publish(1, map[shard.ID][]shard.Assignment{
+		"s1": {{Server: "srv", Role: shard.RolePrimary}},
+	})
+	c := e.client("near")
+	e.loop.RunFor(time.Second)
+	// Reachable on the network but missing from the directory (process
+	// replaced): the client sees server-gone and retries to failure.
+	e.dir.Remove("srv")
+	res := do(t, e, c, "abc", true)
+	if res.OK {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func benchEnv(b *testing.B) (*env, *Client) {
+	b.Helper()
+	e := newEnv(b)
+	srv := e.addServer("srv", "near")
+	srv.AddShard("s1", shard.RolePrimary)
+	srv.AddShard("s2", shard.RolePrimary)
+	e.publish(1, map[shard.ID][]shard.Assignment{
+		"s1": {{Server: "srv", Role: shard.RolePrimary}},
+		"s2": {{Server: "srv", Role: shard.RolePrimary}},
+	})
+	c := e.client("near")
+	e.loop.RunFor(time.Second)
+	return e, c
+}
+
+func BenchmarkClientRequestRoundTrip(b *testing.B) {
+	e, c := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok := false
+		c.Do("abc", true, "op", nil, func(r Result) { ok = r.OK })
+		e.loop.RunFor(time.Second)
+		if !ok {
+			b.Fatal("request failed")
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package routing implements the Service Router (SR) library linked into
+// application clients (§3.2): it learns the application's shard map from
+// the service discovery system, maps keys to shards through the app-owned
+// keyspace, picks a replica (the primary for writes, the closest replica
+// for reads), sends the request over the simulated network, and retries on
+// failures and on "wrong owner" rejections caused by stale maps.
+//
+// The client-facing API mirrors §3.3:
+//
+//	rpc_client = get_client(app_name, key)
+//	rpc_client.function_foo(...)
+//
+// which here is Client.Do(key, ...).
+package routing
+
+import (
+	"sort"
+	"time"
+
+	"shardmanager/internal/appserver"
+	"shardmanager/internal/discovery"
+	"shardmanager/internal/rpcnet"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/topology"
+)
+
+// Options configure a client.
+type Options struct {
+	// MaxAttempts bounds total tries per request (default 4).
+	MaxAttempts int
+	// RetryDelay waits between attempts (default 200ms).
+	RetryDelay time.Duration
+}
+
+// DefaultOptions returns sensible client settings.
+func DefaultOptions() Options {
+	return Options{MaxAttempts: 4, RetryDelay: 200 * time.Millisecond}
+}
+
+// Result is the final outcome of one request as seen by the client.
+type Result struct {
+	OK       bool
+	Err      string
+	Payload  any
+	Latency  time.Duration
+	Attempts int
+	// Hops counts server-side forwarding hops on the final attempt.
+	Hops int
+	// Server that handled the final attempt.
+	Server shard.ServerID
+	Shard  shard.ID
+}
+
+// Client is one application client instance located in a region.
+type Client struct {
+	App    shard.AppID
+	Region topology.RegionID
+
+	loop     *sim.Loop
+	net      *rpcnet.Network
+	dir      *appserver.Directory
+	fleet    *topology.Fleet
+	keyspace *shard.Keyspace
+	opts     Options
+	rng      *sim.RNG
+
+	current *shard.Map
+
+	// MapUpdates counts received shard-map versions.
+	MapUpdates int64
+}
+
+// NewClient creates a client and subscribes it to the app's shard map.
+func NewClient(loop *sim.Loop, net *rpcnet.Network, dir *appserver.Directory,
+	disc *discovery.Service, fleet *topology.Fleet, app shard.AppID,
+	keyspace *shard.Keyspace, region topology.RegionID, opts Options) *Client {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.RetryDelay <= 0 {
+		opts.RetryDelay = 200 * time.Millisecond
+	}
+	c := &Client{
+		App:      app,
+		Region:   region,
+		loop:     loop,
+		net:      net,
+		dir:      dir,
+		fleet:    fleet,
+		keyspace: keyspace,
+		opts:     opts,
+		rng:      loop.RNG().Fork(),
+	}
+	disc.Subscribe(app, func(m *shard.Map) {
+		c.current = m
+		c.MapUpdates++
+	})
+	return c
+}
+
+// HasMap reports whether the client has received any shard map yet.
+func (c *Client) HasMap() bool { return c.current != nil }
+
+// MapVersion returns the client's current map version (0 if none).
+func (c *Client) MapVersion() int64 {
+	if c.current == nil {
+		return 0
+	}
+	return c.current.Version
+}
+
+// Do routes one request for key and invokes done with the final outcome.
+// write selects primary-routed requests.
+func (c *Client) Do(key string, write bool, op string, payload any, done func(Result)) {
+	s := c.keyspace.ShardFor(key)
+	start := c.loop.Now()
+	c.attempt(&appserver.Request{
+		App:     c.App,
+		Shard:   s,
+		Key:     key,
+		Write:   write,
+		Op:      op,
+		Payload: payload,
+	}, start, 1, make(map[shard.ServerID]bool), done)
+}
+
+// attempt performs one try and schedules retries.
+func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt int,
+	tried map[shard.ServerID]bool, done func(Result)) {
+	fail := func(errMsg string) {
+		if attempt >= c.opts.MaxAttempts {
+			done(Result{
+				Err:      errMsg,
+				Latency:  c.loop.Now() - start,
+				Attempts: attempt,
+				Shard:    req.Shard,
+			})
+			return
+		}
+		c.loop.After(c.opts.RetryDelay, func() {
+			c.attempt(req, start, attempt+1, tried, done)
+		})
+	}
+
+	target, ok := c.pickServer(req.Shard, req.Write, tried)
+	if !ok {
+		// No candidate at all (no map or no replicas known): retry
+		// with a fresh view; an updated map may have arrived by then.
+		for k := range tried {
+			delete(tried, k)
+		}
+		fail("no-replica")
+		return
+	}
+	tried[target] = true
+
+	c.net.Send(c.Region, rpcnet.Endpoint(target), func() {
+		srv := c.dir.Lookup(target)
+		if srv == nil {
+			fail("server-gone")
+			return
+		}
+		srv.Serve(req, func(resp appserver.Response) {
+			// Response travels back to the client's region.
+			back := c.net.Delay(srv.Region, c.Region)
+			c.loop.After(back, func() {
+				if resp.OK {
+					done(Result{
+						OK:       true,
+						Payload:  resp.Payload,
+						Latency:  c.loop.Now() - start,
+						Attempts: attempt,
+						Hops:     resp.Hops,
+						Server:   resp.Server,
+						Shard:    req.Shard,
+					})
+					return
+				}
+				fail(resp.Err)
+			})
+		})
+	}, func() {
+		fail("unreachable")
+	})
+}
+
+// pickServer chooses a replica for the request: the primary for writes, the
+// closest untried replica for reads (locality-aware, which is what makes
+// the Fig 19 latency curves move). Secondary-only applications route reads
+// round-robin among the closest replicas.
+func (c *Client) pickServer(s shard.ID, write bool, tried map[shard.ServerID]bool) (shard.ServerID, bool) {
+	if c.current == nil {
+		return "", false
+	}
+	replicas := c.current.Replicas(s)
+	if len(replicas) == 0 {
+		return "", false
+	}
+	if write {
+		for _, a := range replicas {
+			if a.Role == shard.RolePrimary {
+				if tried[a.Server] {
+					return "", false
+				}
+				return a.Server, true
+			}
+		}
+		return "", false
+	}
+	// Reads: sort candidates by latency from the client's region, break
+	// ties randomly to spread load.
+	type cand struct {
+		srv shard.ServerID
+		lat time.Duration
+		tie uint64
+	}
+	cands := make([]cand, 0, len(replicas))
+	for _, a := range replicas {
+		if tried[a.Server] {
+			continue
+		}
+		lat := c.fleet.Latency(c.Region, c.net.Region(rpcnet.Endpoint(a.Server)))
+		cands = append(cands, cand{srv: a.Server, lat: lat, tie: c.rng.Uint64()})
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lat != cands[j].lat {
+			return cands[i].lat < cands[j].lat
+		}
+		return cands[i].tie < cands[j].tie
+	})
+	return cands[0].srv, true
+}

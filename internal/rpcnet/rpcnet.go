@@ -1,0 +1,119 @@
+// Package rpcnet simulates the network fabric between regions: one-way
+// message delivery with region-to-region latency taken from the fleet's
+// latency model. Application clients, application servers, and the SM
+// orchestrator all communicate through a Network so that experiments see
+// realistic geo-distributed latencies (Fig 19/20) and so that failed
+// endpoints drop traffic instead of magically responding.
+package rpcnet
+
+import (
+	"time"
+
+	"shardmanager/internal/sim"
+	"shardmanager/internal/topology"
+)
+
+// Endpoint is anything reachable on the network.
+type Endpoint string
+
+// Network delivers messages between regions with simulated latency.
+type Network struct {
+	loop  *sim.Loop
+	fleet *topology.Fleet
+	rng   *sim.RNG
+	// Jitter adds up to this fraction of extra random latency per hop
+	// (default 0.1).
+	Jitter float64
+
+	regions map[Endpoint]topology.RegionID
+	down    map[Endpoint]bool
+
+	// Messages counts deliveries, for tests.
+	Messages int64
+}
+
+// NewNetwork returns a network over the fleet's latency model.
+func NewNetwork(loop *sim.Loop, fleet *topology.Fleet) *Network {
+	return &Network{
+		loop:    loop,
+		fleet:   fleet,
+		rng:     loop.RNG().Fork(),
+		Jitter:  0.1,
+		regions: make(map[Endpoint]topology.RegionID),
+		down:    make(map[Endpoint]bool),
+	}
+}
+
+// Register places an endpoint in a region and marks it reachable.
+func (n *Network) Register(e Endpoint, region topology.RegionID) {
+	n.regions[e] = region
+	delete(n.down, e)
+}
+
+// Unregister makes the endpoint unreachable (process death).
+func (n *Network) Unregister(e Endpoint) { n.down[e] = true }
+
+// Reachable reports whether the endpoint is registered and up.
+func (n *Network) Reachable(e Endpoint) bool {
+	_, ok := n.regions[e]
+	return ok && !n.down[e]
+}
+
+// Region returns the endpoint's region ("" if unknown).
+func (n *Network) Region(e Endpoint) topology.RegionID { return n.regions[e] }
+
+// Delay returns one sampled one-way latency between two regions.
+func (n *Network) Delay(from, to topology.RegionID) time.Duration {
+	base := n.fleet.Latency(from, to)
+	if n.Jitter <= 0 {
+		return base
+	}
+	return base + time.Duration(n.rng.Float64()*n.Jitter*float64(base))
+}
+
+// Send schedules fn to run after the one-way latency from the sender's
+// region to the destination endpoint's region. If the destination is
+// unreachable at delivery time, onFail runs instead (after the same delay —
+// the sender learns of the failure by timeout/RST, not instantly). Either
+// callback may be nil.
+func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onFail func()) {
+	toRegion, known := n.regions[to]
+	var d time.Duration
+	if known {
+		d = n.Delay(fromRegion, toRegion)
+	} else {
+		d = n.Delay(fromRegion, fromRegion)
+	}
+	n.loop.After(d, func() {
+		n.Messages++
+		if !n.Reachable(to) {
+			if onFail != nil {
+				onFail()
+			}
+			return
+		}
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// Call performs a round trip: deliver the request, run handle at the
+// destination, then deliver the reply back and run done with the total
+// round-trip time. If the destination is unreachable, fail runs after the
+// one-way delay. handle runs only if the destination is reachable.
+func (n *Network) Call(fromRegion topology.RegionID, to Endpoint, handle func(), done func(rtt time.Duration), fail func()) {
+	start := n.loop.Now()
+	n.Send(fromRegion, to, func() {
+		if handle != nil {
+			handle()
+		}
+		// Reply path: destination region back to caller region.
+		back := n.Delay(n.regions[to], fromRegion)
+		n.loop.After(back, func() {
+			if done != nil {
+				done(n.loop.Now() - start)
+			}
+		})
+	}, fail)
+}

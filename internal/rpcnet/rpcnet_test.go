@@ -1,0 +1,123 @@
+package rpcnet
+
+import (
+	"testing"
+	"time"
+
+	"shardmanager/internal/sim"
+	"shardmanager/internal/topology"
+)
+
+func testNet(t *testing.T) (*sim.Loop, *Network) {
+	t.Helper()
+	fleet := topology.Build(topology.Spec{
+		Regions:           []topology.RegionID{"a", "b"},
+		MachinesPerRegion: 1,
+		Latency:           map[[2]topology.RegionID]time.Duration{{"a", "b"}: 50 * time.Millisecond},
+	})
+	loop := sim.NewLoop(1)
+	n := NewNetwork(loop, fleet)
+	n.Jitter = 0
+	return loop, n
+}
+
+func TestSendDeliversWithLatency(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	var deliveredAt time.Duration
+	n.Send("a", "dst", func() { deliveredAt = loop.Now() }, nil)
+	loop.Run()
+	if deliveredAt != 50*time.Millisecond {
+		t.Fatalf("delivered at %v, want 50ms", deliveredAt)
+	}
+	if n.Messages != 1 {
+		t.Fatalf("Messages = %d", n.Messages)
+	}
+}
+
+func TestSendToDownEndpointFails(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	n.Unregister("dst")
+	ok, failed := false, false
+	n.Send("a", "dst", func() { ok = true }, func() { failed = true })
+	loop.Run()
+	if ok || !failed {
+		t.Fatalf("ok=%v failed=%v", ok, failed)
+	}
+}
+
+func TestEndpointGoesDownInFlight(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	failed := false
+	n.Send("a", "dst", nil, func() { failed = true })
+	// Kill the endpoint before the message lands.
+	loop.After(10*time.Millisecond, func() { n.Unregister("dst") })
+	loop.Run()
+	if !failed {
+		t.Fatal("in-flight message delivered to dead endpoint")
+	}
+}
+
+func TestReRegisterRevives(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	n.Unregister("dst")
+	n.Register("dst", "b")
+	if !n.Reachable("dst") {
+		t.Fatal("re-registered endpoint unreachable")
+	}
+	ok := false
+	n.Send("a", "dst", func() { ok = true }, nil)
+	loop.Run()
+	if !ok {
+		t.Fatal("message not delivered after revive")
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	var rtt time.Duration
+	handled := false
+	n.Call("a", "dst", func() { handled = true }, func(d time.Duration) { rtt = d }, nil)
+	loop.Run()
+	if !handled {
+		t.Fatal("handler not invoked")
+	}
+	if rtt != 100*time.Millisecond {
+		t.Fatalf("rtt = %v, want 100ms", rtt)
+	}
+}
+
+func TestCallFailure(t *testing.T) {
+	loop, n := testNet(t)
+	failed := false
+	n.Call("a", "ghost", nil, nil, func() { failed = true })
+	loop.Run()
+	if !failed {
+		t.Fatal("call to unknown endpoint did not fail")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	loop, n := testNet(t)
+	n.Jitter = 0.5
+	n.Register("dst", "b")
+	for i := 0; i < 100; i++ {
+		d := n.Delay("a", "b")
+		if d < 50*time.Millisecond || d > 75*time.Millisecond {
+			t.Fatalf("delay %v outside [50ms, 75ms]", d)
+		}
+	}
+	_ = loop
+}
+
+func TestRegionLookup(t *testing.T) {
+	_, n := testNet(t)
+	n.Register("x", "a")
+	if n.Region("x") != "a" || n.Region("ghost") != "" {
+		t.Fatal("Region lookup wrong")
+	}
+}

@@ -1,0 +1,334 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All Shard Manager components take time from a Clock rather than the wall
+// clock, so the same control-plane code runs both in unit tests (driven
+// directly) and in whole-cluster experiments (driven by a Loop). A Loop is a
+// single-threaded event queue: callbacks scheduled with At or After run in
+// timestamp order, ties broken by scheduling order, which makes every
+// experiment reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Clock supplies the current simulated time.
+type Clock interface {
+	// Now returns the current simulated time as an offset from the
+	// simulation epoch.
+	Now() time.Duration
+}
+
+// Scheduler schedules callbacks to run at future simulated times.
+type Scheduler interface {
+	Clock
+	// After schedules fn to run d after the current time. It returns a
+	// Timer that can cancel the callback before it fires.
+	After(d time.Duration, fn func()) *Timer
+	// At schedules fn at an absolute simulated time. Times in the past
+	// run immediately after the current event, at the current time.
+	At(t time.Duration, fn func()) *Timer
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the callback was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	pending := !t.ev.fired
+	t.ev.fn = nil
+	return pending
+}
+
+type event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	fired bool
+	index int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Loop is a single-threaded discrete-event loop. The zero value is not
+// usable; create one with NewLoop.
+type Loop struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *RNG
+}
+
+// NewLoop returns an event loop starting at time zero with a deterministic
+// RNG seeded by seed.
+func NewLoop(seed uint64) *Loop {
+	return &Loop{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// RNG returns the loop's deterministic random source.
+func (l *Loop) RNG() *RNG { return l.rng }
+
+// After schedules fn to run d after the current time.
+func (l *Loop) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now+d, fn)
+}
+
+// At schedules fn at absolute time t (clamped to the present).
+func (l *Loop) At(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < l.now {
+		t = l.now
+	}
+	ev := &event{at: t, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Every schedules fn to run every interval, starting one interval from now,
+// until the returned Ticker is stopped.
+func (l *Loop) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive interval %v", interval))
+	}
+	tk := &Ticker{loop: l, interval: interval, fn: fn}
+	tk.schedule()
+	return tk
+}
+
+// Ticker repeatedly schedules a callback at a fixed interval.
+type Ticker struct {
+	loop     *Loop
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+func (t *Ticker) schedule() {
+	t.timer = t.loop.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Step runs the next pending event. It reports whether an event ran.
+func (l *Loop) Step() bool {
+	for l.events.Len() > 0 {
+		ev := heap.Pop(&l.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		l.now = ev.at
+		ev.fired = true
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline.
+func (l *Loop) RunUntil(deadline time.Duration) {
+	for l.events.Len() > 0 {
+		// Peek at the earliest event; stop before passing the deadline.
+		next := l.events[0]
+		if next.fn == nil {
+			heap.Pop(&l.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		l.Step()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+}
+
+// RunFor executes events for d of simulated time from the current instant.
+func (l *Loop) RunFor(d time.Duration) { l.RunUntil(l.now + d) }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (l *Loop) Pending() int { return l.events.Len() }
+
+// RNG is a splitmix64 pseudo-random generator. It is deliberately simple and
+// fully deterministic across platforms, unlike math/rand's global source.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: Intn(%d)", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative random int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// NormFloat64 returns a normally distributed value (mean 0, stddev 1) using
+// the Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements via swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent generator; useful to give each component its
+// own stream so that adding randomness in one place does not perturb others.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// ManualClock is a Clock for unit tests that component code can advance
+// directly without an event loop.
+type ManualClock struct {
+	now time.Duration
+}
+
+// NewManualClock returns a ManualClock set to start.
+func NewManualClock(start time.Duration) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the current manual time.
+func (c *ManualClock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. It panics if d is negative.
+func (c *ManualClock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("sim: ManualClock.Advance negative")
+	}
+	c.now += d
+}
+
+// Set jumps the clock to t. It panics if t is before the current time.
+func (c *ManualClock) Set(t time.Duration) {
+	if t < c.now {
+		panic("sim: ManualClock.Set into the past")
+	}
+	c.now = t
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLoopOrdersEventsByTime(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	l.After(3*time.Second, func() { got = append(got, 3) })
+	l.After(1*time.Second, func() { got = append(got, 1) })
+	l.After(2*time.Second, func() { got = append(got, 2) })
+	l.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if l.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", l.Now())
+	}
+}
+
+func TestLoopTieBreakIsFIFO(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(time.Second, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := NewLoop(1)
+	fired := false
+	tm := l.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	l.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	l := NewLoop(1)
+	tm := l.After(time.Second, func() {})
+	l.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestAtInThePastRunsNow(t *testing.T) {
+	l := NewLoop(1)
+	l.After(5*time.Second, func() {
+		l.At(time.Second, func() {
+			if l.Now() != 5*time.Second {
+				t.Errorf("past event ran at %v, want 5s", l.Now())
+			}
+		})
+	})
+	l.Run()
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	l := NewLoop(1)
+	ran := false
+	l.After(10*time.Second, func() { ran = true })
+	l.RunUntil(5 * time.Second)
+	if ran {
+		t.Fatal("event beyond deadline ran")
+	}
+	if l.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", l.Now())
+	}
+	l.RunFor(5 * time.Second)
+	if !ran {
+		t.Fatal("event at deadline did not run")
+	}
+}
+
+func TestRunUntilRunsEventAtDeadline(t *testing.T) {
+	l := NewLoop(1)
+	ran := false
+	l.After(5*time.Second, func() { ran = true })
+	l.RunUntil(5 * time.Second)
+	if !ran {
+		t.Fatal("event exactly at deadline should run")
+	}
+}
+
+func TestEverticksAndStops(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	tk := l.Every(time.Second, func() {
+		n++
+		if n == 3 {
+			// Stop from within the callback.
+		}
+	})
+	l.RunUntil(3 * time.Second)
+	tk.Stop()
+	l.RunUntil(10 * time.Second)
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	var tk *Ticker
+	tk = l.Every(time.Second, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	l.Run()
+	if n != 2 {
+		t.Fatalf("ticks = %d, want 2", n)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	l := NewLoop(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			l.After(time.Millisecond, recurse)
+		}
+	}
+	l.After(0, recurse)
+	l.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if l.Now() != 99*time.Millisecond {
+		t.Fatalf("Now = %v, want 99ms", l.Now())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(99)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGExpFloat64Mean(t *testing.T) {
+	r := NewRNG(123)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / float64(n)
+	if mean < 0.97 || mean > 1.03 {
+		t.Fatalf("mean = %v, want ~1", mean)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams produced identical first value")
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(time.Minute)
+	if c.Now() != time.Minute {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(time.Second)
+	if c.Now() != time.Minute+time.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Set(2 * time.Minute)
+	if c.Now() != 2*time.Minute {
+		t.Fatalf("Now = %v", c.Now())
+	}
+}
+
+func TestManualClockPanics(t *testing.T) {
+	c := NewManualClock(time.Minute)
+	mustPanic(t, func() { c.Advance(-1) })
+	mustPanic(t, func() { c.Set(0) })
+}
+
+func TestLoopPanicsOnBadArgs(t *testing.T) {
+	l := NewLoop(1)
+	mustPanic(t, func() { l.At(0, nil) })
+	mustPanic(t, func() { l.Every(0, func() {}) })
+	mustPanic(t, func() { NewRNG(1).Intn(0) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(11)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: %v", vals)
+	}
+}
+
+func BenchmarkLoopScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := NewLoop(1)
+		for j := 0; j < 1000; j++ {
+			l.After(time.Duration(j)*time.Millisecond, func() {})
+		}
+		l.Run()
+	}
+}

@@ -1,0 +1,753 @@
+// Package solver implements a generic constraint solver for assignment
+// problems, modeled after ReBalancer (§5.2): callers describe entities
+// (shard replicas), buckets (servers), hard capacity constraints, and
+// weighted soft goals through a high-level API, and the solver improves the
+// assignment with local search (§5.3).
+//
+// The solver is domain-independent: it knows nothing about shards, regions,
+// or load balancing. Shard Manager's allocator (package allocator)
+// translates its placement problem into this vocabulary and supplies domain
+// knowledge — grouped target sampling, big-entities-first ordering, and
+// goal batching — that the paper shows is essential to make local search
+// converge quickly (Fig 22).
+//
+// Incremental evaluation: the paper describes representing the objective as
+// a tree of variables so that evaluating a move touches only O(log n)
+// nodes. We achieve the same asymptotics with per-spec aggregate state
+// (per-bucket/per-domain load sums and per-group domain counts) updated in
+// O(1) per move; evaluating a candidate move never rescans entities.
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// EntityID indexes an entity within a Problem.
+type EntityID int
+
+// BucketID indexes a bucket within a Problem. Unassigned is the sentinel
+// for entities with no current placement (e.g. replicas of a failed server).
+type BucketID int
+
+// Unassigned marks an entity without a bucket.
+const Unassigned BucketID = -1
+
+// ScopeBucket is the Scope value meaning "each bucket individually"; any
+// other scope string refers to a bucket property (e.g. "region", "rack").
+const ScopeBucket = ""
+
+// unassignedPenalty dominates every soft goal so that placing unassigned
+// entities is always the most urgent improvement.
+const unassignedPenalty = 1e12
+
+// Entity is one assignable unit (a shard replica).
+type Entity struct {
+	Name string
+	// Load per metric, indexed like Problem.Metrics.
+	Load []float64
+	// Bucket is the current assignment (Unassigned if none).
+	Bucket BucketID
+	// Movable entities may be reassigned; pinned ones contribute load
+	// but never move.
+	Movable bool
+}
+
+// Bucket is one assignment target (a server).
+type Bucket struct {
+	Name string
+	// Capacity per metric, indexed like Problem.Metrics.
+	Capacity []float64
+	// Props maps a scope name to this bucket's domain at that scope,
+	// e.g. {"region": "frc", "rack": "frc/dc0/rack01"}.
+	Props map[string]string
+	// Group tags the bucket for grouped candidate sampling (set by the
+	// caller; typically the region or hardware class).
+	Group string
+	// Draining marks buckets that should shed entities (pending
+	// maintenance or software upgrade, §5.1 soft goal 3).
+	Draining bool
+}
+
+// CapacitySpec is a hard constraint: for each aggregation key at Scope, the
+// sum of entity loads for Metric must not exceed the key's capacity (the sum
+// of its buckets' capacities). Mirrors addConstraint(CapacitySpec{...}) in
+// Fig 13.
+type CapacitySpec struct {
+	Metric string
+	Scope  string
+}
+
+// BalanceSpec is a soft goal: keep each aggregation key's utilization of
+// Metric under UtilCap, and within MaxDiff of the mean utilization
+// (§5.1 soft goals 4-6). Mirrors addGoal(BalanceSpec{...}) in Fig 13.
+type BalanceSpec struct {
+	Metric string
+	Scope  string
+	// UtilCap is the absolute utilization threshold (e.g. 0.9); <= 0
+	// disables it.
+	UtilCap float64
+	// MaxDiff is the allowed deviation above mean utilization (e.g.
+	// 0.1); <= 0 disables it.
+	MaxDiff float64
+	Weight  float64
+}
+
+// AffinityGoal is a soft goal: one entity prefers buckets whose domain at
+// Scope equals Domain, with the given weight (region preference, §5.1 soft
+// goal 1; Fig 13 statements 5-6).
+type AffinityGoal struct {
+	Scope  string
+	Entity EntityID
+	Domain string
+	Weight float64
+}
+
+// ExclusionSpec is a soft goal: entities sharing a group key should occupy
+// distinct domains at Scope (spread of replicas, §5.1 soft goal 2; Fig 13
+// statements 7-8). Each colocated extra entity costs Weight.
+type ExclusionSpec struct {
+	Scope  string
+	Groups map[EntityID]string
+	Weight float64
+}
+
+// Problem is a mutable assignment problem under construction. Build it with
+// the Add* methods, then call Solve.
+type Problem struct {
+	Metrics []string
+	midx    map[string]int
+
+	Entities []Entity
+	Buckets  []Bucket
+
+	capacitySpecs  []CapacitySpec
+	balanceSpecs   []BalanceSpec
+	affinityGoals  map[EntityID][]AffinityGoal
+	exclusionSpecs []ExclusionSpec
+	conflictSpecs  []ExclusionSpec
+	drainWeight    float64
+}
+
+// NewProblem creates a problem with the given load metrics.
+func NewProblem(metrics []string) *Problem {
+	if len(metrics) == 0 {
+		panic("solver: NewProblem with no metrics")
+	}
+	midx := make(map[string]int, len(metrics))
+	for i, m := range metrics {
+		if _, dup := midx[m]; dup {
+			panic(fmt.Sprintf("solver: duplicate metric %q", m))
+		}
+		midx[m] = i
+	}
+	return &Problem{
+		Metrics:       append([]string(nil), metrics...),
+		midx:          midx,
+		affinityGoals: make(map[EntityID][]AffinityGoal),
+	}
+}
+
+// MetricIndex returns the index of a metric name.
+func (p *Problem) MetricIndex(metric string) int {
+	i, ok := p.midx[metric]
+	if !ok {
+		panic(fmt.Sprintf("solver: unknown metric %q", metric))
+	}
+	return i
+}
+
+// AddBucket registers a bucket and returns its ID.
+func (p *Problem) AddBucket(b Bucket) BucketID {
+	if len(b.Capacity) != len(p.Metrics) {
+		panic(fmt.Sprintf("solver: bucket %q capacity has %d metrics, want %d", b.Name, len(b.Capacity), len(p.Metrics)))
+	}
+	p.Buckets = append(p.Buckets, b)
+	return BucketID(len(p.Buckets) - 1)
+}
+
+// AddEntity registers an entity and returns its ID.
+func (p *Problem) AddEntity(e Entity) EntityID {
+	if len(e.Load) != len(p.Metrics) {
+		panic(fmt.Sprintf("solver: entity %q load has %d metrics, want %d", e.Name, len(e.Load), len(p.Metrics)))
+	}
+	if e.Bucket != Unassigned && (e.Bucket < 0 || int(e.Bucket) >= len(p.Buckets)) {
+		panic(fmt.Sprintf("solver: entity %q assigned to unknown bucket %d", e.Name, e.Bucket))
+	}
+	p.Entities = append(p.Entities, e)
+	return EntityID(len(p.Entities) - 1)
+}
+
+// AddConstraint registers a hard capacity constraint.
+func (p *Problem) AddConstraint(c CapacitySpec) {
+	p.MetricIndex(c.Metric)
+	p.capacitySpecs = append(p.capacitySpecs, c)
+}
+
+// AddBalanceGoal registers a soft balance goal.
+func (p *Problem) AddBalanceGoal(b BalanceSpec) {
+	p.MetricIndex(b.Metric)
+	if b.Weight <= 0 {
+		panic("solver: balance goal needs positive weight")
+	}
+	if b.UtilCap <= 0 && b.MaxDiff <= 0 {
+		panic("solver: balance goal needs UtilCap or MaxDiff")
+	}
+	p.balanceSpecs = append(p.balanceSpecs, b)
+}
+
+// AddAffinityGoal registers a soft per-entity domain preference.
+func (p *Problem) AddAffinityGoal(g AffinityGoal) {
+	if g.Weight <= 0 {
+		panic("solver: affinity goal needs positive weight")
+	}
+	if g.Entity < 0 || int(g.Entity) >= len(p.Entities) {
+		panic(fmt.Sprintf("solver: affinity for unknown entity %d", g.Entity))
+	}
+	p.affinityGoals[g.Entity] = append(p.affinityGoals[g.Entity], g)
+}
+
+// AddExclusionGoal registers a soft spread goal.
+func (p *Problem) AddExclusionGoal(s ExclusionSpec) {
+	if s.Weight <= 0 {
+		panic("solver: exclusion goal needs positive weight")
+	}
+	p.exclusionSpecs = append(p.exclusionSpecs, s)
+}
+
+// AddConflict registers a HARD exclusion: no two entities of the same group
+// may occupy the same domain at Scope. Moves that would colocate are
+// infeasible. Shard Manager uses it at server scope — two replicas of one
+// shard must never share a server. Weight is ignored.
+func (p *Problem) AddConflict(s ExclusionSpec) {
+	p.conflictSpecs = append(p.conflictSpecs, s)
+}
+
+// AddDrainGoal penalizes every entity on a Draining bucket with weight w.
+func (p *Problem) AddDrainGoal(w float64) {
+	if w <= 0 {
+		panic("solver: drain goal needs positive weight")
+	}
+	p.drainWeight = w
+}
+
+// domainOf returns the aggregation key of bucket b at scope: the bucket's
+// own index for ScopeBucket, else its Props value.
+func (p *Problem) domainOf(b BucketID, scope string) string {
+	if scope == ScopeBucket {
+		return p.Buckets[b].Name
+	}
+	d, ok := p.Buckets[b].Props[scope]
+	if !ok {
+		panic(fmt.Sprintf("solver: bucket %q lacks scope %q", p.Buckets[b].Name, scope))
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Incremental evaluation state.
+
+// aggState tracks load and capacity per aggregation key for one spec.
+type aggState struct {
+	scope string
+	midx  int
+	// key -> aggregate
+	load map[string]float64
+	cap  map[string]float64
+	// For balance specs: mean utilization over keys with capacity,
+	// fixed at state-build time (moves conserve total load).
+	meanUtil float64
+}
+
+// state is the solver's incremental view of a problem.
+type state struct {
+	p *Problem
+	// assignment[e] is the current bucket of entity e.
+	assignment []BucketID
+
+	capStates []aggState // parallel to capacitySpecs
+	balStates []aggState // parallel to balanceSpecs
+
+	// exclusion counts: for each exclusion spec, (group|domain) -> count.
+	exclCounts []map[string]int
+	// conflict counts: for each conflict spec, (group|domain) -> count.
+	confCounts []map[string]int
+
+	// Per-bucket entity sets, maintained for neighborhood generation.
+	byBucket [][]EntityID
+
+	// bucketLoad[b][m] is the total load of metric m on bucket b,
+	// regardless of spec scopes; samplers use it to prefer cold targets.
+	bucketLoad [][]float64
+
+	unassigned map[EntityID]struct{}
+}
+
+func key2(group, domain string) string { return group + "\x00" + domain }
+
+// newState builds the incremental state from the problem's current
+// assignment.
+func newState(p *Problem) *state {
+	s := &state{
+		p:          p,
+		assignment: make([]BucketID, len(p.Entities)),
+		byBucket:   make([][]EntityID, len(p.Buckets)),
+		unassigned: make(map[EntityID]struct{}),
+	}
+	s.bucketLoad = make([][]float64, len(p.Buckets))
+	for b := range s.bucketLoad {
+		s.bucketLoad[b] = make([]float64, len(p.Metrics))
+	}
+	for i := range p.Entities {
+		s.assignment[i] = p.Entities[i].Bucket
+		if p.Entities[i].Bucket == Unassigned {
+			s.unassigned[EntityID(i)] = struct{}{}
+		} else {
+			s.byBucket[p.Entities[i].Bucket] = append(s.byBucket[p.Entities[i].Bucket], EntityID(i))
+			for m, l := range p.Entities[i].Load {
+				s.bucketLoad[p.Entities[i].Bucket][m] += l
+			}
+		}
+	}
+	build := func(metric, scope string) aggState {
+		a := aggState{
+			scope: scope,
+			midx:  p.MetricIndex(metric),
+			load:  make(map[string]float64),
+			cap:   make(map[string]float64),
+		}
+		for b := range p.Buckets {
+			k := p.domainOf(BucketID(b), scope)
+			a.cap[k] += p.Buckets[b].Capacity[a.midx]
+		}
+		for e := range p.Entities {
+			if s.assignment[e] == Unassigned {
+				continue
+			}
+			k := p.domainOf(s.assignment[e], scope)
+			a.load[k] += p.Entities[e].Load[a.midx]
+		}
+		var totLoad, totCap float64
+		for k, c := range a.cap {
+			totCap += c
+			totLoad += a.load[k]
+		}
+		// Include load of unassigned entities in the mean: once placed
+		// they will push utilization up, and the target must account
+		// for them or the solver would chase a moving average.
+		for e := range s.unassigned {
+			totLoad += p.Entities[e].Load[a.midx]
+		}
+		if totCap > 0 {
+			a.meanUtil = totLoad / totCap
+		}
+		return a
+	}
+	for _, c := range p.capacitySpecs {
+		s.capStates = append(s.capStates, build(c.Metric, c.Scope))
+	}
+	for _, b := range p.balanceSpecs {
+		s.balStates = append(s.balStates, build(b.Metric, b.Scope))
+	}
+	buildCounts := func(ex ExclusionSpec) map[string]int {
+		counts := make(map[string]int)
+		for e, g := range ex.Groups {
+			if s.assignment[e] == Unassigned {
+				continue
+			}
+			counts[key2(g, p.domainOf(s.assignment[e], ex.Scope))]++
+		}
+		return counts
+	}
+	for _, ex := range p.exclusionSpecs {
+		s.exclCounts = append(s.exclCounts, buildCounts(ex))
+	}
+	for _, ex := range p.conflictSpecs {
+		s.confCounts = append(s.confCounts, buildCounts(ex))
+	}
+	return s
+}
+
+// balancePenalty returns one balance spec's penalty for a key given its
+// load. Penalty is measured in capacity-weighted overload so that moving a
+// large entity off an overloaded key helps proportionally.
+func balancePenalty(spec BalanceSpec, a *aggState, k string, load float64) float64 {
+	c := a.cap[k]
+	if c <= 0 {
+		// Load on a zero-capacity key is maximally penalized.
+		if load > 0 {
+			return spec.Weight * load
+		}
+		return 0
+	}
+	u := load / c
+	var pen float64
+	if spec.UtilCap > 0 && u > spec.UtilCap {
+		pen += (u - spec.UtilCap) * c
+	}
+	if spec.MaxDiff > 0 && u > a.meanUtil+spec.MaxDiff {
+		pen += (u - a.meanUtil - spec.MaxDiff) * c
+	}
+	return spec.Weight * pen
+}
+
+// capacityPenalty treats hard-constraint overflow as a very large soft
+// penalty so local search can repair infeasible initial states while the
+// feasibility check prevents creating new overflow.
+func capacityPenalty(a *aggState, k string, load float64) float64 {
+	c := a.cap[k]
+	if load > c {
+		return 1e6 * (load - c)
+	}
+	return 0
+}
+
+// affinityPenalty returns the penalty of entity e sitting on bucket b.
+func (s *state) affinityPenalty(e EntityID, b BucketID) float64 {
+	goals := s.p.affinityGoals[e]
+	if len(goals) == 0 {
+		return 0
+	}
+	var pen float64
+	for _, g := range goals {
+		if s.p.domainOf(b, g.Scope) != g.Domain {
+			pen += g.Weight
+		}
+	}
+	return pen
+}
+
+// drainPenalty returns the penalty of entity e sitting on bucket b.
+func (s *state) drainPenalty(b BucketID) float64 {
+	if s.p.drainWeight > 0 && s.p.Buckets[b].Draining {
+		return s.p.drainWeight
+	}
+	return 0
+}
+
+// moveDelta returns the objective change of moving e from its current
+// bucket to target, and whether the move is feasible w.r.t. hard capacity
+// constraints. A move is feasible if every capacity aggregation key it
+// loads stays within capacity OR was already over capacity and does not get
+// worse... (we only allow strictly safe targets: target keys must remain
+// within capacity).
+func (s *state) moveDelta(e EntityID, target BucketID) (float64, bool) {
+	from := s.assignment[e]
+	if from == target {
+		return 0, false
+	}
+	ent := &s.p.Entities[e]
+	var delta float64
+
+	// Hard conflict feasibility: a group member may not join a domain
+	// that already holds one.
+	for i := range s.p.conflictSpecs {
+		cf := &s.p.conflictSpecs[i]
+		g, ok := cf.Groups[e]
+		if !ok {
+			continue
+		}
+		td := s.p.domainOf(target, cf.Scope)
+		if from != Unassigned && s.p.domainOf(from, cf.Scope) == td {
+			continue
+		}
+		if s.confCounts[i][key2(g, td)] >= 1 {
+			return 0, false
+		}
+	}
+
+	// Hard capacity feasibility + overflow penalty delta.
+	for i := range s.p.capacitySpecs {
+		a := &s.capStates[i]
+		l := ent.Load[a.midx]
+		if l == 0 {
+			continue
+		}
+		tk := s.p.domainOf(target, a.scope)
+		newLoad := a.load[tk] + l
+		var fk string
+		if from != Unassigned {
+			fk = s.p.domainOf(from, a.scope)
+			if fk == tk {
+				continue // same aggregation key: no change
+			}
+		}
+		if newLoad > a.cap[tk] {
+			return 0, false
+		}
+		delta += capacityPenalty(a, tk, newLoad) - capacityPenalty(a, tk, a.load[tk])
+		if from != Unassigned {
+			delta += capacityPenalty(a, fk, a.load[fk]-l) - capacityPenalty(a, fk, a.load[fk])
+		}
+	}
+
+	// Balance deltas.
+	for i := range s.p.balanceSpecs {
+		spec := s.p.balanceSpecs[i]
+		a := &s.balStates[i]
+		l := ent.Load[a.midx]
+		if l == 0 {
+			continue
+		}
+		tk := s.p.domainOf(target, a.scope)
+		var fk string
+		if from != Unassigned {
+			fk = s.p.domainOf(from, a.scope)
+			if fk == tk {
+				continue
+			}
+		}
+		delta += balancePenalty(spec, a, tk, a.load[tk]+l) - balancePenalty(spec, a, tk, a.load[tk])
+		if from != Unassigned {
+			delta += balancePenalty(spec, a, fk, a.load[fk]-l) - balancePenalty(spec, a, fk, a.load[fk])
+		}
+	}
+
+	// Exclusion deltas.
+	for i := range s.p.exclusionSpecs {
+		ex := &s.p.exclusionSpecs[i]
+		g, ok := ex.Groups[e]
+		if !ok {
+			continue
+		}
+		td := s.p.domainOf(target, ex.Scope)
+		var fd string
+		if from != Unassigned {
+			fd = s.p.domainOf(from, ex.Scope)
+			if fd == td {
+				continue
+			}
+		}
+		counts := s.exclCounts[i]
+		// Adding to target domain costs Weight if it already has a
+		// group member; leaving the source domain saves Weight if it
+		// had more than one.
+		if counts[key2(g, td)] >= 1 {
+			delta += ex.Weight
+		}
+		if from != Unassigned && counts[key2(g, fd)] >= 2 {
+			delta -= ex.Weight
+		}
+	}
+
+	// Affinity and drain.
+	delta += s.affinityPenalty(e, target)
+	delta += s.drainPenalty(target)
+	if from != Unassigned {
+		delta -= s.affinityPenalty(e, from)
+		delta -= s.drainPenalty(from)
+	} else {
+		delta -= unassignedPenalty
+	}
+	return delta, true
+}
+
+// apply commits the move of e to target, updating all aggregate state.
+func (s *state) apply(e EntityID, target BucketID) {
+	from := s.assignment[e]
+	if from == target {
+		return
+	}
+	ent := &s.p.Entities[e]
+	move := func(a *aggState) {
+		l := ent.Load[a.midx]
+		if l == 0 {
+			return
+		}
+		if from != Unassigned {
+			a.load[s.p.domainOf(from, a.scope)] -= l
+		}
+		a.load[s.p.domainOf(target, a.scope)] += l
+	}
+	for i := range s.capStates {
+		move(&s.capStates[i])
+	}
+	for i := range s.balStates {
+		move(&s.balStates[i])
+	}
+	for i := range s.p.exclusionSpecs {
+		ex := &s.p.exclusionSpecs[i]
+		g, ok := ex.Groups[e]
+		if !ok {
+			continue
+		}
+		if from != Unassigned {
+			s.exclCounts[i][key2(g, s.p.domainOf(from, ex.Scope))]--
+		}
+		s.exclCounts[i][key2(g, s.p.domainOf(target, ex.Scope))]++
+	}
+	for i := range s.p.conflictSpecs {
+		cf := &s.p.conflictSpecs[i]
+		g, ok := cf.Groups[e]
+		if !ok {
+			continue
+		}
+		if from != Unassigned {
+			s.confCounts[i][key2(g, s.p.domainOf(from, cf.Scope))]--
+		}
+		s.confCounts[i][key2(g, s.p.domainOf(target, cf.Scope))]++
+	}
+	if from != Unassigned {
+		lst := s.byBucket[from]
+		for i, id := range lst {
+			if id == e {
+				lst[i] = lst[len(lst)-1]
+				s.byBucket[from] = lst[:len(lst)-1]
+				break
+			}
+		}
+		for m, l := range ent.Load {
+			s.bucketLoad[from][m] -= l
+		}
+	} else {
+		delete(s.unassigned, e)
+	}
+	s.byBucket[target] = append(s.byBucket[target], e)
+	for m, l := range ent.Load {
+		s.bucketLoad[target][m] += l
+	}
+	s.assignment[e] = target
+}
+
+// ViolationCounts summarizes constraint and goal violations.
+type ViolationCounts struct {
+	// Capacity keys over their hard capacity.
+	Capacity int
+	// Conflict counts colocated same-group entities under hard conflict
+	// specs (pairs beyond the first per domain).
+	Conflict int
+	// Balance keys over UtilCap or over mean+MaxDiff (each rule counts).
+	Balance int
+	// Entities not on their preferred domain.
+	Affinity int
+	// Colocated same-group entity pairs beyond the first per domain.
+	Exclusion int
+	// Entities on draining buckets.
+	Drain int
+	// Entities with no assignment.
+	Unassigned int
+}
+
+// Total sums all violation categories.
+func (v ViolationCounts) Total() int {
+	return v.Capacity + v.Conflict + v.Balance + v.Affinity + v.Exclusion + v.Drain + v.Unassigned
+}
+
+// violations does a full scan; used for reporting, not in the hot path.
+func (s *state) violations() ViolationCounts {
+	var v ViolationCounts
+	for i := range s.p.capacitySpecs {
+		a := &s.capStates[i]
+		for k, load := range a.load {
+			if load > a.cap[k]+1e-9 {
+				v.Capacity++
+			}
+		}
+	}
+	for i := range s.p.balanceSpecs {
+		spec := s.p.balanceSpecs[i]
+		a := &s.balStates[i]
+		for k, c := range a.cap {
+			if c <= 0 {
+				continue
+			}
+			u := a.load[k] / c
+			if spec.UtilCap > 0 && u > spec.UtilCap+1e-9 {
+				v.Balance++
+			}
+			if spec.MaxDiff > 0 && u > a.meanUtil+spec.MaxDiff+1e-9 {
+				v.Balance++
+			}
+		}
+	}
+	for e := range s.p.Entities {
+		b := s.assignment[e]
+		if b == Unassigned {
+			continue
+		}
+		if s.affinityPenalty(EntityID(e), b) > 0 {
+			v.Affinity++
+		}
+		if s.drainPenalty(b) > 0 {
+			v.Drain++
+		}
+	}
+	for i := range s.p.exclusionSpecs {
+		for _, n := range s.exclCounts[i] {
+			if n > 1 {
+				v.Exclusion += n - 1
+			}
+		}
+	}
+	for i := range s.p.conflictSpecs {
+		for _, n := range s.confCounts[i] {
+			if n > 1 {
+				v.Conflict += n - 1
+			}
+		}
+	}
+	v.Unassigned = len(s.unassigned)
+	return v
+}
+
+// bucketPenalty estimates how much bucket b contributes to the objective;
+// used to pick hot buckets. It scans only the spec aggregates that b
+// belongs to plus b's entities for affinity/drain.
+func (s *state) bucketPenalty(b BucketID) float64 {
+	var pen float64
+	for i := range s.p.capacitySpecs {
+		a := &s.capStates[i]
+		k := s.p.domainOf(b, a.scope)
+		pen += capacityPenalty(a, k, a.load[k])
+	}
+	for i := range s.p.balanceSpecs {
+		a := &s.balStates[i]
+		k := s.p.domainOf(b, a.scope)
+		pen += balancePenalty(s.p.balanceSpecs[i], a, k, a.load[k])
+	}
+	for _, e := range s.byBucket[b] {
+		pen += s.affinityPenalty(e, b) + s.drainPenalty(b)
+		for i := range s.p.exclusionSpecs {
+			ex := &s.p.exclusionSpecs[i]
+			if g, ok := ex.Groups[e]; ok {
+				if s.exclCounts[i][key2(g, s.p.domainOf(b, ex.Scope))] > 1 {
+					pen += ex.Weight
+				}
+			}
+		}
+	}
+	return pen
+}
+
+// equivalenceSignature groups interchangeable entities: same load vector,
+// same affinity goals, and same exclusion groups. Evaluating one entity per
+// class per bucket is the paper's "reuses the computation for equivalent
+// shards" optimization.
+func (p *Problem) equivalenceSignature(e EntityID) string {
+	ent := &p.Entities[e]
+	sig := make([]byte, 0, 64)
+	for _, l := range ent.Load {
+		sig = appendFloat(sig, l)
+	}
+	for _, g := range p.affinityGoals[e] {
+		sig = append(sig, g.Scope...)
+		sig = append(sig, '=')
+		sig = append(sig, g.Domain...)
+		sig = appendFloat(sig, g.Weight)
+	}
+	for i := range p.exclusionSpecs {
+		if g, ok := p.exclusionSpecs[i].Groups[e]; ok {
+			sig = append(sig, byte('0'+i%10))
+			sig = append(sig, g...)
+		}
+	}
+	return string(sig)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	u := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(u>>(8*i)))
+	}
+	return b
+}

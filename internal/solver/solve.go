@@ -1,0 +1,394 @@
+package solver
+
+import (
+	"sort"
+	"time"
+
+	"shardmanager/internal/sim"
+)
+
+// View gives samplers read access to the evolving assignment so they can
+// prefer underloaded targets.
+type View struct {
+	st *state
+}
+
+// Utilization returns bucket b's current utilization for metric index m
+// (load / capacity; +Inf-free: zero capacity with load returns 1e18).
+func (v *View) Utilization(b BucketID, m int) float64 {
+	c := v.st.p.Buckets[b].Capacity[m]
+	l := v.st.bucketLoad[b][m]
+	if c <= 0 {
+		if l > 0 {
+			return 1e18
+		}
+		return 0
+	}
+	return l / c
+}
+
+// Load returns bucket b's current total load for metric index m.
+func (v *View) Load(b BucketID, m int) float64 { return v.st.bucketLoad[b][m] }
+
+// Entities returns the number of entities currently on bucket b.
+func (v *View) Entities(b BucketID) int { return len(v.st.byBucket[b]) }
+
+// Sampler picks candidate target buckets for an entity. It may return fewer
+// than k buckets; duplicates are tolerated.
+type Sampler func(rng *sim.RNG, e EntityID, k int, view *View) []BucketID
+
+// RandomSampler samples buckets uniformly — the baseline that Fig 22
+// compares against grouped, utilization-aware sampling.
+func RandomSampler(p *Problem) Sampler {
+	n := len(p.Buckets)
+	return func(rng *sim.RNG, _ EntityID, k int, _ *View) []BucketID {
+		out := make([]BucketID, 0, k)
+		for i := 0; i < k; i++ {
+			out = append(out, BucketID(rng.Intn(n)))
+		}
+		return out
+	}
+}
+
+// GroupedSampler groups buckets by their Group tag and draws candidates
+// from every group, preferring underloaded buckets within each group. This
+// is the domain-knowledge optimization of §5.3: sampling across groups has
+// a much better chance of finding a target that satisfies region-preference
+// and spread goals than uniform sampling.
+func GroupedSampler(p *Problem, utilMetric int) Sampler {
+	groups := make(map[string][]BucketID)
+	var order []string
+	for b := range p.Buckets {
+		g := p.Buckets[b].Group
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], BucketID(b))
+	}
+	return func(rng *sim.RNG, _ EntityID, k int, view *View) []BucketID {
+		perGroup := (k + len(order) - 1) / len(order)
+		if perGroup < 1 {
+			perGroup = 1
+		}
+		out := make([]BucketID, 0, k)
+		for _, g := range order {
+			members := groups[g]
+			// Draw 2x candidates, keep the least-utilized half:
+			// cheap bias toward cold targets.
+			for i := 0; i < perGroup; i++ {
+				a := members[rng.Intn(len(members))]
+				b := members[rng.Intn(len(members))]
+				if view.Utilization(b, utilMetric) < view.Utilization(a, utilMetric) {
+					a = b
+				}
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+}
+
+// Options configure one Solve call.
+type Options struct {
+	// TimeLimit bounds wall-clock solving time; <= 0 means no limit.
+	TimeLimit time.Duration
+	// MoveBudget bounds the number of applied moves; <= 0 means no limit.
+	MoveBudget int
+	// CandidateTargets is how many target buckets to sample per entity
+	// (default 16).
+	CandidateTargets int
+	// MaxEntitiesPerBucket is how many entities of a hot bucket to
+	// evaluate per fix attempt (default 16).
+	MaxEntitiesPerBucket int
+	// BigFirst evaluates a hot bucket's largest entities first (§5.3:
+	// "SM guides ReBalancer to evaluate large shards earlier").
+	BigFirst bool
+	// BigFirstMetric is the metric index used to order entities when
+	// BigFirst is set.
+	BigFirstMetric int
+	// UseEquivalence skips equivalent entities on the same bucket
+	// (§5.3: "reuses the computation for equivalent shards").
+	UseEquivalence bool
+	// EnableSwap tries two-way swaps when no single move improves.
+	EnableSwap bool
+	// Sampler picks candidate targets (default RandomSampler).
+	Sampler Sampler
+	// Seed drives the solver's deterministic RNG.
+	Seed uint64
+	// Progress, if set, is invoked after every search round with the
+	// current violation counts; experiments use it to plot
+	// violations-vs-time curves (Fig 21/22).
+	Progress func(ProgressInfo)
+}
+
+// DefaultOptions returns the fully optimized configuration.
+func DefaultOptions() Options {
+	return Options{
+		CandidateTargets:     16,
+		MaxEntitiesPerBucket: 16,
+		BigFirst:             true,
+		UseEquivalence:       true,
+		EnableSwap:           true,
+		Seed:                 1,
+	}
+}
+
+// ProgressInfo is a snapshot of solver progress.
+type ProgressInfo struct {
+	Elapsed    time.Duration
+	Moves      int
+	Violations ViolationCounts
+}
+
+// Move is one applied reassignment.
+type Move struct {
+	Entity EntityID
+	From   BucketID
+	To     BucketID
+}
+
+// Result reports the outcome of Solve.
+type Result struct {
+	// Moves in application order. An entity moved twice appears twice.
+	Moves []Move
+	// Assignment is the final bucket of every entity.
+	Assignment []BucketID
+	// Initial and Final violation counts.
+	Initial, Final ViolationCounts
+	// Rounds of hot-bucket scanning performed.
+	Rounds int
+	// Evaluated counts candidate move evaluations.
+	Evaluated int
+	// Elapsed wall-clock time.
+	Elapsed time.Duration
+}
+
+const improveEps = 1e-9
+
+// Solve improves the problem's assignment with local search and returns the
+// result. The Problem's Entities' Bucket fields are updated in place to the
+// final assignment.
+func Solve(p *Problem, opt Options) *Result {
+	if opt.CandidateTargets <= 0 {
+		opt.CandidateTargets = 16
+	}
+	if opt.MaxEntitiesPerBucket <= 0 {
+		opt.MaxEntitiesPerBucket = 16
+	}
+	if opt.Sampler == nil {
+		opt.Sampler = RandomSampler(p)
+	}
+	rng := sim.NewRNG(opt.Seed)
+	st := newState(p)
+	view := &View{st: st}
+	res := &Result{Initial: st.violations()}
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+	budgetLeft := func() bool {
+		if opt.MoveBudget > 0 && len(res.Moves) >= opt.MoveBudget {
+			return false
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return false
+		}
+		return true
+	}
+
+	// candidateEntities picks the entities of bucket b to evaluate.
+	candidateEntities := func(b BucketID) []EntityID {
+		all := st.byBucket[b]
+		picked := make([]EntityID, 0, opt.MaxEntitiesPerBucket)
+		if opt.UseEquivalence {
+			seen := make(map[string]struct{}, len(all))
+			for _, e := range all {
+				if !p.Entities[e].Movable {
+					continue
+				}
+				sig := p.equivalenceSignature(e)
+				if _, dup := seen[sig]; dup {
+					continue
+				}
+				seen[sig] = struct{}{}
+				picked = append(picked, e)
+			}
+		} else {
+			for _, e := range all {
+				if p.Entities[e].Movable {
+					picked = append(picked, e)
+				}
+			}
+		}
+		if opt.BigFirst {
+			m := opt.BigFirstMetric
+			sort.Slice(picked, func(i, j int) bool {
+				return p.Entities[picked[i]].Load[m] > p.Entities[picked[j]].Load[m]
+			})
+		} else {
+			rng.Shuffle(len(picked), func(i, j int) {
+				picked[i], picked[j] = picked[j], picked[i]
+			})
+		}
+		if len(picked) > opt.MaxEntitiesPerBucket {
+			picked = picked[:opt.MaxEntitiesPerBucket]
+		}
+		return picked
+	}
+
+	applyMove := func(e EntityID, to BucketID) {
+		res.Moves = append(res.Moves, Move{Entity: e, From: st.assignment[e], To: to})
+		st.apply(e, to)
+	}
+
+	// Phase 1 (emergency placement): assign every unassigned entity to
+	// its best sampled feasible target. This is what the emergency mode
+	// (§5.1) does first — restore availability, then polish.
+	if len(st.unassigned) > 0 {
+		pending := make([]EntityID, 0, len(st.unassigned))
+		for e := range st.unassigned {
+			pending = append(pending, e)
+		}
+		sort.Slice(pending, func(i, j int) bool {
+			a, b := pending[i], pending[j]
+			la := p.Entities[a].Load[opt.BigFirstMetric]
+			lb := p.Entities[b].Load[opt.BigFirstMetric]
+			if la != lb {
+				return la > lb
+			}
+			return a < b
+		})
+		for _, e := range pending {
+			if !budgetLeft() {
+				break
+			}
+			bestDelta := 0.0
+			bestTarget := Unassigned
+			for _, t := range opt.Sampler(rng, e, opt.CandidateTargets, view) {
+				d, ok := st.moveDelta(e, t)
+				res.Evaluated++
+				if ok && (bestTarget == Unassigned || d < bestDelta) {
+					bestDelta, bestTarget = d, t
+				}
+			}
+			if bestTarget != Unassigned {
+				applyMove(e, bestTarget)
+			}
+		}
+	}
+
+	// Phase 2: hot-bucket repair rounds.
+	for budgetLeft() {
+		res.Rounds++
+		type hot struct {
+			b   BucketID
+			pen float64
+		}
+		var hots []hot
+		for b := range p.Buckets {
+			if pen := st.bucketPenalty(BucketID(b)); pen > improveEps {
+				hots = append(hots, hot{BucketID(b), pen})
+			}
+		}
+		if len(hots) == 0 {
+			break
+		}
+		sort.Slice(hots, func(i, j int) bool { return hots[i].pen > hots[j].pen })
+		improvedAny := false
+		for _, h := range hots {
+			if !budgetLeft() {
+				break
+			}
+			// Repeatedly chip away at this bucket until it stops
+			// improving.
+			for attempt := 0; attempt < 64; attempt++ {
+				if !budgetLeft() || st.bucketPenalty(h.b) <= improveEps {
+					break
+				}
+				ents := candidateEntities(h.b)
+				bestDelta := -improveEps
+				var bestEntity EntityID
+				bestTarget := Unassigned
+				for _, e := range ents {
+					for _, t := range opt.Sampler(rng, e, opt.CandidateTargets, view) {
+						if t == h.b {
+							continue
+						}
+						d, ok := st.moveDelta(e, t)
+						res.Evaluated++
+						if ok && d < bestDelta {
+							bestDelta, bestEntity, bestTarget = d, e, t
+						}
+					}
+				}
+				if bestTarget != Unassigned {
+					applyMove(bestEntity, bestTarget)
+					improvedAny = true
+					continue
+				}
+				// No single move helps; optionally try a swap.
+				if opt.EnableSwap && len(ents) > 0 && trySwap(st, view, rng, opt, res, ents, h.b) {
+					improvedAny = true
+					continue
+				}
+				break
+			}
+		}
+		if opt.Progress != nil {
+			opt.Progress(ProgressInfo{
+				Elapsed:    time.Since(start),
+				Moves:      len(res.Moves),
+				Violations: st.violations(),
+			})
+		}
+		if !improvedAny {
+			break
+		}
+	}
+
+	res.Final = st.violations()
+	res.Elapsed = time.Since(start)
+	res.Assignment = append([]BucketID(nil), st.assignment...)
+	for i := range p.Entities {
+		p.Entities[i].Bucket = st.assignment[i]
+	}
+	return res
+}
+
+// trySwap attempts a two-way swap between an entity of hot bucket b and an
+// entity of a sampled target bucket; it applies the swap and returns true
+// if the combined delta improves the objective (§5.3: "it may consider
+// two-way swapping of shards").
+func trySwap(st *state, view *View, rng *sim.RNG, opt Options, res *Result, ents []EntityID, b BucketID) bool {
+	p := st.p
+	e := ents[0] // largest (BigFirst) or random-first entity
+	for _, t := range opt.Sampler(rng, e, opt.CandidateTargets, view) {
+		if t == b || len(st.byBucket[t]) == 0 {
+			continue
+		}
+		peers := st.byBucket[t]
+		e2 := peers[rng.Intn(len(peers))]
+		if !p.Entities[e2].Movable || !p.Entities[e].Movable {
+			continue
+		}
+		// Evaluate sequentially: move e off b first so e2 can take
+		// its place; roll back if the pair does not improve.
+		d1, ok := st.moveDelta(e, t)
+		res.Evaluated++
+		if !ok {
+			continue
+		}
+		st.apply(e, t)
+		d2, ok2 := st.moveDelta(e2, b)
+		res.Evaluated++
+		if ok2 && d1+d2 < -improveEps {
+			res.Moves = append(res.Moves, Move{Entity: e, From: b, To: t})
+			res.Moves = append(res.Moves, Move{Entity: e2, From: t, To: b})
+			st.apply(e2, b)
+			return true
+		}
+		st.apply(e, b) // roll back
+	}
+	return false
+}

@@ -1,0 +1,377 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"shardmanager/internal/sim"
+)
+
+// buildBalanced builds nBuckets buckets of capacity 100 (single metric
+// "cpu") and nEntities entities of the given load, all initially on bucket
+// 0 (maximally imbalanced).
+func buildSkewed(nBuckets, nEntities int, load float64) *Problem {
+	p := NewProblem([]string{"cpu"})
+	for i := 0; i < nBuckets; i++ {
+		p.AddBucket(Bucket{
+			Name:     fmt.Sprintf("b%d", i),
+			Capacity: []float64{100},
+			Props:    map[string]string{"region": fmt.Sprintf("r%d", i%2)},
+			Group:    fmt.Sprintf("r%d", i%2),
+		})
+	}
+	for i := 0; i < nEntities; i++ {
+		p.AddEntity(Entity{
+			Name:    fmt.Sprintf("e%d", i),
+			Load:    []float64{load},
+			Bucket:  0,
+			Movable: true,
+		})
+	}
+	return p
+}
+
+func TestSolveBalancesLoad(t *testing.T) {
+	// 40 entities x 10 load on one of 8 buckets: bucket 0 holds 400/100.
+	p := buildSkewed(8, 40, 10)
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", UtilCap: 0.9, MaxDiff: 0.1, Weight: 1})
+	res := Solve(p, DefaultOptions())
+	if res.Initial.Total() == 0 {
+		t.Fatal("initial state should violate")
+	}
+	if res.Final.Capacity != 0 || res.Final.Balance != 0 {
+		t.Fatalf("final violations = %+v", res.Final)
+	}
+	// Mean utilization is 0.5; no bucket may exceed 0.6 (MaxDiff 0.1).
+	st := newState(p)
+	for b := range p.Buckets {
+		u := st.bucketLoad[b][0] / 100
+		if u > 0.6+1e-9 {
+			t.Fatalf("bucket %d utilization %.2f > 0.6", b, u)
+		}
+	}
+}
+
+func TestSolveRespectsHardCapacity(t *testing.T) {
+	// 2 buckets: one tiny (cap 10), one large. 5 entities of load 10 on
+	// the large bucket; moving more than one to the tiny bucket would
+	// overflow it.
+	p := NewProblem([]string{"cpu"})
+	big := p.AddBucket(Bucket{Name: "big", Capacity: []float64{100}})
+	p.AddBucket(Bucket{Name: "tiny", Capacity: []float64{10}})
+	for i := 0; i < 5; i++ {
+		p.AddEntity(Entity{Name: fmt.Sprintf("e%d", i), Load: []float64{10}, Bucket: big, Movable: true})
+	}
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", MaxDiff: 0.01, Weight: 1})
+	res := Solve(p, DefaultOptions())
+	st := newState(p)
+	if st.bucketLoad[1][0] > 10 {
+		t.Fatalf("tiny bucket overloaded: %v", st.bucketLoad[1][0])
+	}
+	if res.Final.Capacity != 0 {
+		t.Fatalf("capacity violations: %+v", res.Final)
+	}
+}
+
+func TestSolvePlacesUnassignedEntities(t *testing.T) {
+	p := NewProblem([]string{"cpu"})
+	for i := 0; i < 4; i++ {
+		p.AddBucket(Bucket{Name: fmt.Sprintf("b%d", i), Capacity: []float64{100}})
+	}
+	for i := 0; i < 20; i++ {
+		p.AddEntity(Entity{Name: fmt.Sprintf("e%d", i), Load: []float64{5}, Bucket: Unassigned, Movable: true})
+	}
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", UtilCap: 0.9, Weight: 1})
+	res := Solve(p, DefaultOptions())
+	if res.Initial.Unassigned != 20 {
+		t.Fatalf("initial unassigned = %d", res.Initial.Unassigned)
+	}
+	if res.Final.Unassigned != 0 {
+		t.Fatalf("final unassigned = %d", res.Final.Unassigned)
+	}
+	for i := range p.Entities {
+		if p.Entities[i].Bucket == Unassigned {
+			t.Fatalf("entity %d still unassigned", i)
+		}
+	}
+}
+
+func TestSolveHonorsAffinity(t *testing.T) {
+	p := buildSkewed(8, 16, 10)
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", UtilCap: 0.9, MaxDiff: 0.2, Weight: 1})
+	// Entities 0..7 prefer region r1 (odd buckets).
+	for i := 0; i < 8; i++ {
+		p.AddAffinityGoal(AffinityGoal{Scope: "region", Entity: EntityID(i), Domain: "r1", Weight: 5})
+	}
+	res := Solve(p, DefaultOptions())
+	if res.Final.Affinity != 0 {
+		t.Fatalf("affinity violations = %d", res.Final.Affinity)
+	}
+	for i := 0; i < 8; i++ {
+		b := p.Entities[i].Bucket
+		if p.Buckets[b].Props["region"] != "r1" {
+			t.Fatalf("entity %d on region %s", i, p.Buckets[b].Props["region"])
+		}
+	}
+}
+
+func TestSolveSpreadsReplicas(t *testing.T) {
+	// 3 replicas per group, 6 buckets across 3 regions; exclusion at
+	// region scope should land each group's replicas in distinct regions.
+	p := NewProblem([]string{"cpu"})
+	for i := 0; i < 6; i++ {
+		p.AddBucket(Bucket{
+			Name:     fmt.Sprintf("b%d", i),
+			Capacity: []float64{100},
+			Props:    map[string]string{"region": fmt.Sprintf("r%d", i%3)},
+		})
+	}
+	groups := make(map[EntityID]string)
+	for g := 0; g < 5; g++ {
+		for r := 0; r < 3; r++ {
+			id := p.AddEntity(Entity{
+				Name:    fmt.Sprintf("g%d-r%d", g, r),
+				Load:    []float64{1},
+				Bucket:  0, // all colocated initially
+				Movable: true,
+			})
+			groups[id] = fmt.Sprintf("g%d", g)
+		}
+	}
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddExclusionGoal(ExclusionSpec{Scope: "region", Groups: groups, Weight: 10})
+	res := Solve(p, DefaultOptions())
+	if res.Final.Exclusion != 0 {
+		t.Fatalf("exclusion violations = %d (initial %d)", res.Final.Exclusion, res.Initial.Exclusion)
+	}
+	// Verify each group touches 3 distinct regions.
+	perGroup := make(map[string]map[string]bool)
+	for id, g := range groups {
+		b := p.Entities[id].Bucket
+		if perGroup[g] == nil {
+			perGroup[g] = map[string]bool{}
+		}
+		perGroup[g][p.Buckets[b].Props["region"]] = true
+	}
+	for g, regions := range perGroup {
+		if len(regions) != 3 {
+			t.Fatalf("group %s spans %d regions", g, len(regions))
+		}
+	}
+}
+
+func TestSolveDrainsMarkedBuckets(t *testing.T) {
+	p := NewProblem([]string{"cpu"})
+	draining := p.AddBucket(Bucket{Name: "draining", Capacity: []float64{100}, Draining: true})
+	p.AddBucket(Bucket{Name: "ok1", Capacity: []float64{100}})
+	p.AddBucket(Bucket{Name: "ok2", Capacity: []float64{100}})
+	for i := 0; i < 10; i++ {
+		p.AddEntity(Entity{Name: fmt.Sprintf("e%d", i), Load: []float64{5}, Bucket: draining, Movable: true})
+	}
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddDrainGoal(10)
+	res := Solve(p, DefaultOptions())
+	if res.Final.Drain != 0 {
+		t.Fatalf("drain violations = %d", res.Final.Drain)
+	}
+}
+
+func TestPinnedEntitiesNeverMove(t *testing.T) {
+	p := buildSkewed(4, 10, 10)
+	p.Entities[0].Movable = false
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", MaxDiff: 0.05, Weight: 1})
+	res := Solve(p, DefaultOptions())
+	for _, m := range res.Moves {
+		if m.Entity == 0 {
+			t.Fatal("pinned entity moved")
+		}
+	}
+	if p.Entities[0].Bucket != 0 {
+		t.Fatal("pinned entity reassigned")
+	}
+}
+
+func TestMoveBudgetRespected(t *testing.T) {
+	p := buildSkewed(8, 100, 5)
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", MaxDiff: 0.05, Weight: 1})
+	opt := DefaultOptions()
+	opt.MoveBudget = 7
+	res := Solve(p, opt)
+	if len(res.Moves) > 7 {
+		t.Fatalf("moves = %d, want <= 7", len(res.Moves))
+	}
+}
+
+func TestSolveDeterministicForSeed(t *testing.T) {
+	run := func() []Move {
+		p := buildSkewed(8, 40, 10)
+		p.AddConstraint(CapacitySpec{Metric: "cpu"})
+		p.AddBalanceGoal(BalanceSpec{Metric: "cpu", UtilCap: 0.9, MaxDiff: 0.1, Weight: 1})
+		return Solve(p, DefaultOptions()).Moves
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("move counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("move %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDomainScopedCapacity(t *testing.T) {
+	// Rack-scoped network capacity (Fig 13 statement 2): two buckets per
+	// rack, each with network capacity 10; rack capacity is 20. Six
+	// entities of load 5 would fit per-bucket (2x10... no: 3 entities
+	// of 5 on one rack = 15 < 20 fits; 5 entities = 25 > 20 must spill).
+	p := NewProblem([]string{"net"})
+	for i := 0; i < 4; i++ {
+		p.AddBucket(Bucket{
+			Name:     fmt.Sprintf("b%d", i),
+			Capacity: []float64{10},
+			Props:    map[string]string{"rack": fmt.Sprintf("rk%d", i/2)},
+		})
+	}
+	for i := 0; i < 6; i++ {
+		p.AddEntity(Entity{Name: fmt.Sprintf("e%d", i), Load: []float64{5}, Bucket: Unassigned, Movable: true})
+	}
+	p.AddConstraint(CapacitySpec{Metric: "net", Scope: "rack"})
+	res := Solve(p, DefaultOptions())
+	if res.Final.Unassigned != 0 || res.Final.Capacity != 0 {
+		t.Fatalf("final = %+v", res.Final)
+	}
+	// Each rack holds at most 4 entities (4*5=20).
+	rack := map[string]float64{}
+	for i := range p.Entities {
+		b := p.Entities[i].Bucket
+		rack[p.Buckets[b].Props["rack"]] += 5
+	}
+	for r, load := range rack {
+		if load > 20 {
+			t.Fatalf("rack %s load %v > 20", r, load)
+		}
+	}
+}
+
+func TestEquivalenceSignatureGroupsIdenticalEntities(t *testing.T) {
+	p := buildSkewed(2, 4, 10)
+	p.AddAffinityGoal(AffinityGoal{Scope: "region", Entity: 0, Domain: "r1", Weight: 1})
+	sig0 := p.equivalenceSignature(0)
+	sig1 := p.equivalenceSignature(1)
+	sig2 := p.equivalenceSignature(2)
+	if sig0 == sig1 {
+		t.Fatal("entity with affinity should differ from plain entity")
+	}
+	if sig1 != sig2 {
+		t.Fatal("identical entities should share a signature")
+	}
+}
+
+func TestViolationCountsTotal(t *testing.T) {
+	v := ViolationCounts{Capacity: 1, Balance: 2, Affinity: 3, Exclusion: 4, Drain: 5, Unassigned: 6}
+	if v.Total() != 21 {
+		t.Fatalf("Total = %d", v.Total())
+	}
+}
+
+func TestProgressCallbackInvoked(t *testing.T) {
+	p := buildSkewed(8, 40, 10)
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", MaxDiff: 0.1, Weight: 1})
+	opt := DefaultOptions()
+	n := 0
+	opt.Progress = func(pi ProgressInfo) {
+		n++
+		if pi.Moves < 0 {
+			t.Error("negative moves")
+		}
+	}
+	Solve(p, opt)
+	if n == 0 {
+		t.Fatal("progress never invoked")
+	}
+}
+
+func TestGroupedSamplerCoversAllGroups(t *testing.T) {
+	p := buildSkewed(8, 1, 1)
+	st := newState(p)
+	view := &View{st: st}
+	s := GroupedSampler(p, 0)
+	rng := sim.NewRNG(1)
+	got := s(rng, 0, 8, view)
+	groups := map[string]bool{}
+	for _, b := range got {
+		groups[p.Buckets[b].Group] = true
+	}
+	if !groups["r0"] || !groups["r1"] {
+		t.Fatalf("sampler missed a group: %v", groups)
+	}
+}
+
+func TestSolveMovesConserveEntitiesProperty(t *testing.T) {
+	// Property: after solving a random instance, every entity is
+	// assigned to a valid bucket and total load is conserved.
+	if err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		nB := 2 + r.Intn(6)
+		nE := 1 + r.Intn(30)
+		p := NewProblem([]string{"cpu"})
+		for i := 0; i < nB; i++ {
+			p.AddBucket(Bucket{Name: fmt.Sprintf("b%d", i), Capacity: []float64{100}})
+		}
+		var total float64
+		for i := 0; i < nE; i++ {
+			l := 1 + float64(r.Intn(10))
+			total += l
+			p.AddEntity(Entity{Name: fmt.Sprintf("e%d", i), Load: []float64{l}, Bucket: BucketID(r.Intn(nB)), Movable: true})
+		}
+		p.AddConstraint(CapacitySpec{Metric: "cpu"})
+		p.AddBalanceGoal(BalanceSpec{Metric: "cpu", MaxDiff: 0.1, Weight: 1})
+		opt := DefaultOptions()
+		opt.Seed = seed
+		Solve(p, opt)
+		st := newState(p)
+		var after float64
+		for b := range p.Buckets {
+			after += st.bucketLoad[b][0]
+		}
+		return after == total
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	p := NewProblem([]string{"cpu"})
+	p.AddBucket(Bucket{Name: "b", Capacity: []float64{1}})
+	for name, fn := range map[string]func(){
+		"no metrics":      func() { NewProblem(nil) },
+		"dup metrics":     func() { NewProblem([]string{"a", "a"}) },
+		"bad bucket":      func() { p.AddBucket(Bucket{Name: "x", Capacity: []float64{1, 2}}) },
+		"bad entity":      func() { p.AddEntity(Entity{Name: "e", Load: []float64{1, 2}}) },
+		"bad assignment":  func() { p.AddEntity(Entity{Name: "e", Load: []float64{1}, Bucket: 99}) },
+		"unknown metric":  func() { p.AddConstraint(CapacitySpec{Metric: "nope"}) },
+		"balance weight":  func() { p.AddBalanceGoal(BalanceSpec{Metric: "cpu", UtilCap: 0.9}) },
+		"balance no rule": func() { p.AddBalanceGoal(BalanceSpec{Metric: "cpu", Weight: 1}) },
+		"affinity weight": func() { p.AddAffinityGoal(AffinityGoal{Entity: 0, Domain: "d"}) },
+		"excl weight":     func() { p.AddExclusionGoal(ExclusionSpec{Scope: "r"}) },
+		"drain weight":    func() { p.AddDrainGoal(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,288 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"shardmanager/internal/sim"
+)
+
+// randomProblem builds a random instance exercising every spec type.
+func randomProblem(rng *sim.RNG) *Problem {
+	nB := 3 + rng.Intn(6)
+	nE := 5 + rng.Intn(40)
+	p := NewProblem([]string{"cpu", "mem"})
+	for i := 0; i < nB; i++ {
+		p.AddBucket(Bucket{
+			Name:     fmt.Sprintf("b%d", i),
+			Capacity: []float64{50 + 100*rng.Float64(), 200},
+			Props: map[string]string{
+				"region": fmt.Sprintf("r%d", i%3),
+				"rack":   fmt.Sprintf("rk%d", i%2),
+			},
+			Group:    fmt.Sprintf("r%d", i%3),
+			Draining: rng.Intn(5) == 0,
+		})
+	}
+	excl := make(map[EntityID]string)
+	conf := make(map[EntityID]string)
+	for i := 0; i < nE; i++ {
+		b := BucketID(rng.Intn(nB))
+		if rng.Intn(8) == 0 {
+			b = Unassigned
+		}
+		id := p.AddEntity(Entity{
+			Name:    fmt.Sprintf("e%d", i),
+			Load:    []float64{1 + 9*rng.Float64(), 1 + 4*rng.Float64()},
+			Bucket:  b,
+			Movable: true,
+		})
+		if rng.Intn(2) == 0 {
+			excl[id] = fmt.Sprintf("g%d", i%5)
+		}
+		if rng.Intn(3) == 0 {
+			conf[id] = fmt.Sprintf("c%d", i%7)
+		}
+		if rng.Intn(3) == 0 {
+			p.AddAffinityGoal(AffinityGoal{
+				Scope: "region", Entity: id,
+				Domain: fmt.Sprintf("r%d", rng.Intn(3)), Weight: 1 + rng.Float64(),
+			})
+		}
+	}
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddConstraint(CapacitySpec{Metric: "mem", Scope: "rack"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", UtilCap: 0.9, MaxDiff: 0.1, Weight: 1})
+	p.AddBalanceGoal(BalanceSpec{Metric: "mem", Scope: "region", MaxDiff: 0.2, Weight: 0.5})
+	if len(excl) > 0 {
+		p.AddExclusionGoal(ExclusionSpec{Scope: "region", Groups: excl, Weight: 3})
+	}
+	if len(conf) > 0 {
+		p.AddConflict(ExclusionSpec{Scope: ScopeBucket, Groups: conf})
+	}
+	p.AddDrainGoal(2)
+	return p
+}
+
+// statesEqual compares incremental aggregate state against a from-scratch
+// rebuild.
+func statesEqual(t *testing.T, got, want *state) bool {
+	t.Helper()
+	aggEqual := func(a, b aggState) bool {
+		for k, v := range b.load {
+			if math.Abs(a.load[k]-v) > 1e-6 {
+				return false
+			}
+		}
+		for k, v := range a.load {
+			if math.Abs(b.load[k]-v) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range want.capStates {
+		if !aggEqual(got.capStates[i], want.capStates[i]) {
+			t.Logf("capState %d diverged", i)
+			return false
+		}
+	}
+	for i := range want.balStates {
+		if !aggEqual(got.balStates[i], want.balStates[i]) {
+			t.Logf("balState %d diverged", i)
+			return false
+		}
+	}
+	countsEqual := func(a, b map[string]int) bool {
+		for k, v := range b {
+			if a[k] != v {
+				return false
+			}
+		}
+		for k, v := range a {
+			if v != 0 && b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range want.exclCounts {
+		if !countsEqual(got.exclCounts[i], want.exclCounts[i]) {
+			t.Logf("exclCounts %d diverged", i)
+			return false
+		}
+	}
+	for i := range want.confCounts {
+		if !countsEqual(got.confCounts[i], want.confCounts[i]) {
+			t.Logf("confCounts %d diverged", i)
+			return false
+		}
+	}
+	for b := range want.bucketLoad {
+		for m := range want.bucketLoad[b] {
+			if math.Abs(got.bucketLoad[b][m]-want.bucketLoad[b][m]) > 1e-6 {
+				t.Logf("bucketLoad[%d][%d] diverged", b, m)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestIncrementalStateMatchesRebuild is the solver's core invariant: after
+// any sequence of applied moves, the incrementally maintained aggregates
+// equal a from-scratch rebuild — the property that makes O(1) move deltas
+// trustworthy (the paper's objective-tree optimization).
+func TestIncrementalStateMatchesRebuild(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		p := randomProblem(rng)
+		st := newState(p)
+		nB := len(p.Buckets)
+		for step := 0; step < 100; step++ {
+			e := EntityID(rng.Intn(len(p.Entities)))
+			target := BucketID(rng.Intn(nB))
+			if st.assignment[e] == target {
+				continue
+			}
+			st.apply(e, target)
+			// Keep Problem's view in sync for the rebuild.
+			p.Entities[e].Bucket = target
+		}
+		fresh := newState(p)
+		return statesEqual(t, st, fresh)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoveDeltaMatchesAppliedObjective checks that moveDelta's prediction
+// equals the actual objective change measured by full evaluation.
+func TestMoveDeltaMatchesAppliedObjective(t *testing.T) {
+	objective := func(st *state) float64 {
+		var total float64
+		for i := range st.p.capacitySpecs {
+			a := &st.capStates[i]
+			for k, load := range a.load {
+				total += capacityPenalty(a, k, load)
+			}
+		}
+		for i := range st.p.balanceSpecs {
+			spec := st.p.balanceSpecs[i]
+			a := &st.balStates[i]
+			for k, load := range a.load {
+				total += balancePenalty(spec, a, k, load)
+			}
+		}
+		for e := range st.p.Entities {
+			b := st.assignment[e]
+			if b == Unassigned {
+				total += unassignedPenalty
+				continue
+			}
+			total += st.affinityPenalty(EntityID(e), b) + st.drainPenalty(b)
+		}
+		for i := range st.p.exclusionSpecs {
+			w := st.p.exclusionSpecs[i].Weight
+			for _, n := range st.exclCounts[i] {
+				if n > 1 {
+					total += w * float64(n-1)
+				}
+			}
+		}
+		return total
+	}
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		p := randomProblem(rng)
+		st := newState(p)
+		for step := 0; step < 50; step++ {
+			e := EntityID(rng.Intn(len(p.Entities)))
+			target := BucketID(rng.Intn(len(p.Buckets)))
+			delta, ok := st.moveDelta(e, target)
+			if !ok {
+				continue
+			}
+			before := objective(st)
+			st.apply(e, target)
+			after := objective(st)
+			// Tolerance scales with the objective's magnitude: the
+			// unassigned penalty is 1e12, so the subtraction loses
+			// up to ~1e-4 absolute precision.
+			tol := 1e-9 * (math.Abs(before) + math.Abs(delta) + 1)
+			if math.Abs((after-before)-delta) > tol {
+				t.Logf("seed %d step %d: predicted %v actual %v", seed, step, delta, after-before)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConflictFeasibilityNeverColocates: moveDelta must refuse any move
+// that would colocate two hard-conflict group members.
+func TestConflictFeasibilityNeverColocates(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		p := NewProblem([]string{"cpu"})
+		nB := 2 + rng.Intn(4)
+		for i := 0; i < nB; i++ {
+			p.AddBucket(Bucket{Name: fmt.Sprintf("b%d", i), Capacity: []float64{1000}})
+		}
+		groups := make(map[EntityID]string)
+		for i := 0; i < 12; i++ {
+			id := p.AddEntity(Entity{
+				Name: fmt.Sprintf("e%d", i), Load: []float64{1},
+				Bucket: Unassigned, Movable: true,
+			})
+			groups[id] = fmt.Sprintf("g%d", i%4)
+		}
+		p.AddConstraint(CapacitySpec{Metric: "cpu"})
+		p.AddConflict(ExclusionSpec{Scope: ScopeBucket, Groups: groups})
+		st := newState(p)
+		for step := 0; step < 200; step++ {
+			e := EntityID(rng.Intn(len(p.Entities)))
+			target := BucketID(rng.Intn(nB))
+			if _, ok := st.moveDelta(e, target); ok {
+				st.apply(e, target)
+			}
+		}
+		// No bucket may hold two members of the same group.
+		for b := range p.Buckets {
+			seen := map[string]bool{}
+			for _, e := range st.byBucket[b] {
+				g := groups[e]
+				if seen[g] {
+					return false
+				}
+				seen[g] = true
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveIdempotentOnCleanState: solving an already-violation-free
+// problem must produce no moves.
+func TestSolveIdempotentOnCleanState(t *testing.T) {
+	p := buildSkewed(8, 40, 10)
+	p.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p.AddBalanceGoal(BalanceSpec{Metric: "cpu", UtilCap: 0.9, MaxDiff: 0.1, Weight: 1})
+	first := Solve(p, DefaultOptions())
+	if first.Final.Total() != 0 {
+		t.Fatalf("first solve left violations: %+v", first.Final)
+	}
+	second := Solve(p, DefaultOptions())
+	if len(second.Moves) != 0 {
+		t.Fatalf("second solve produced %d moves on a clean state", len(second.Moves))
+	}
+	if second.Rounds > 1 {
+		t.Fatalf("second solve took %d rounds, want immediate convergence", second.Rounds)
+	}
+}

@@ -1,0 +1,309 @@
+// Package topology models the physical fleet Shard Manager places shards
+// onto: geo-distributed regions, each containing datacenters, racks, and
+// machines, plus a WAN latency model between regions. The paper's soft goal
+// "spread of replicas across fault domains at all levels, including regions,
+// data centers, and racks" (§5.1) is defined against these domains.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// RegionID names a geographic region (e.g. "frc", "prn", "odn").
+type RegionID string
+
+// MachineID uniquely names a machine within the fleet.
+type MachineID string
+
+// FaultDomainLevel identifies a level of the fault-domain hierarchy.
+type FaultDomainLevel int
+
+// Fault-domain levels, largest first.
+const (
+	LevelRegion FaultDomainLevel = iota
+	LevelDatacenter
+	LevelRack
+	LevelMachine
+)
+
+// String returns the lowercase level name.
+func (l FaultDomainLevel) String() string {
+	switch l {
+	case LevelRegion:
+		return "region"
+	case LevelDatacenter:
+		return "datacenter"
+	case LevelRack:
+		return "rack"
+	case LevelMachine:
+		return "machine"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Resource names a capacity/load dimension.
+type Resource string
+
+// Standard resources used by the experiments. Applications may balance on
+// arbitrary synthetic metrics as well (§2.2.4); those are also Resources.
+const (
+	ResourceCPU     Resource = "cpu"
+	ResourceMemory  Resource = "memory"
+	ResourceStorage Resource = "storage"
+	ResourceNetwork Resource = "network"
+	// ResourceShardCount is the synthetic "number of shards" metric used
+	// by shard-count-based load balancing.
+	ResourceShardCount Resource = "shard_count"
+)
+
+// Capacity is a multi-dimensional resource vector.
+type Capacity map[Resource]float64
+
+// Clone returns a deep copy.
+func (c Capacity) Clone() Capacity {
+	out := make(Capacity, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns the value for r (0 if absent).
+func (c Capacity) Get(r Resource) float64 { return c[r] }
+
+// Machine is one physical host.
+type Machine struct {
+	ID         MachineID
+	Region     RegionID
+	Datacenter string
+	Rack       string
+	Capacity   Capacity
+	// HasStorage marks SSD/HDD machines (Fig 9 distinguishes storage vs
+	// non-storage machines).
+	HasStorage bool
+}
+
+// Domain returns the machine's fault-domain name at the given level. Names
+// are globally unique (prefixed by the enclosing domains).
+func (m *Machine) Domain(level FaultDomainLevel) string {
+	switch level {
+	case LevelRegion:
+		return string(m.Region)
+	case LevelDatacenter:
+		return string(m.Region) + "/" + m.Datacenter
+	case LevelRack:
+		return string(m.Region) + "/" + m.Datacenter + "/" + m.Rack
+	case LevelMachine:
+		return string(m.Region) + "/" + m.Datacenter + "/" + m.Rack + "/" + string(m.ID)
+	default:
+		panic(fmt.Sprintf("topology: unknown level %d", int(level)))
+	}
+}
+
+// Fleet is an immutable snapshot of the machines in scope plus the WAN
+// latency model.
+type Fleet struct {
+	machines map[MachineID]*Machine
+	order    []MachineID
+	regions  []RegionID
+	latency  map[RegionID]map[RegionID]time.Duration
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{
+		machines: make(map[MachineID]*Machine),
+		latency:  make(map[RegionID]map[RegionID]time.Duration),
+	}
+}
+
+// AddMachine registers a machine. It panics on duplicate IDs so that fleet
+// construction bugs fail loudly.
+func (f *Fleet) AddMachine(m *Machine) {
+	if m == nil || m.ID == "" {
+		panic("topology: AddMachine with nil or unnamed machine")
+	}
+	if _, dup := f.machines[m.ID]; dup {
+		panic(fmt.Sprintf("topology: duplicate machine %q", m.ID))
+	}
+	f.machines[m.ID] = m
+	f.order = append(f.order, m.ID)
+	found := false
+	for _, r := range f.regions {
+		if r == m.Region {
+			found = true
+			break
+		}
+	}
+	if !found {
+		f.regions = append(f.regions, m.Region)
+	}
+}
+
+// Machine returns the machine with the given ID, or nil.
+func (f *Fleet) Machine(id MachineID) *Machine { return f.machines[id] }
+
+// Machines returns all machines in registration order.
+func (f *Fleet) Machines() []*Machine {
+	out := make([]*Machine, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, f.machines[id])
+	}
+	return out
+}
+
+// MachinesInRegion returns the machines located in region r, in registration
+// order.
+func (f *Fleet) MachinesInRegion(r RegionID) []*Machine {
+	var out []*Machine
+	for _, id := range f.order {
+		if m := f.machines[id]; m.Region == r {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Regions returns the regions present, in first-seen order.
+func (f *Fleet) Regions() []RegionID {
+	out := make([]RegionID, len(f.regions))
+	copy(out, f.regions)
+	return out
+}
+
+// Size returns the number of machines.
+func (f *Fleet) Size() int { return len(f.order) }
+
+// SetLatency records the one-way network latency between two regions
+// (symmetric).
+func (f *Fleet) SetLatency(a, b RegionID, d time.Duration) {
+	if d < 0 {
+		panic("topology: negative latency")
+	}
+	set := func(x, y RegionID) {
+		m := f.latency[x]
+		if m == nil {
+			m = make(map[RegionID]time.Duration)
+			f.latency[x] = m
+		}
+		m[y] = d
+	}
+	set(a, b)
+	set(b, a)
+}
+
+// Latency returns the one-way latency between regions. Same-region latency
+// defaults to LocalLatency when unset; cross-region latency defaults to
+// DefaultWANLatency when unset.
+func (f *Fleet) Latency(a, b RegionID) time.Duration {
+	if m, ok := f.latency[a]; ok {
+		if d, ok := m[b]; ok {
+			return d
+		}
+	}
+	if a == b {
+		return LocalLatency
+	}
+	return DefaultWANLatency
+}
+
+// Default latencies used when a fleet does not configure explicit values.
+const (
+	// LocalLatency approximates an intra-region round hop.
+	LocalLatency = 1 * time.Millisecond
+	// DefaultWANLatency approximates an unconfigured cross-region hop.
+	DefaultWANLatency = 40 * time.Millisecond
+)
+
+// Spec describes a fleet to synthesize. Builder helpers construct the
+// regular topologies the experiments use.
+type Spec struct {
+	// Regions to create, in order.
+	Regions []RegionID
+	// MachinesPerRegion is the machine count in each region.
+	MachinesPerRegion int
+	// RacksPerRegion controls rack granularity (machines are spread
+	// round-robin across racks). Defaults to MachinesPerRegion/4, min 1.
+	RacksPerRegion int
+	// DatacentersPerRegion defaults to 1.
+	DatacentersPerRegion int
+	// Capacity for every machine; cloned per machine.
+	Capacity Capacity
+	// HasStorage marks all machines as storage machines.
+	HasStorage bool
+	// Latency maps region pairs to one-way latency. Optional.
+	Latency map[[2]RegionID]time.Duration
+}
+
+// Build synthesizes the fleet described by the spec.
+func Build(spec Spec) *Fleet {
+	if len(spec.Regions) == 0 {
+		panic("topology: Build with no regions")
+	}
+	if spec.MachinesPerRegion <= 0 {
+		panic("topology: Build with no machines")
+	}
+	dcs := spec.DatacentersPerRegion
+	if dcs <= 0 {
+		dcs = 1
+	}
+	racks := spec.RacksPerRegion
+	if racks <= 0 {
+		racks = spec.MachinesPerRegion / 4
+		if racks < 1 {
+			racks = 1
+		}
+	}
+	f := NewFleet()
+	for _, region := range spec.Regions {
+		for i := 0; i < spec.MachinesPerRegion; i++ {
+			cap := spec.Capacity.Clone()
+			if cap == nil {
+				cap = Capacity{}
+			}
+			f.AddMachine(&Machine{
+				ID:         MachineID(fmt.Sprintf("%s-m%04d", region, i)),
+				Region:     region,
+				Datacenter: fmt.Sprintf("dc%d", i%dcs),
+				Rack:       fmt.Sprintf("rack%02d", i%racks),
+				Capacity:   cap,
+				HasStorage: spec.HasStorage,
+			})
+		}
+	}
+	for pair, d := range spec.Latency {
+		f.SetLatency(pair[0], pair[1], d)
+	}
+	return f
+}
+
+// CountByDomain returns, for each distinct domain name at the given level,
+// how many of the provided machine IDs fall into it. Unknown machines are
+// ignored. Used to verify replica-spread goals in tests and experiments.
+func (f *Fleet) CountByDomain(level FaultDomainLevel, ids []MachineID) map[string]int {
+	out := make(map[string]int)
+	for _, id := range ids {
+		if m := f.machines[id]; m != nil {
+			out[m.Domain(level)]++
+		}
+	}
+	return out
+}
+
+// DistinctDomains returns the sorted distinct domain names at a level across
+// the whole fleet.
+func (f *Fleet) DistinctDomains(level FaultDomainLevel) []string {
+	set := make(map[string]struct{})
+	for _, id := range f.order {
+		set[f.machines[id].Domain(level)] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

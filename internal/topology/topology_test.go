@@ -1,0 +1,162 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+func testFleet() *Fleet {
+	return Build(Spec{
+		Regions:              []RegionID{"frc", "prn"},
+		MachinesPerRegion:    8,
+		RacksPerRegion:       4,
+		DatacentersPerRegion: 2,
+		Capacity:             Capacity{ResourceCPU: 100},
+		HasStorage:           true,
+	})
+}
+
+func TestBuildCounts(t *testing.T) {
+	f := testFleet()
+	if f.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", f.Size())
+	}
+	if got := len(f.MachinesInRegion("frc")); got != 8 {
+		t.Fatalf("frc machines = %d, want 8", got)
+	}
+	regions := f.Regions()
+	if len(regions) != 2 || regions[0] != "frc" || regions[1] != "prn" {
+		t.Fatalf("Regions = %v", regions)
+	}
+}
+
+func TestMachineDomains(t *testing.T) {
+	f := testFleet()
+	m := f.Machines()[0]
+	if m.Domain(LevelRegion) != "frc" {
+		t.Fatalf("region domain = %q", m.Domain(LevelRegion))
+	}
+	if m.Domain(LevelDatacenter) != "frc/dc0" {
+		t.Fatalf("dc domain = %q", m.Domain(LevelDatacenter))
+	}
+	if m.Domain(LevelRack) != "frc/dc0/rack00" {
+		t.Fatalf("rack domain = %q", m.Domain(LevelRack))
+	}
+	if m.Domain(LevelMachine) != "frc/dc0/rack00/frc-m0000" {
+		t.Fatalf("machine domain = %q", m.Domain(LevelMachine))
+	}
+}
+
+func TestDomainNamesAreGloballyUnique(t *testing.T) {
+	f := testFleet()
+	// rack00 exists in both regions but the qualified names must differ.
+	domains := f.DistinctDomains(LevelRack)
+	if len(domains) != 8 {
+		t.Fatalf("distinct racks = %d, want 8 (4 per region)", len(domains))
+	}
+}
+
+func TestCapacityClonedPerMachine(t *testing.T) {
+	f := testFleet()
+	ms := f.Machines()
+	ms[0].Capacity[ResourceCPU] = 1
+	if ms[1].Capacity[ResourceCPU] != 100 {
+		t.Fatal("capacity map shared between machines")
+	}
+}
+
+func TestLatencyDefaultsAndOverrides(t *testing.T) {
+	f := testFleet()
+	if got := f.Latency("frc", "frc"); got != LocalLatency {
+		t.Fatalf("local latency = %v", got)
+	}
+	if got := f.Latency("frc", "prn"); got != DefaultWANLatency {
+		t.Fatalf("default WAN latency = %v", got)
+	}
+	f.SetLatency("frc", "prn", 70*time.Millisecond)
+	if got := f.Latency("prn", "frc"); got != 70*time.Millisecond {
+		t.Fatalf("latency not symmetric: %v", got)
+	}
+}
+
+func TestSetLatencyRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFleet().SetLatency("a", "b", -time.Second)
+}
+
+func TestAddMachineRejectsDuplicates(t *testing.T) {
+	f := NewFleet()
+	f.AddMachine(&Machine{ID: "m1", Region: "r"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.AddMachine(&Machine{ID: "m1", Region: "r"})
+}
+
+func TestCountByDomain(t *testing.T) {
+	f := testFleet()
+	ids := []MachineID{"frc-m0000", "frc-m0001", "prn-m0000", "bogus"}
+	counts := f.CountByDomain(LevelRegion, ids)
+	if counts["frc"] != 2 || counts["prn"] != 1 {
+		t.Fatalf("CountByDomain = %v", counts)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("unknown machine counted: %v", counts)
+	}
+}
+
+func TestBuildSpreadsRacksRoundRobin(t *testing.T) {
+	f := testFleet()
+	var ids []MachineID
+	for _, m := range f.MachinesInRegion("frc") {
+		ids = append(ids, m.ID)
+	}
+	counts := f.CountByDomain(LevelRack, ids)
+	for rack, n := range counts {
+		if n != 2 {
+			t.Fatalf("rack %s has %d machines, want 2", rack, n)
+		}
+	}
+}
+
+func TestBuildPanicsOnBadSpec(t *testing.T) {
+	for name, spec := range map[string]Spec{
+		"no regions":  {MachinesPerRegion: 1},
+		"no machines": {Regions: []RegionID{"a"}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Build(spec)
+		}()
+	}
+}
+
+func TestBuildLatencySpec(t *testing.T) {
+	f := Build(Spec{
+		Regions:           []RegionID{"a", "b"},
+		MachinesPerRegion: 1,
+		Latency:           map[[2]RegionID]time.Duration{{"a", "b"}: 90 * time.Millisecond},
+	})
+	if got := f.Latency("b", "a"); got != 90*time.Millisecond {
+		t.Fatalf("latency = %v", got)
+	}
+}
+
+func TestFaultDomainLevelString(t *testing.T) {
+	if LevelRegion.String() != "region" || LevelRack.String() != "rack" {
+		t.Fatal("level names wrong")
+	}
+	if FaultDomainLevel(99).String() != "level(99)" {
+		t.Fatal("unknown level name wrong")
+	}
+}
