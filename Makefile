@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: check test bench vet build
+
+check: ## vet + build + race-enabled tests (tier-1 verify)
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

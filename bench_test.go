@@ -13,11 +13,16 @@ import (
 	"time"
 
 	"shardmanager/internal/allocator"
+	"shardmanager/internal/apps"
+	"shardmanager/internal/appserver"
 	"shardmanager/internal/experiments"
+	"shardmanager/internal/orchestrator"
+	"shardmanager/internal/routing"
 	"shardmanager/internal/shard"
 	"shardmanager/internal/sim"
 	"shardmanager/internal/solver"
 	"shardmanager/internal/topology"
+	"shardmanager/internal/trace"
 )
 
 // benchExperiment runs one registered experiment per iteration.
@@ -178,6 +183,69 @@ func BenchmarkSolverMoveEvaluation(b *testing.B) {
 		total += res.Evaluated
 	}
 	b.ReportMetric(float64(total)/float64(b.N), "evals/op")
+}
+
+// BenchmarkTracingOverhead measures the cost the tracing layer adds to a
+// routed request workload on a live deployment — with tracing disabled (the
+// default nil tracer) and enabled. The disabled case should be within noise
+// of the pre-tracing baseline.
+func BenchmarkTracingOverhead(b *testing.B) {
+	const nShards = 50
+	run := func(b *testing.B, tr *trace.Tracer) {
+		backing := apps.NewKVBacking()
+		d := experiments.Build(experiments.DeploymentSpec{
+			Regions:          []topology.RegionID{"west", "east"},
+			ServersPerRegion: 4,
+			Orch: orchestrator.Config{
+				App:      "benchkv",
+				Strategy: shard.PrimarySecondary,
+				Shards: experiments.UniformShardConfigs(nShards, 2, topology.Capacity{
+					topology.ResourceCPU:        1,
+					topology.ResourceShardCount: 1,
+				}),
+				Policy: allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount),
+				ServerCapacity: topology.Capacity{
+					topology.ResourceCPU:        100,
+					topology.ResourceShardCount: 2 * nShards,
+				},
+			},
+			AppFactory: func(s *appserver.Server) appserver.Application {
+				return apps.NewKVStore(s, backing)
+			},
+			Tracer: tr,
+			Seed:   1,
+		})
+		if err := d.Settle(10 * time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		ks := experiments.KeyspaceFor(nShards)
+		client := d.NewClient("west", ks, routing.DefaultOptions())
+		for i := 0; i < 30 && client.MapVersion() == 0; i++ {
+			d.Loop.RunFor(time.Second) // wait out initial shard-map propagation
+		}
+		if client.MapVersion() == 0 {
+			b.Fatal("client never received a shard map")
+		}
+		rng := d.Loop.RNG().Fork()
+		request := func() {
+			var got *routing.Result
+			client.Do(experiments.KeyForShard(rng.Intn(nShards)), false, apps.KVOpScan, nil,
+				func(res routing.Result) { got = &res })
+			for i := 0; i < 30 && got == nil; i++ {
+				d.Loop.RunFor(time.Second)
+			}
+			if got == nil || !got.OK {
+				b.Fatalf("request failed: %+v", got)
+			}
+		}
+		request() // warmup
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			request()
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, trace.New(trace.Options{})) })
 }
 
 // BenchmarkAllocatorEmergency measures the latency-critical path: replacing

@@ -18,13 +18,22 @@ import (
 	"time"
 
 	"shardmanager/internal/experiments"
+	"shardmanager/internal/trace"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "experiment id (fig1..fig23, ablations) or 'all'")
 	scale := flag.String("scale", "full", "'full' (paper parameters) or 'quick'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or ui.perfetto.dev)")
+	traceText := flag.String("trace-text", "", "write a human-readable text timeline of the run to this file")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceText != "" {
+		tracer = trace.New(trace.Options{})
+		experiments.SetDefaultTracer(tracer)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -54,4 +63,46 @@ func main() {
 		fmt.Println(report.Render())
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Truncate(time.Millisecond))
 	}
+
+	if err := writeTrace(tracer, *traceOut, *traceText); err != nil {
+		fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeTrace exports the tracer to the requested files (no-ops when tracing
+// is off).
+func writeTrace(tracer *trace.Tracer, chromePath, textPath string) error {
+	if tracer == nil {
+		return nil
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", chromePath)
+	}
+	if textPath != "" {
+		f, err := os.Create(textPath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace timeline written to %s\n", textPath)
+	}
+	return nil
 }

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"shardmanager/internal/shard"
 	"shardmanager/internal/taskcontroller"
 	"shardmanager/internal/topology"
+	"shardmanager/internal/trace"
 )
 
 func main() {
@@ -32,7 +34,14 @@ func main() {
 	shards := flag.Int("shards", 120, "number of shards")
 	replicas := flag.Int("replicas", 2, "replicas per shard")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the scenario to this file")
+	traceText := flag.String("trace-text", "", "write a human-readable text timeline to this file")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceText != "" {
+		tracer = trace.New(trace.Options{})
+	}
 
 	regions := []topology.RegionID{"frc", "prn", "odn"}
 	pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
@@ -67,7 +76,8 @@ func main() {
 		AppFactory: func(s *appserver.Server) appserver.Application {
 			return apps.NewKVStore(s, backing)
 		},
-		Seed: *seed,
+		Tracer: tracer,
+		Seed:   *seed,
 	})
 
 	step := func(title string) {
@@ -112,7 +122,37 @@ func main() {
 	}
 
 	dumpMap(d, 5)
+
+	if tracer != nil {
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, tracer.WriteChrome); err != nil {
+				fmt.Fprintf(os.Stderr, "smctl: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\ntrace written to %s\n", *traceOut)
+		}
+		if *traceText != "" {
+			if err := writeFile(*traceText, tracer.WriteText); err != nil {
+				fmt.Fprintf(os.Stderr, "smctl: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace timeline written to %s\n", *traceText)
+		}
+	}
 	fmt.Println("\ndone.")
+}
+
+// writeFile creates path and streams one tracer export into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpMap prints the first n shard-map entries.

@@ -25,6 +25,7 @@ import (
 	"shardmanager/internal/shard"
 	"shardmanager/internal/sim"
 	"shardmanager/internal/topology"
+	"shardmanager/internal/trace"
 )
 
 // Application is the programming model implemented by application owners
@@ -73,6 +74,9 @@ type Request struct {
 	// Op and Payload carry application-specific data.
 	Op      string
 	Payload any
+	// TraceSpan is the client request span this RPC belongs to (0 when
+	// tracing is disabled); servers attach forwarding events to it.
+	TraceSpan trace.SpanID
 }
 
 // Response is the outcome of one request.
@@ -397,6 +401,12 @@ func (s *Server) forward(req *Request, to shard.ServerID, reply func(Response)) 
 		return
 	}
 	s.ForwardTx.Inc()
+	if tr := s.loop.Tracer(); tr.Enabled() {
+		tr.Event("appserver", "forward", req.TraceSpan,
+			trace.String("from", string(s.ID)),
+			trace.String("to", string(to)),
+			trace.String("shard", string(req.Shard)))
+	}
 	fwd := *req
 	fwd.Forwarded = true
 	s.net.Send(s.Region, rpcnet.Endpoint(to), func() {

@@ -19,6 +19,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"shardmanager/internal/trace"
 )
 
 // Errors returned by store operations.
@@ -97,6 +99,16 @@ type Store struct {
 	root     *node
 	sessions map[int64]*Session
 	nextSess int64
+	tracer   *trace.Tracer
+}
+
+// SetTracer attaches a tracer; every watch delivery is recorded as a
+// "watch_fire" event. The store has no event loop of its own, so unlike the
+// loop-bound components it is wired explicitly. Pass nil to disable.
+func (s *Store) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	s.tracer = tr
+	s.mu.Unlock()
 }
 
 // NewStore returns an empty store containing only the root node "/".
@@ -161,7 +173,7 @@ func (s *Store) expire(sess *Session) {
 		fire = append(fire, s.deleteLocked(p)...)
 	}
 	s.mu.Unlock()
-	dispatch(fire)
+	s.dispatch(fire)
 }
 
 type pendingEvent struct {
@@ -169,8 +181,21 @@ type pendingEvent struct {
 	ev       Event
 }
 
-func dispatch(pend []pendingEvent) {
+// dispatch fires watch callbacks outside the store's lock.
+func (s *Store) dispatch(pend []pendingEvent) {
+	if len(pend) == 0 {
+		return
+	}
+	s.mu.Lock()
+	tr := s.tracer
+	s.mu.Unlock()
 	for _, p := range pend {
+		if tr.Enabled() {
+			tr.Event("coord", "watch_fire", 0,
+				trace.String("path", p.ev.Path),
+				trace.String("type", p.ev.Type.String()),
+				trace.Int("watchers", len(p.watchers)))
+		}
 		for _, w := range p.watchers {
 			w(p.ev)
 		}
@@ -261,7 +286,7 @@ func (s *Store) Create(path string, data []byte, sess *Session) error {
 		parent.childWatch = nil
 	}
 	s.mu.Unlock()
-	dispatch(fire)
+	s.dispatch(fire)
 	return nil
 }
 
@@ -319,7 +344,7 @@ func (s *Store) Set(path string, data []byte, version int) (Stat, error) {
 		n.dataWatch = nil
 	}
 	s.mu.Unlock()
-	dispatch(fire)
+	s.dispatch(fire)
 	return st, nil
 }
 
@@ -342,7 +367,7 @@ func (s *Store) Delete(path string, version int) error {
 	}
 	fire := s.deleteLocked(path)
 	s.mu.Unlock()
-	dispatch(fire)
+	s.dispatch(fire)
 	return nil
 }
 

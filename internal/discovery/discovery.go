@@ -13,6 +13,7 @@ import (
 
 	"shardmanager/internal/shard"
 	"shardmanager/internal/sim"
+	"shardmanager/internal/trace"
 )
 
 // DelayFunc returns the propagation delay for one delivery.
@@ -40,6 +41,7 @@ func DefaultDelay() DelayFunc { return UniformDelay(500*time.Millisecond, 2*time
 // Subscription is one client's registration for an app's shard maps.
 type Subscription struct {
 	app       shard.AppID
+	id        int // per-app subscriber index, for trace labels
 	fn        func(*shard.Map)
 	lastSeen  int64
 	cancelled bool
@@ -107,13 +109,33 @@ func (s *Service) Publish(m *shard.Map) {
 	}
 }
 
+// deliver schedules one map delivery; its span stretches from publication to
+// the subscriber's callback, so map-propagation lag is directly visible.
 func (s *Service) deliver(sub *Subscription, m *shard.Map) {
 	d := s.delay(s.rng)
+	tr := s.loop.Tracer()
+	var sp trace.SpanID
+	if tr.Enabled() {
+		sp = tr.StartSpan("discovery", "propagate", 0,
+			trace.String("app", string(m.App)),
+			trace.Int64("version", m.Version),
+			trace.Int("sub", sub.id))
+	}
 	s.loop.After(d, func() {
 		if sub.cancelled || m.Version <= sub.lastSeen {
+			if tr.Enabled() {
+				status := "stale"
+				if sub.cancelled {
+					status = "cancelled"
+				}
+				tr.EndSpan(sp, trace.String("status", status))
+			}
 			return // stale delivery overtaken by a newer one
 		}
 		sub.lastSeen = m.Version
+		if tr.Enabled() {
+			tr.EndSpan(sp, trace.String("status", "delivered"))
+		}
 		sub.fn(m)
 	})
 }
@@ -126,7 +148,7 @@ func (s *Service) Subscribe(app shard.AppID, fn func(*shard.Map)) *Subscription 
 		panic("discovery: Subscribe(nil)")
 	}
 	st := s.state(app)
-	sub := &Subscription{app: app, fn: fn}
+	sub := &Subscription{app: app, id: len(st.subs), fn: fn}
 	st.subs = append(st.subs, sub)
 	if st.current != nil {
 		s.deliver(sub, st.current)

@@ -158,17 +158,20 @@ func Fig15(p DemographicsParams) *Report {
 			big++
 		}
 	}
-	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+	qs := []float64{0.5, 0.9, 0.99, 1.0}
+	serverQ := quantiles(servers, qs...)
+	shardQ := quantiles(shards, qs...)
+	for i, q := range qs {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("p%.0f", q*100),
-			fmt.Sprintf("%.0f", quantile(servers, q)),
-			fmt.Sprintf("%.0f", quantile(shards, q)),
+			fmt.Sprintf("%.0f", serverQ[i]),
+			fmt.Sprintf("%.0f", shardQ[i]),
 		})
 	}
 	r.Tables = append(r.Tables, t)
 	r.AddNote("%.0f%% of deployments use >= 1000 servers (paper: 14%%)", 100*float64(big)/float64(len(f)))
 	r.AddNote("largest deployment: %.0f servers / %.1fM shards (paper: ~19K servers / ~2.6M shards)",
-		quantile(servers, 1), quantile(shards, 1)/1e6)
+		serverQ[len(qs)-1], shardQ[len(qs)-1]/1e6)
 	return r
 }
 
@@ -212,4 +215,9 @@ func Fig16(p DemographicsParams) *Report {
 
 func quantile(vals []float64, q float64) float64 {
 	return metricsQuantile(vals, q)
+}
+
+// quantiles pulls several quantiles from one slice with a single sort.
+func quantiles(vals []float64, qs ...float64) []float64 {
+	return metricsQuantiles(vals, qs...)
 }

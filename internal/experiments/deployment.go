@@ -15,7 +15,17 @@ import (
 	"shardmanager/internal/sim"
 	"shardmanager/internal/taskcontroller"
 	"shardmanager/internal/topology"
+	"shardmanager/internal/trace"
 )
+
+// defaultTracer, when non-nil, is attached to every deployment whose spec
+// does not set its own tracer. smbench sets it from the -trace flags so
+// experiment code needs no per-figure plumbing.
+var defaultTracer *trace.Tracer
+
+// SetDefaultTracer installs the tracer used by deployments whose spec leaves
+// Tracer nil. Pass nil to clear.
+func SetDefaultTracer(tr *trace.Tracer) { defaultTracer = tr }
 
 // DeploymentSpec wires a complete single-application world: fleet, one
 // cluster manager + job per region, application hosts, an orchestrator,
@@ -47,6 +57,10 @@ type DeploymentSpec struct {
 	// PropagationDelay bounds shard-map dissemination (default 0.5-2s).
 	PropagationDelay discovery.DelayFunc
 
+	// Tracer, if non-nil, records the whole deployment's control-plane
+	// activity (falls back to the package default set by SetDefaultTracer).
+	Tracer *trace.Tracer
+
 	Seed uint64
 }
 
@@ -75,6 +89,11 @@ func Build(spec DeploymentSpec) *Deployment {
 		panic("experiments: deployment needs regions and servers")
 	}
 	loop := sim.NewLoop(spec.Seed)
+	tr := spec.Tracer
+	if tr == nil {
+		tr = defaultTracer
+	}
+	loop.SetTracer(tr) // before any component is built or scheduled
 	fleet := topology.Build(topology.Spec{
 		Regions:           spec.Regions,
 		MachinesPerRegion: spec.ServersPerRegion,
@@ -97,6 +116,7 @@ func Build(spec DeploymentSpec) *Deployment {
 		Jobs:     make(map[topology.RegionID]cluster.JobID),
 		App:      spec.Orch.App,
 	}
+	d.Store.SetTracer(tr)
 	d.Disc = discovery.NewService(loop, spec.PropagationDelay)
 
 	for _, r := range spec.Regions {

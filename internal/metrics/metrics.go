@@ -159,15 +159,45 @@ func (s *Series) Quantile(q float64) float64 {
 // Quantile returns the q-quantile of vals by nearest rank. vals is not
 // modified. It panics if q is outside [0, 1] and returns 0 for empty input.
 func Quantile(vals []float64, q float64) float64 {
-	if q < 0 || q > 1 {
-		panic(fmt.Sprintf("metrics: Quantile(%v)", q))
-	}
 	if len(vals) == 0 {
+		checkQ(q)
 		return 0
 	}
 	sorted := make([]float64, len(vals))
 	copy(sorted, vals)
 	sort.Float64s(sorted)
+	return nearestRank(sorted, q)
+}
+
+// Quantiles returns the q-quantile for each of qs over vals, sorting the
+// data once instead of once per quantile. vals is not modified. It panics if
+// any q is outside [0, 1]; empty input yields all zeros.
+func Quantiles(vals []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(vals) == 0 {
+		for _, q := range qs {
+			checkQ(q)
+		}
+		return out
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = nearestRank(sorted, q)
+	}
+	return out
+}
+
+func checkQ(q float64) {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: Quantile(%v)", q))
+	}
+}
+
+// nearestRank returns the q-quantile of an already sorted, non-empty slice.
+func nearestRank(sorted []float64, q float64) float64 {
+	checkQ(q)
 	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
@@ -197,21 +227,35 @@ func (h *Histogram) Count() int { return len(h.vals) }
 
 // Quantile returns the q-quantile of the observations.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.ensureSorted()
+	if len(h.vals) == 0 {
+		checkQ(q)
+		return 0
+	}
+	return nearestRank(h.vals, q)
+}
+
+// Quantiles returns the q-quantile for each of qs, sorting the observations
+// at most once — the call experiments use to pull p50/p90/p99 from one
+// histogram.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	h.ensureSorted()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if len(h.vals) == 0 {
+			checkQ(q)
+			continue
+		}
+		out[i] = nearestRank(h.vals, q)
+	}
+	return out
+}
+
+func (h *Histogram) ensureSorted() {
 	if !h.sorted {
 		sort.Float64s(h.vals)
 		h.sorted = true
 	}
-	if len(h.vals) == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(q*float64(len(h.vals)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(h.vals) {
-		idx = len(h.vals) - 1
-	}
-	return h.vals[idx]
 }
 
 // Mean returns the average observation, or 0 if empty.

@@ -129,6 +129,58 @@ func TestQuantilePropertyWithinBounds(t *testing.T) {
 	}
 }
 
+func TestQuantilesMatchesSingleQuantile(t *testing.T) {
+	vals := []float64{9, 1, 4, 7, 2, 8, 3, 10, 5, 6}
+	qs := []float64{0, 0.1, 0.5, 0.9, 0.99, 1}
+	got := Quantiles(vals, qs...)
+	if len(got) != len(qs) {
+		t.Fatalf("len = %d, want %d", len(got), len(qs))
+	}
+	for i, q := range qs {
+		if want := Quantile(vals, q); got[i] != want {
+			t.Errorf("Quantiles[%v] = %v, want %v", q, got[i], want)
+		}
+	}
+	// Input order preserved; empty input yields zeros.
+	if vals[0] != 9 || vals[9] != 6 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+	for _, v := range Quantiles(nil, 0.5, 0.9) {
+		if v != 0 {
+			t.Fatalf("Quantiles(nil) = %v, want zeros", v)
+		}
+	}
+}
+
+func TestQuantilesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantiles([]float64{1}, 0.5, -0.1)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	got := h.Quantiles(0.5, 0.9, 0.99, 1)
+	want := []float64{50, 90, 99, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Quantiles = %v, want %v", got, want)
+		}
+	}
+	var empty Histogram
+	for _, v := range empty.Quantiles(0.5, 1) {
+		if v != 0 {
+			t.Fatal("empty histogram quantiles should be zero")
+		}
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	var h Histogram
 	for i := 1; i <= 100; i++ {

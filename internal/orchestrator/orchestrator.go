@@ -31,6 +31,7 @@ import (
 	"shardmanager/internal/shard"
 	"shardmanager/internal/sim"
 	"shardmanager/internal/topology"
+	"shardmanager/internal/trace"
 )
 
 // ShardConfig declares one shard of the application.
@@ -145,8 +146,10 @@ type Orchestrator struct {
 	order   []shard.ID // deterministic shard iteration
 	version int64
 
-	migrationQueue  []migration
-	inFlight        int
+	migrationQueue []migration
+	inFlight       int
+	curAlloc       trace.SpanID // open "allocate" span, parent of spawned work
+
 	draining        map[shard.ServerID]*drainRequest
 	drainCheckArmed bool
 	started         bool
@@ -166,6 +169,9 @@ type migration struct {
 	slot     int
 	from, to shard.ServerID
 	graceful bool
+	// span covers the whole migration from enqueue to finish; the per-step
+	// RPCs (prepare_add_shard, add_shard, drop_shard, ...) are its children.
+	span trace.SpanID
 }
 
 // New creates an orchestrator. Call Start to begin managing.
@@ -433,6 +439,12 @@ func (o *Orchestrator) allocate(mode allocator.Mode) {
 	if len(in.Servers) == 0 {
 		return
 	}
+	tr := o.loop.Tracer()
+	if tr.Enabled() {
+		o.curAlloc = tr.StartSpan("orchestrator", "allocate", 0,
+			trace.String("app", string(o.cfg.App)),
+			trace.String("mode", mode.String()))
+	}
 	res := o.alloc.Run(in, mode)
 	if mode == allocator.Emergency {
 		o.EmergencyRuns.Inc()
@@ -441,6 +453,12 @@ func (o *Orchestrator) allocate(mode allocator.Mode) {
 	}
 	o.ViolationSeries.Record(o.loop.Now(), float64(res.Final.Total()))
 	o.executeDiff(res)
+	if tr.Enabled() {
+		tr.EndSpan(o.curAlloc,
+			trace.Int("moves", len(res.Moves)),
+			trace.Int("violations", res.Final.Total()))
+	}
+	o.curAlloc = 0
 }
 
 func (o *Orchestrator) buildInput() allocator.Input {
@@ -657,6 +675,15 @@ func (o *Orchestrator) reconcileAllRoles() {
 func (o *Orchestrator) enqueueMigration(m migration) {
 	ss := o.shards[m.shard]
 	ss.migrating = true
+	if tr := o.loop.Tracer(); tr.Enabled() {
+		// The span opens at enqueue so queueing delay behind the
+		// concurrency cap is part of the migration's measured latency.
+		m.span = tr.StartSpan("orchestrator", "migration", o.curAlloc,
+			trace.String("shard", string(m.shard)),
+			trace.String("from", string(m.from)),
+			trace.String("to", string(m.to)),
+			trace.Bool("graceful", m.graceful))
+	}
 	o.migrationQueue = append(o.migrationQueue, m)
 }
 
@@ -671,6 +698,9 @@ func (o *Orchestrator) pumpMigrations() {
 }
 
 func (o *Orchestrator) finishMigration(m migration, ok bool) {
+	if tr := o.loop.Tracer(); tr.Enabled() {
+		tr.EndSpan(m.span, trace.Bool("ok", ok))
+	}
 	o.inFlight--
 	ss := o.shards[m.shard]
 	ss.migrating = false
@@ -695,6 +725,11 @@ func (o *Orchestrator) runMigration(m migration) {
 	ss := o.shards[m.shard]
 	slot := &ss.slots[m.slot]
 	role := slot.role
+	if tr := o.loop.Tracer(); tr.Enabled() {
+		tr.Event("orchestrator", "migration_start", m.span,
+			trace.String("shard", string(m.shard)),
+			trace.String("role", role.String()))
+	}
 	fail := func() {
 		o.FailedRPCs.Inc()
 		o.finishMigration(m, false)
@@ -707,19 +742,19 @@ func (o *Orchestrator) runMigration(m migration) {
 	case m.graceful && role == shard.RolePrimary:
 		// Step 1: prepare_add on the new primary, then give it time to
 		// load the shard's state; the old primary keeps serving.
-		o.call(m.to, func(srv *appserver.Server) {
+		o.callStep(m.span, "prepare_add_shard", m.to, func(srv *appserver.Server) {
 			srv.PrepareAddShard(m.shard, m.from, shard.RolePrimary)
 		}, func() {
 			o.loop.After(o.cfg.ShardLoadTime, func() { o.gracefulStep2(m, commit, fail) })
 		}, fail)
 	case role == shard.RoleSecondary:
 		// Make-before-break: add the new secondary, then drop the old.
-		o.call(m.to, func(srv *appserver.Server) {
+		o.callStep(m.span, "add_shard", m.to, func(srv *appserver.Server) {
 			srv.AddShard(m.shard, shard.RoleSecondary)
 		}, func() {
 			commit()
 			o.loop.After(o.cfg.PublishMargin, func() {
-				o.call(m.from, func(srv *appserver.Server) {
+				o.callStep(m.span, "drop_shard", m.from, func(srv *appserver.Server) {
 					srv.DropShard(m.shard)
 				}, func() { o.finishMigration(m, true) },
 					func() { o.finishMigration(m, true) })
@@ -728,10 +763,10 @@ func (o *Orchestrator) runMigration(m migration) {
 	default:
 		// Non-graceful primary move: drop, then add. SM's guarantee
 		// that no two servers serve the same shard forces the gap.
-		o.call(m.from, func(srv *appserver.Server) {
+		o.callStep(m.span, "drop_shard", m.from, func(srv *appserver.Server) {
 			srv.DropShard(m.shard)
 		}, func() {
-			o.call(m.to, func(srv *appserver.Server) {
+			o.callStep(m.span, "add_shard", m.to, func(srv *appserver.Server) {
 				srv.AddShard(m.shard, role)
 			}, func() {
 				commit()
@@ -739,7 +774,7 @@ func (o *Orchestrator) runMigration(m migration) {
 			}, fail)
 		}, func() {
 			// Old server is already dead; just add the new one.
-			o.call(m.to, func(srv *appserver.Server) {
+			o.callStep(m.span, "add_shard", m.to, func(srv *appserver.Server) {
 				srv.AddShard(m.shard, role)
 			}, func() {
 				commit()
@@ -754,11 +789,11 @@ func (o *Orchestrator) runMigration(m migration) {
 // add_shard on the new, publish, and finally drop the old replica.
 func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
 	// Step 2: prepare_drop on the old; it starts forwarding.
-	o.call(m.from, func(srv *appserver.Server) {
+	o.callStep(m.span, "prepare_drop_shard", m.from, func(srv *appserver.Server) {
 		srv.PrepareDropShard(m.shard, m.to, shard.RolePrimary)
 	}, func() {
 		// Step 3: add_shard on the new primary.
-		o.call(m.to, func(srv *appserver.Server) {
+		o.callStep(m.span, "add_shard", m.to, func(srv *appserver.Server) {
 			srv.AddShard(m.shard, shard.RolePrimary)
 		}, func() {
 			// Step 4: publish the new map.
@@ -766,7 +801,7 @@ func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
 			// Step 5: drop the old replica once clients have
 			// learned the new map.
 			o.loop.After(o.cfg.PublishMargin, func() {
-				o.call(m.from, func(srv *appserver.Server) {
+				o.callStep(m.span, "drop_shard", m.from, func(srv *appserver.Server) {
 					srv.DropShard(m.shard)
 				}, func() {
 					o.finishMigration(m, true)
@@ -799,16 +834,58 @@ func (o *Orchestrator) call(id shard.ServerID, handle func(*appserver.Server), d
 	})
 }
 
+// callStep performs one shard-lifecycle RPC as a traced child span of
+// parent, so a migration reads as its protocol steps in the trace viewer.
+func (o *Orchestrator) callStep(parent trace.SpanID, step string, id shard.ServerID,
+	handle func(*appserver.Server), done func(), fail func()) {
+	tr := o.loop.Tracer()
+	var sp trace.SpanID
+	if tr.Enabled() {
+		sp = tr.StartSpan("orchestrator", step, parent, trace.String("server", string(id)))
+	}
+	o.call(id, handle, func() {
+		if tr.Enabled() {
+			tr.EndSpan(sp, trace.String("status", "ok"))
+		}
+		if done != nil {
+			done()
+		}
+	}, func() {
+		if tr.Enabled() {
+			tr.EndSpan(sp, trace.String("status", "failed"))
+		}
+		if fail != nil {
+			fail()
+		}
+	})
+}
+
 func (o *Orchestrator) rpcAddShard(id shard.ServerID, s shard.ID, role shard.Role) {
-	o.call(id, func(srv *appserver.Server) { srv.AddShard(s, role) }, nil, func() { o.FailedRPCs.Inc() })
+	o.callStep(o.curAlloc, "add_shard", id,
+		func(srv *appserver.Server) { srv.AddShard(s, role) }, nil, func() { o.FailedRPCs.Inc() })
 }
 
 func (o *Orchestrator) rpcDropShard(id shard.ServerID, s shard.ID) {
-	o.call(id, func(srv *appserver.Server) { srv.DropShard(s) }, nil, func() { o.FailedRPCs.Inc() })
+	o.callStep(o.curAlloc, "drop_shard", id,
+		func(srv *appserver.Server) { srv.DropShard(s) }, nil, func() { o.FailedRPCs.Inc() })
 }
 
 func (o *Orchestrator) rpcChangeRole(id shard.ServerID, s shard.ID, from, to shard.Role) {
-	o.call(id, func(srv *appserver.Server) { _ = srv.ChangeRole(s, from, to) }, nil, func() { o.FailedRPCs.Inc() })
+	tr := o.loop.Tracer()
+	var sp trace.SpanID
+	if tr.Enabled() {
+		sp = tr.StartSpan("orchestrator", "change_role", o.curAlloc,
+			trace.String("server", string(id)),
+			trace.String("shard", string(s)),
+			trace.String("from", from.String()),
+			trace.String("to", to.String()))
+	}
+	o.call(id, func(srv *appserver.Server) { _ = srv.ChangeRole(s, from, to) },
+		func() { tr.EndSpan(sp, trace.String("status", "ok")) },
+		func() {
+			tr.EndSpan(sp, trace.String("status", "failed"))
+			o.FailedRPCs.Inc()
+		})
 }
 
 // --- publication ---
@@ -839,6 +916,12 @@ func (o *Orchestrator) publish() {
 	}
 	if err := m.Validate(); err != nil {
 		panic(fmt.Sprintf("orchestrator: invalid map: %v", err))
+	}
+	if tr := o.loop.Tracer(); tr.Enabled() {
+		tr.Event("orchestrator", "publish", o.curAlloc,
+			trace.String("app", string(o.cfg.App)),
+			trace.Int64("version", m.Version),
+			trace.Int("entries", len(m.Entries)))
 	}
 	o.disc.Publish(m)
 

@@ -23,6 +23,7 @@ import (
 	"shardmanager/internal/shard"
 	"shardmanager/internal/sim"
 	"shardmanager/internal/topology"
+	"shardmanager/internal/trace"
 )
 
 // Options configure a client.
@@ -115,20 +116,51 @@ func (c *Client) MapVersion() int64 {
 func (c *Client) Do(key string, write bool, op string, payload any, done func(Result)) {
 	s := c.keyspace.ShardFor(key)
 	start := c.loop.Now()
+	var root trace.SpanID
+	if tr := c.loop.Tracer(); tr.Enabled() {
+		root = tr.StartSpan("routing", "request", 0,
+			trace.String("key", key),
+			trace.String("shard", string(s)),
+			trace.Bool("write", write),
+			trace.String("op", op))
+		inner := done
+		done = func(res Result) {
+			tr.EndSpan(root,
+				trace.Bool("ok", res.OK),
+				trace.String("err", res.Err),
+				trace.Int("attempts", res.Attempts),
+				trace.Int("hops", res.Hops),
+				trace.String("server", string(res.Server)))
+			inner(res)
+		}
+	}
 	c.attempt(&appserver.Request{
-		App:     c.App,
-		Shard:   s,
-		Key:     key,
-		Write:   write,
-		Op:      op,
-		Payload: payload,
+		App:       c.App,
+		Shard:     s,
+		Key:       key,
+		Write:     write,
+		Op:        op,
+		Payload:   payload,
+		TraceSpan: root,
 	}, start, 1, make(map[shard.ServerID]bool), done)
 }
 
 // attempt performs one try and schedules retries.
 func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt int,
 	tried map[shard.ServerID]bool, done func(Result)) {
+	tr := c.loop.Tracer()
+	var asp trace.SpanID
+	if tr.Enabled() {
+		// Map version at attempt time shows which attempts ran on a stale
+		// map — the "wrong owner" retry loop of §3.2 made visible.
+		asp = tr.StartSpan("routing", "attempt", req.TraceSpan,
+			trace.Int("attempt", attempt),
+			trace.Int64("map_version", c.MapVersion()))
+	}
 	fail := func(errMsg string) {
+		if tr.Enabled() {
+			tr.EndSpan(asp, trace.String("err", errMsg))
+		}
 		if attempt >= c.opts.MaxAttempts {
 			done(Result{
 				Err:      errMsg,
@@ -166,6 +198,11 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 			back := c.net.Delay(srv.Region, c.Region)
 			c.loop.After(back, func() {
 				if resp.OK {
+					if tr.Enabled() {
+						tr.EndSpan(asp,
+							trace.String("server", string(resp.Server)),
+							trace.Int("hops", resp.Hops))
+					}
 					done(Result{
 						OK:       true,
 						Payload:  resp.Payload,

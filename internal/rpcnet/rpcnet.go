@@ -11,6 +11,7 @@ import (
 
 	"shardmanager/internal/sim"
 	"shardmanager/internal/topology"
+	"shardmanager/internal/trace"
 )
 
 // Endpoint is anything reachable on the network.
@@ -84,13 +85,29 @@ func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onF
 	} else {
 		d = n.Delay(fromRegion, fromRegion)
 	}
+	tr := n.loop.Tracer()
+	var sp trace.SpanID
+	if tr.Enabled() {
+		sp = tr.StartSpan("rpcnet", "send", 0,
+			trace.String("from", string(fromRegion)),
+			trace.String("to", string(to)))
+		tr.Event("rpcnet", "tx", sp)
+	}
 	n.loop.After(d, func() {
 		n.Messages++
 		if !n.Reachable(to) {
+			if tr.Enabled() {
+				tr.Event("rpcnet", "timeout", sp, trace.String("to", string(to)))
+				tr.EndSpan(sp, trace.String("status", "unreachable"))
+			}
 			if onFail != nil {
 				onFail()
 			}
 			return
+		}
+		if tr.Enabled() {
+			tr.Event("rpcnet", "rx", sp)
+			tr.EndSpan(sp, trace.String("status", "delivered"))
 		}
 		if fn != nil {
 			fn()
@@ -104,6 +121,13 @@ func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onF
 // one-way delay. handle runs only if the destination is reachable.
 func (n *Network) Call(fromRegion topology.RegionID, to Endpoint, handle func(), done func(rtt time.Duration), fail func()) {
 	start := n.loop.Now()
+	tr := n.loop.Tracer()
+	var sp trace.SpanID
+	if tr.Enabled() {
+		sp = tr.StartSpan("rpcnet", "rpc", 0,
+			trace.String("from", string(fromRegion)),
+			trace.String("to", string(to)))
+	}
 	n.Send(fromRegion, to, func() {
 		if handle != nil {
 			handle()
@@ -111,9 +135,19 @@ func (n *Network) Call(fromRegion topology.RegionID, to Endpoint, handle func(),
 		// Reply path: destination region back to caller region.
 		back := n.Delay(n.regions[to], fromRegion)
 		n.loop.After(back, func() {
+			if tr.Enabled() {
+				tr.EndSpan(sp, trace.String("status", "ok"))
+			}
 			if done != nil {
 				done(n.loop.Now() - start)
 			}
 		})
-	}, fail)
+	}, func() {
+		if tr.Enabled() {
+			tr.EndSpan(sp, trace.String("status", "failed"))
+		}
+		if fail != nil {
+			fail()
+		}
+	})
 }

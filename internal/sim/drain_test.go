@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin down the drain/stop edge cases of the event loop: stopping
+// timers and tickers must never leave stale callbacks that fire later, and
+// RunUntil must treat the deadline itself as inclusive even for events that
+// are scheduled *at* the deadline by another deadline event.
+
+func TestTimerStopAfterFireIsInert(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	tm := l.After(time.Second, func() { n++ })
+	l.Run()
+	if n != 1 {
+		t.Fatalf("fired %d times, want 1", n)
+	}
+	// Stop after firing must report not-pending and must not disturb other
+	// scheduled work.
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+	l.After(time.Second, func() { n++ })
+	if tm.Stop() {
+		t.Fatal("repeated Stop returned true")
+	}
+	l.Run()
+	if n != 2 {
+		t.Fatalf("later event did not run (n=%d)", n)
+	}
+}
+
+func TestCancelledEventsDrainFromQueue(t *testing.T) {
+	l := NewLoop(1)
+	timers := make([]*Timer, 0, 10)
+	for i := 0; i < 10; i++ {
+		timers = append(timers, l.After(time.Duration(i+1)*time.Second, func() {
+			t.Error("cancelled timer fired")
+		}))
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if l.Pending() != 10 {
+		t.Fatalf("Pending = %d before drain, want 10", l.Pending())
+	}
+	l.RunUntil(time.Minute)
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", l.Pending())
+	}
+	if l.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m", l.Now())
+	}
+}
+
+func TestTickerStopInsideCallbackLeavesNoResidue(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	var tk *Ticker
+	tk = l.Every(time.Second, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	l.RunUntil(time.Minute)
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after ticker stop, want 0 (stale reschedule left behind)", l.Pending())
+	}
+	// A stopped ticker must stay stopped across further loop progress.
+	l.RunFor(time.Minute)
+	if n != 3 {
+		t.Fatalf("stopped ticker ticked again (n=%d)", n)
+	}
+}
+
+func TestTickerStopThenStopAgain(t *testing.T) {
+	l := NewLoop(1)
+	tk := l.Every(time.Second, func() { t.Error("tick after immediate stop") })
+	tk.Stop()
+	tk.Stop() // double-stop must be harmless
+	l.RunUntil(5 * time.Second)
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", l.Pending())
+	}
+}
+
+func TestRunUntilRunsAllEventsExactlyAtDeadline(t *testing.T) {
+	l := NewLoop(1)
+	const deadline = 10 * time.Second
+	ran := 0
+	for i := 0; i < 5; i++ {
+		l.At(deadline, func() { ran++ })
+	}
+	l.RunUntil(deadline)
+	if ran != 5 {
+		t.Fatalf("ran %d deadline events, want 5", ran)
+	}
+	if l.Now() != deadline {
+		t.Fatalf("Now = %v, want %v", l.Now(), deadline)
+	}
+}
+
+func TestRunUntilRunsReentrantlyScheduledDeadlineEvents(t *testing.T) {
+	l := NewLoop(1)
+	const deadline = 10 * time.Second
+	var order []string
+	l.At(deadline, func() {
+		order = append(order, "first")
+		// Scheduled from inside a deadline event, at the deadline: still
+		// <= deadline, so RunUntil must run it before returning.
+		l.At(deadline, func() { order = append(order, "nested") })
+	})
+	l.At(deadline+time.Nanosecond, func() { order = append(order, "past") })
+	l.RunUntil(deadline)
+	if len(order) != 2 || order[0] != "first" || order[1] != "nested" {
+		t.Fatalf("order = %v, want [first nested]", order)
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (the past-deadline event)", l.Pending())
+	}
+	l.RunFor(time.Second)
+	if len(order) != 3 || order[2] != "past" {
+		t.Fatalf("order = %v, want past-deadline event to run later", order)
+	}
+}
+
+func TestRunUntilSkipsCancelledHeadEvent(t *testing.T) {
+	l := NewLoop(1)
+	tm := l.After(time.Second, func() { t.Error("cancelled head fired") })
+	ran := false
+	l.After(2*time.Second, func() { ran = true })
+	tm.Stop()
+	l.RunUntil(2 * time.Second)
+	if !ran {
+		t.Fatal("event behind cancelled head did not run")
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", l.Pending())
+	}
+}

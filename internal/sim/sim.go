@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"shardmanager/internal/trace"
 )
 
 // Clock supplies the current simulated time.
@@ -95,6 +97,7 @@ type Loop struct {
 	seq    uint64
 	events eventHeap
 	rng    *RNG
+	tracer *trace.Tracer
 }
 
 // NewLoop returns an event loop starting at time zero with a deterministic
@@ -108,6 +111,21 @@ func (l *Loop) Now() time.Duration { return l.now }
 
 // RNG returns the loop's deterministic random source.
 func (l *Loop) RNG() *RNG { return l.rng }
+
+// SetTracer attaches a tracer to the loop and binds it to the loop's clock.
+// The loop is the natural home for the tracer: every control-plane
+// component holds the loop, so all of them reach the same tracer through
+// Tracer() without extra plumbing. Pass nil to disable tracing.
+func (l *Loop) SetTracer(tr *trace.Tracer) {
+	l.tracer = tr
+	if tr != nil {
+		tr.SetClock(l)
+	}
+}
+
+// Tracer returns the loop's tracer, or nil when tracing is disabled.
+// Callers must treat a nil result as a valid disabled tracer.
+func (l *Loop) Tracer() *trace.Tracer { return l.tracer }
 
 // After schedules fn to run d after the current time.
 func (l *Loop) After(d time.Duration, fn func()) *Timer {
@@ -178,11 +196,20 @@ func (l *Loop) Step() bool {
 		if ev.fn == nil {
 			continue // cancelled
 		}
+		lag := ev.at - l.now
 		l.now = ev.at
 		ev.fired = true
 		fn := ev.fn
 		ev.fn = nil
-		fn()
+		if tr := l.tracer; tr != nil {
+			sp := tr.StartSpan("sim.loop", "dispatch", 0)
+			fn()
+			tr.EndSpan(sp)
+			tr.Counter("sim.loop", "queue_depth", float64(l.events.Len()))
+			tr.Counter("sim.loop", "loop_lag_ms", float64(lag)/float64(time.Millisecond))
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false

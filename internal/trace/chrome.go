@@ -1,0 +1,163 @@
+// Chrome trace-event export. The output loads directly into
+// chrome://tracing and https://ui.perfetto.dev: one "thread" per component,
+// complete ("X") events for spans, instant ("i") events for point events,
+// and counter ("C") tracks for gauges.
+//
+// The writer never iterates a Go map and renders every number itself, so a
+// fixed-seed simulation exports byte-identical JSON on every run — the
+// golden-file test in chrome_test.go holds the format to that promise.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// chromeRecord is one trace-event line, pre-sorted by (ts, seq).
+type chromeRecord struct {
+	ts   time.Duration
+	seq  uint64
+	line string
+}
+
+// WriteChrome renders the retained records as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	t.mu.Lock()
+	spans := t.spans.items()
+	comps := make([]string, len(t.comps))
+	copy(comps, t.comps)
+	events := make(map[string][]Event, len(comps))
+	samples := make(map[string][]Sample, len(comps))
+	for _, c := range comps {
+		events[c] = t.perComp[c].events.items()
+		samples[c] = t.perComp[c].samples.items()
+	}
+	now := t.now()
+	droppedSpans, droppedEvents := t.droppedSpans, t.droppedEvents
+	t.mu.Unlock()
+
+	tid := make(map[string]int, len(comps))
+	for i, c := range comps {
+		tid[c] = i + 1
+	}
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","otherData":{`)
+	bw.WriteString(`"droppedSpans":` + strconv.FormatUint(droppedSpans, 10))
+	bw.WriteString(`,"droppedEvents":` + strconv.FormatUint(droppedEvents, 10))
+	bw.WriteString(`},"traceEvents":[`)
+
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+		bw.WriteString(line)
+	}
+
+	// Thread-name metadata first, in component first-use order.
+	for _, c := range comps {
+		emit(`{"ph":"M","name":"thread_name","pid":1,"tid":` +
+			strconv.Itoa(tid[c]) + `,"args":{"name":` + jsonString(c) + `}}`)
+	}
+
+	var recs []chromeRecord
+	for _, sp := range spans {
+		end := sp.End
+		extra := ""
+		if !sp.Ended {
+			end = now // still open at export: draw it up to "now"
+			extra = `,"incomplete":"true"`
+		}
+		line := `{"ph":"X","name":` + jsonString(sp.Name) +
+			`,"cat":` + jsonString(sp.Component) +
+			`,"ts":` + usec(sp.Start) +
+			`,"dur":` + usec(end-sp.Start) +
+			`,"pid":1,"tid":` + strconv.Itoa(tid[sp.Component]) +
+			`,"args":{"span":"` + strconv.FormatUint(uint64(sp.ID), 10) +
+			`","parent":"` + strconv.FormatUint(uint64(sp.Parent), 10) + `"` +
+			extra + attrsJSON(sp.Attrs) + `}}`
+		recs = append(recs, chromeRecord{ts: sp.Start, seq: sp.seq, line: line})
+	}
+	for _, c := range comps {
+		for _, ev := range events[c] {
+			line := `{"ph":"i","s":"t","name":` + jsonString(ev.Name) +
+				`,"cat":` + jsonString(ev.Component) +
+				`,"ts":` + usec(ev.Time) +
+				`,"pid":1,"tid":` + strconv.Itoa(tid[ev.Component]) +
+				`,"args":{"span":"` + strconv.FormatUint(uint64(ev.Span), 10) + `"` +
+				attrsJSON(ev.Attrs) + `}}`
+			recs = append(recs, chromeRecord{ts: ev.Time, seq: ev.seq, line: line})
+		}
+		for _, s := range samples[c] {
+			line := `{"ph":"C","name":` + jsonString(s.Name) +
+				`,"cat":` + jsonString(s.Component) +
+				`,"ts":` + usec(s.Time) +
+				`,"pid":1,"tid":` + strconv.Itoa(tid[s.Component]) +
+				`,"args":{"value":` + strconv.FormatFloat(s.Value, 'g', -1, 64) + `}}`
+			recs = append(recs, chromeRecord{ts: s.Time, seq: s.seq, line: line})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].ts != recs[j].ts {
+			return recs[i].ts < recs[j].ts
+		}
+		return recs[i].seq < recs[j].seq
+	})
+	for _, r := range recs {
+		emit(r.line)
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec renders a simulated instant as microseconds with nanosecond
+// precision, the unit Chrome's ts/dur fields expect.
+func usec(d time.Duration) string {
+	us := d / time.Microsecond
+	rem := d % time.Microsecond
+	if rem == 0 {
+		return strconv.FormatInt(int64(us), 10)
+	}
+	return strconv.FormatInt(int64(us), 10) + "." + pad3(int64(rem))
+}
+
+func pad3(v int64) string {
+	s := strconv.FormatInt(v, 10)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}
+
+// attrsJSON renders attributes as ,"k":"v" pairs (keys already unique per
+// call site; order is the attribute slice's order).
+func attrsJSON(attrs []Attr) string {
+	out := ""
+	for _, a := range attrs {
+		out += "," + jsonString(a.Key) + ":" + jsonString(a.Val)
+	}
+	return out
+}
+
+// jsonString renders a Go string as a JSON string literal.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for strings
+		return `"?"`
+	}
+	return string(b)
+}

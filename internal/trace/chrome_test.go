@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixedTrace records a small, fully deterministic trace exercising every
+// record kind: nested spans, an open span, events, counters, and attribute
+// values needing JSON escaping.
+func buildFixedTrace() *Tracer {
+	clk := newTestClock(0)
+	tr := New(Options{})
+	tr.SetClock(clk)
+
+	root := tr.StartSpan("orchestrator", "migration", 0,
+		String("shard", "s00001"), String("from", `srv"a"`), Bool("graceful", true))
+	clk.Advance(1500 * time.Microsecond)
+	prep := tr.StartSpan("orchestrator", "prepare_add_shard", root, String("server", "srv-b"))
+	tr.Event("rpcnet", "tx", prep)
+	clk.Advance(2 * time.Millisecond)
+	tr.EndSpan(prep, String("status", "ok"))
+	tr.Counter("sim.loop", "queue_depth", 3)
+	clk.Advance(time.Duration(2500500)) // 2.5005ms: fractional microseconds
+	tr.Event("orchestrator", "publish", root, Int64("version", 7))
+	tr.EndSpan(root, Bool("ok", true))
+	tr.StartSpan("routing", "request", 0, String("key", "s00001/key")) // left open
+	tr.Counter("sim.loop", "queue_depth", 0.5)
+	return tr
+}
+
+// TestWriteChromeGolden holds the exporter to its byte-stability promise: a
+// fixed trace must serialize to exactly the checked-in bytes. Regenerate
+// deliberately with: go test ./internal/trace -run Golden -update
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixedTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export deviates from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixedTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			DroppedSpans  uint64 `json:"droppedSpans"`
+			DroppedEvents uint64 `json:"droppedEvents"`
+		} `json:"otherData"`
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	byPhase := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byPhase[ev["ph"].(string)]++
+	}
+	if byPhase["M"] != 4 { // orchestrator, rpcnet, sim.loop, routing
+		t.Fatalf("thread_name records = %d, want 4 (%v)", byPhase["M"], byPhase)
+	}
+	if byPhase["X"] != 3 { // migration, prepare_add_shard, and the open request span
+		t.Fatalf("span records = %d, want 3 (%v)", byPhase["X"], byPhase)
+	}
+	if byPhase["i"] != 2 { // tx, publish
+		t.Fatalf("instant records = %d, want 2 (%v)", byPhase["i"], byPhase)
+	}
+	if byPhase["C"] != 2 {
+		t.Fatalf("counter records = %d, want 2 (%v)", byPhase["C"], byPhase)
+	}
+}
+
+// TestWriteChromeDeterministic builds the same trace twice and byte-compares
+// the exports — the guarantee the golden test depends on, checked directly.
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildFixedTrace().WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildFixedTrace().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical traces exported different bytes")
+	}
+}
+
+func TestUsecRendering(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{time.Microsecond, "1"},
+		{1500 * time.Nanosecond, "1.500"},
+		{time.Duration(2500500), "2500.500"},
+		{time.Second, "1000000"},
+		{time.Nanosecond, "0.001"},
+	}
+	for _, c := range cases {
+		if got := usec(c.d); got != c.want {
+			t.Fatalf("usec(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

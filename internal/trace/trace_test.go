@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testClock is a hand-advanced Clock; the trace package cannot use
+// sim.ManualClock in its own tests because sim imports trace.
+type testClock struct{ now time.Duration }
+
+func (c *testClock) Now() time.Duration        { return c.now }
+func (c *testClock) Advance(d time.Duration)   { c.now += d }
+func newTestClock(at time.Duration) *testClock { return &testClock{now: at} }
+
+func TestNilTracerIsSafeAndDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.StartSpan("c", "n", 0, String("k", "v"))
+	if sp != 0 {
+		t.Fatalf("nil StartSpan = %d, want 0", sp)
+	}
+	tr.EndSpan(sp)
+	tr.Event("c", "n", 0)
+	tr.Counter("c", "n", 1)
+	tr.SetClock(newTestClock(0))
+	if tr.Spans() != nil || tr.Events() != nil || tr.Samples() != nil || tr.Components() != nil {
+		t.Fatal("nil tracer returned records")
+	}
+	if s, e := tr.Dropped(); s != 0 || e != 0 {
+		t.Fatal("nil tracer reports drops")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("nil WriteChrome = %q", buf.String())
+	}
+	buf.Reset()
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Fatalf("nil WriteText = %q", buf.String())
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	clk := newTestClock(0)
+	tr := New(Options{})
+	tr.SetClock(clk)
+
+	root := tr.StartSpan("orch", "migration", 0, String("shard", "s1"))
+	clk.Advance(time.Second)
+	child := tr.StartSpan("orch", "add_shard", root)
+	clk.Advance(2 * time.Second)
+	tr.EndSpan(child, String("status", "ok"))
+	clk.Advance(time.Second)
+	tr.EndSpan(root, Bool("ok", true))
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	rs, cs := spans[0], spans[1]
+	if rs.Name != "migration" || cs.Name != "add_shard" {
+		t.Fatalf("span order wrong: %s, %s", rs.Name, cs.Name)
+	}
+	if cs.Parent != rs.ID {
+		t.Fatalf("child parent = %d, want %d", cs.Parent, rs.ID)
+	}
+	if rs.Duration() != 4*time.Second || cs.Duration() != 2*time.Second {
+		t.Fatalf("durations = %v, %v", rs.Duration(), cs.Duration())
+	}
+	if rs.Attr("shard") != "s1" || rs.Attr("ok") != "true" || rs.Attr("absent") != "" {
+		t.Fatalf("attrs wrong: %+v", rs.Attrs)
+	}
+	kids := tr.Children(rs.ID)
+	if len(kids) != 1 || kids[0].ID != cs.ID {
+		t.Fatalf("Children = %v", kids)
+	}
+	if got := tr.FindSpans("orch", "add_shard"); len(got) != 1 || got[0].ID != cs.ID {
+		t.Fatalf("FindSpans = %v", got)
+	}
+}
+
+func TestEndSpanEdgeCases(t *testing.T) {
+	tr := New(Options{})
+	tr.EndSpan(0)    // zero span: no-op
+	tr.EndSpan(9999) // unknown span: no-op
+	sp := tr.StartSpan("c", "n", 0)
+	tr.EndSpan(sp)
+	tr.EndSpan(sp, String("again", "true")) // double end: no-op
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Attr("again") != "" {
+		t.Fatal("double EndSpan appended attributes")
+	}
+}
+
+func TestRingDropsOldestAndCounts(t *testing.T) {
+	tr := New(Options{MaxSpans: 4, MaxEventsPerComponent: 3, MaxSamplesPerComponent: 2})
+	for i := 0; i < 6; i++ {
+		id := tr.StartSpan("c", "s", 0, Int("i", i))
+		tr.EndSpan(id)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if spans[0].Attr("i") != "2" || spans[3].Attr("i") != "5" {
+		t.Fatalf("wrong retained window: first=%s last=%s", spans[0].Attr("i"), spans[3].Attr("i"))
+	}
+	for i := 0; i < 5; i++ {
+		tr.Event("c", "e", 0, Int("i", i))
+		tr.Counter("c", "g", float64(i))
+	}
+	if n := len(tr.Events()); n != 3 {
+		t.Fatalf("retained %d events, want 3", n)
+	}
+	if n := len(tr.Samples()); n != 2 {
+		t.Fatalf("retained %d samples, want 2", n)
+	}
+	ds, de := tr.Dropped()
+	if ds != 2 {
+		t.Fatalf("droppedSpans = %d, want 2", ds)
+	}
+	if de != 5 { // 2 events + 3 samples evicted
+		t.Fatalf("droppedEvents = %d, want 5", de)
+	}
+}
+
+func TestAttrConstructors(t *testing.T) {
+	cases := []struct {
+		a    Attr
+		k, v string
+	}{
+		{String("s", "x"), "s", "x"},
+		{Int("i", -3), "i", "-3"},
+		{Int64("i64", 1<<40), "i64", "1099511627776"},
+		{Bool("b", true), "b", "true"},
+		{Dur("d", 1500*time.Millisecond), "d", "1.5s"},
+		{Float("f", 0.25), "f", "0.25"},
+	}
+	for _, c := range cases {
+		if c.a.Key != c.k || c.a.Val != c.v {
+			t.Fatalf("attr %q = %q, want %q", c.k, c.a.Val, c.v)
+		}
+	}
+}
+
+func TestComponentsFirstUseOrder(t *testing.T) {
+	tr := New(Options{})
+	tr.Event("zeta", "e", 0)
+	tr.StartSpan("alpha", "s", 0)
+	tr.Counter("mid", "g", 1)
+	tr.Event("zeta", "e2", 0)
+	got := tr.Components()
+	want := []string{"zeta", "alpha", "mid"}
+	if len(got) != len(want) {
+		t.Fatalf("components = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("components = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWriteTextTimeline(t *testing.T) {
+	clk := newTestClock(0)
+	tr := New(Options{})
+	tr.SetClock(clk)
+	root := tr.StartSpan("orch", "migration", 0, String("shard", "s1"))
+	clk.Advance(time.Second)
+	child := tr.StartSpan("orch", "add_shard", root)
+	tr.Event("net", "rx", child)
+	clk.Advance(time.Second)
+	tr.EndSpan(child)
+	tr.EndSpan(root)
+	tr.Counter("loop", "depth", 7)
+
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"2 spans, 1 events, 1 samples",
+		"> migration #1 shard=s1",
+		"  > add_shard #2", // indented one level under the root
+		"* rx span=2",
+		"< add_shard #2 dur=1s",
+		"= depth 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification: vet, build, and test (with the race detector) the
+# whole module. Run via `make check` or directly.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "check: OK"
