@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: check test bench vet build
+.PHONY: check test bench vet build fmt
 
-check: ## vet + build + race-enabled tests (tier-1 verify)
+check: ## gofmt + vet + build + race-enabled tests (tier-1 verify)
 	sh scripts/check.sh
+
+fmt:
+	gofmt -w .
 
 build:
 	$(GO) build ./...

@@ -14,10 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"shardmanager/internal/experiments"
+	"shardmanager/internal/healthmon"
+	"shardmanager/internal/metrics"
 	"shardmanager/internal/trace"
 )
 
@@ -27,12 +30,23 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or ui.perfetto.dev)")
 	traceText := flag.String("trace-text", "", "write a human-readable text timeline of the run to this file")
+	metricsOut := flag.String("metrics-out", "", "write the run's labeled metrics to this file (byte-stable for a given seed)")
+	expo := flag.String("expo", "prom", "metrics exposition format: 'prom' (Prometheus text), 'json', or 'csv'")
 	flag.Parse()
 
 	var tracer *trace.Tracer
 	if *traceOut != "" || *traceText != "" {
 		tracer = trace.New(trace.Options{})
 		experiments.SetDefaultTracer(tracer)
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		// One registry across every deployment the run builds, so the
+		// export covers the whole invocation.
+		reg = metrics.NewRegistry()
+		experiments.SetDefaultHealthFactory(func() *healthmon.Monitor {
+			return healthmon.New(healthmon.Options{Registry: reg})
+		})
 	}
 
 	if *list {
@@ -68,6 +82,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
 		os.Exit(1)
 	}
+	if err := writeMetrics(reg, *metricsOut, *expo); err != nil {
+		fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeMetrics exports the shared registry in the requested format (no-op
+// when -metrics-out is unset).
+func writeMetrics(reg *metrics.Registry, path, format string) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	var write func(io.Writer) error
+	switch format {
+	case "prom":
+		write = reg.WritePrometheus
+	case "json":
+		write = reg.WriteJSON
+	case "csv":
+		write = reg.WriteCSV
+	default:
+		return fmt.Errorf("unknown exposition format %q (want prom, json, or csv)", format)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics written to %s (%s)\n", path, format)
+	return nil
 }
 
 // writeTrace exports the tracer to the requested files (no-ops when tracing

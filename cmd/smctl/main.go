@@ -7,6 +7,8 @@
 //
 //	smctl                         # default demo: 3 regions, failover + drain
 //	smctl -servers 20 -shards 500 -replicas 3
+//	smctl status                  # live health dashboard through the demo
+//	smctl status -scenario geofailover
 package main
 
 import (
@@ -21,7 +23,9 @@ import (
 	"shardmanager/internal/appserver"
 	"shardmanager/internal/cluster"
 	"shardmanager/internal/experiments"
+	"shardmanager/internal/healthmon"
 	"shardmanager/internal/orchestrator"
+	"shardmanager/internal/routing"
 	"shardmanager/internal/rpcnet"
 	"shardmanager/internal/shard"
 	"shardmanager/internal/taskcontroller"
@@ -30,6 +34,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "status" {
+		runStatus(os.Args[2:])
+		return
+	}
 	servers := flag.Int("servers", 12, "servers per region")
 	shards := flag.Int("shards", 120, "number of shards")
 	replicas := flag.Int("replicas", 2, "replicas per shard")
@@ -153,6 +161,180 @@ func writeFile(path string, write func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runStatus is the `smctl status` subcommand: it builds a monitored
+// deployment with background client traffic, runs an operational scenario,
+// and renders the operator health dashboard at each checkpoint.
+func runStatus(argv []string) {
+	fs := flag.NewFlagSet("smctl status", flag.ExitOnError)
+	servers := fs.Int("servers", 12, "servers per region")
+	shards := fs.Int("shards", 120, "number of shards")
+	replicas := fs.Int("replicas", 2, "replicas per shard (demo scenario; geofailover always uses 2)")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	scenario := fs.String("scenario", "demo",
+		"'demo' (machine failure + rolling upgrade) or 'geofailover' (fig19-style region loss and recovery)")
+	fs.Parse(argv)
+
+	mon := healthmon.New(healthmon.Options{})
+	switch *scenario {
+	case "demo":
+		statusDemo(mon, *servers, *shards, *replicas, *seed)
+	case "geofailover":
+		statusGeoFailover(mon, *servers, *shards, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "smctl status: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+// checkpoint renders the dashboard under a scenario heading.
+func checkpoint(mon *healthmon.Monitor, title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+	fmt.Print(mon.Snapshot().Render())
+}
+
+// startTraffic issues a steady read workload from an FRC client so the
+// monitor has a request stream to grade.
+func startTraffic(d *experiments.Deployment, shards int) {
+	ks := experiments.KeyspaceFor(shards)
+	client := d.NewClient("frc", ks, routing.DefaultOptions())
+	rng := d.Loop.RNG().Fork()
+	d.Loop.Every(250*time.Millisecond, func() {
+		key := experiments.KeyForShard(rng.Intn(shards))
+		client.Do(key, false, apps.KVOpScan, nil, func(routing.Result) {})
+	})
+}
+
+// statusDemo runs the default demo scenario (same world as plain smctl)
+// under the health monitor: settle, unplanned machine failure, then a
+// negotiated rolling upgrade.
+func statusDemo(mon *healthmon.Monitor, servers, shards, replicas int, seed uint64) {
+	pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
+	strategy := shard.PrimarySecondary
+	if replicas == 1 {
+		strategy = shard.PrimaryOnly
+		pol.SpreadWeight = 0
+	}
+	cfg := orchestrator.Config{
+		App:      "demo",
+		Strategy: strategy,
+		Shards: experiments.UniformShardConfigs(shards, replicas, topology.Capacity{
+			topology.ResourceCPU:        1,
+			topology.ResourceShardCount: 1,
+		}),
+		Policy: pol,
+		ServerCapacity: topology.Capacity{
+			topology.ResourceCPU:        100,
+			topology.ResourceShardCount: float64(shards),
+		},
+		GracefulMigration: true,
+		FailoverGrace:     20 * time.Second,
+	}
+	tp := taskcontroller.DefaultPolicy(3)
+	backing := apps.NewKVBacking()
+	d := experiments.Build(experiments.DeploymentSpec{
+		Regions:          []topology.RegionID{"frc", "prn", "odn"},
+		ServersPerRegion: servers,
+		Orch:             cfg,
+		TaskPolicy:       &tp,
+		ClusterOpts:      cluster.DefaultOptions(),
+		AppFactory: func(s *appserver.Server) appserver.Application {
+			return apps.NewKVStore(s, backing)
+		},
+		Health: mon,
+		Seed:   seed,
+	})
+	if err := d.Settle(10 * time.Minute); err != nil {
+		fmt.Fprintf(os.Stderr, "smctl status: %v\n", err)
+		os.Exit(1)
+	}
+	startTraffic(d, shards)
+	d.Loop.RunFor(2 * time.Minute)
+	checkpoint(mon, "steady state (settled + 2m of traffic)")
+
+	mgr := d.Managers["frc"]
+	victim := mgr.RunningContainers(d.Jobs["frc"])[0]
+	c, _ := mgr.Container(victim)
+	fmt.Printf("\n>>> killing machine %s (container %s)\n", c.Machine, victim)
+	mgr.KillMachine(c.Machine)
+	d.Loop.RunFor(3 * time.Minute)
+	checkpoint(mon, "after unplanned machine failure + failover")
+
+	fmt.Printf("\n>>> rolling upgrade of job %s (drain + graceful migration)\n", d.Jobs["prn"])
+	done := false
+	d.Managers["prn"].RollingUpgrade(d.Jobs["prn"], 2, "upgrade", func() { done = true })
+	for i := 0; i < 120 && !done; i++ {
+		d.Loop.RunFor(30 * time.Second)
+	}
+	checkpoint(mon, fmt.Sprintf("after rolling upgrade (done=%v)", done))
+}
+
+// statusGeoFailover runs the Fig 19 shape — a secondary-only geo-distributed
+// store losing and recovering a whole region — and shows what an operator
+// would see at each stage.
+func statusGeoFailover(mon *healthmon.Monitor, servers, shards int, seed uint64) {
+	pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
+	pol.SpreadLevel = topology.LevelRegion
+	pol.SpreadWeight = 100
+	pol.AffinityWeight = 300
+	shardCfgs := experiments.UniformShardConfigs(shards, 2, topology.Capacity{
+		topology.ResourceCPU:        0.5,
+		topology.ResourceShardCount: 1,
+	})
+	ec := shards * 2 / 5 // 40% "east-coast" shards prefer FRC, as in fig19
+	for i := 0; i < ec; i++ {
+		shardCfgs[i].RegionPreference = "frc"
+	}
+	cfg := orchestrator.Config{
+		App:      "geostore",
+		Strategy: shard.SecondaryOnly,
+		Shards:   shardCfgs,
+		Policy:   pol,
+		ServerCapacity: topology.Capacity{
+			topology.ResourceCPU:        100,
+			topology.ResourceShardCount: float64(shards),
+		},
+		HomeRegion:              "prn",
+		GracefulMigration:       true,
+		FailoverGrace:           20 * time.Second,
+		AllocInterval:           15 * time.Second,
+		MaxConcurrentMigrations: 200,
+	}
+	backing := apps.NewKVBacking()
+	d := experiments.Build(experiments.DeploymentSpec{
+		Regions:          []topology.RegionID{"frc", "prn", "odn"},
+		ServersPerRegion: servers,
+		Latency: map[[2]topology.RegionID]time.Duration{
+			{"frc", "prn"}: 35 * time.Millisecond,
+			{"frc", "odn"}: 45 * time.Millisecond,
+			{"prn", "odn"}: 80 * time.Millisecond,
+		},
+		Orch: cfg,
+		AppFactory: func(s *appserver.Server) appserver.Application {
+			return apps.NewKVStore(s, backing)
+		},
+		Health: mon,
+		Seed:   seed,
+	})
+	if err := d.Settle(10 * time.Minute); err != nil {
+		fmt.Fprintf(os.Stderr, "smctl status: %v\n", err)
+		os.Exit(1)
+	}
+	startTraffic(d, shards)
+	d.Loop.RunFor(90 * time.Second)
+	checkpoint(mon, "steady state (EC shards homed at frc)")
+
+	frc := d.Managers["frc"]
+	fmt.Printf("\n>>> region frc fails\n")
+	frc.FailRegion()
+	d.Loop.RunFor(2 * time.Minute)
+	checkpoint(mon, "2m after region frc failed (replicas promoted remotely)")
+
+	fmt.Printf("\n>>> region frc recovers\n")
+	frc.RecoverRegion()
+	d.Loop.RunFor(5 * time.Minute)
+	checkpoint(mon, "5m after recovery (EC shards migrating home)")
 }
 
 // dumpMap prints the first n shard-map entries.

@@ -151,6 +151,35 @@ type Server struct {
 	Rejected  metrics.Counter
 }
 
+// requestMetric counts one request outcome in the loop's labeled registry
+// (a no-op when metrics are disabled). outcome is one of the fixed reject
+// reasons, "ok", or "app_error" — never raw application error text, which
+// would be an unbounded label.
+func (s *Server) requestMetric(outcome string) {
+	s.loop.Metrics().Counter("appserver_requests_total",
+		"app", string(s.App), "outcome", outcome).Inc()
+}
+
+// opMetric counts one SM-library shard operation (add/drop/change_role/
+// prepare_add/prepare_drop).
+func (s *Server) opMetric(op string) {
+	s.loop.Metrics().Counter("appserver_shard_ops_total",
+		"app", string(s.App), "op", op).Inc()
+}
+
+// replicaMetric moves the live-replica gauge when a replica is created or
+// deleted on this server.
+func (s *Server) replicaMetric(delta float64) {
+	s.loop.Metrics().Gauge("appserver_replicas", "app", string(s.App)).Add(delta)
+}
+
+// reject counts and replies with one of the fixed rejection reasons.
+func (s *Server) reject(reply func(Response), errMsg string) {
+	s.Rejected.Inc()
+	s.requestMetric(errMsg)
+	reply(Response{Err: errMsg, Server: s.ID})
+}
+
 // Directory resolves server IDs to live Server instances for the in-process
 // RPC layer. One Directory serves a whole simulation.
 type Directory struct {
@@ -203,7 +232,9 @@ func (s *Server) AddShard(id shard.ID, role shard.Role) {
 	if r == nil {
 		r = &replica{}
 		s.replicas[id] = r
+		s.replicaMetric(1)
 	}
+	s.opMetric("add")
 	r.role = role
 	r.forwardTo = ""
 	delete(s.tombstones, id)
@@ -259,6 +290,8 @@ func (s *Server) DropShard(id shard.ID) {
 		})
 	}
 	delete(s.replicas, id)
+	s.replicaMetric(-1)
+	s.opMetric("drop")
 	s.app.DropShard(id)
 }
 
@@ -273,6 +306,7 @@ func (s *Server) ChangeRole(id shard.ID, from, to shard.Role) error {
 		return fmt.Errorf("appserver: shard %s role is %v, not %v", id, r.role, from)
 	}
 	r.role = to
+	s.opMetric("change_role")
 	s.app.ChangeRole(id, from, to)
 	return nil
 }
@@ -286,7 +320,9 @@ func (s *Server) PrepareAddShard(id shard.ID, currentOwner shard.ServerID, role 
 	if r == nil {
 		r = &replica{}
 		s.replicas[id] = r
+		s.replicaMetric(1)
 	}
+	s.opMetric("prepare_add")
 	r.role = role
 	if r.phase == phaseNone && s.LoadTime > 0 {
 		s.startLoad(id, r)
@@ -305,6 +341,7 @@ func (s *Server) PrepareDropShard(id shard.ID, newOwner shard.ServerID, role sha
 	if r == nil {
 		return
 	}
+	s.opMetric("prepare_drop")
 	r.phase = phaseForwarding
 	r.forwardTo = newOwner
 	if p, ok := s.app.(Preparer); ok {
@@ -352,28 +389,24 @@ func (s *Server) Serve(req *Request, reply func(Response)) {
 			s.forward(req, to, reply)
 			return
 		}
-		s.Rejected.Inc()
-		reply(Response{Err: "not-owner", Server: s.ID})
+		s.reject(reply, "not-owner")
 		return
 	}
 	switch r.phase {
 	case phaseActive:
 		if req.Write && r.role != shard.RolePrimary {
-			s.Rejected.Inc()
-			reply(Response{Err: "not-primary", Server: s.ID})
+			s.reject(reply, "not-primary")
 			return
 		}
 		s.handle(req, reply)
 	case phaseLoading:
-		s.Rejected.Inc()
-		reply(Response{Err: "loading", Server: s.ID})
+		s.reject(reply, "loading")
 	case phasePreparingAdd:
 		if req.Forwarded {
 			s.handle(req, reply)
 			return
 		}
-		s.Rejected.Inc()
-		reply(Response{Err: "preparing", Server: s.ID})
+		s.reject(reply, "preparing")
 	case phaseForwarding:
 		s.forward(req, r.forwardTo, reply)
 	default:
@@ -385,10 +418,12 @@ func (s *Server) handle(req *Request, reply func(Response)) {
 	payload, err := s.app.HandleRequest(req)
 	if err != nil {
 		s.Rejected.Inc()
+		s.requestMetric("app_error")
 		reply(Response{Err: err.Error(), Server: s.ID})
 		return
 	}
 	s.Handled.Inc()
+	s.requestMetric("ok")
 	reply(Response{OK: true, Payload: payload, Server: s.ID})
 }
 
@@ -396,11 +431,11 @@ func (s *Server) handle(req *Request, reply func(Response)) {
 // response back (one extra hop each way).
 func (s *Server) forward(req *Request, to shard.ServerID, reply func(Response)) {
 	if to == "" || to == s.ID {
-		s.Rejected.Inc()
-		reply(Response{Err: "forward-loop", Server: s.ID})
+		s.reject(reply, "forward-loop")
 		return
 	}
 	s.ForwardTx.Inc()
+	s.loop.Metrics().Counter("appserver_forwarded_total", "app", string(s.App)).Inc()
 	if tr := s.loop.Tracer(); tr.Enabled() {
 		tr.Event("appserver", "forward", req.TraceSpan,
 			trace.String("from", string(s.ID)),

@@ -144,6 +144,20 @@ const (
 	ImpactMachineLoss
 )
 
+// String returns the impact name.
+func (i MaintenanceImpact) String() string {
+	switch i {
+	case ImpactNetworkLoss:
+		return "network-loss"
+	case ImpactRestart:
+		return "restart"
+	case ImpactMachineLoss:
+		return "machine-loss"
+	default:
+		return fmt.Sprintf("impact(%d)", int(i))
+	}
+}
+
 // MaintenanceEvent is an unavoidable infrastructure event with advance
 // notice.
 type MaintenanceEvent struct {
@@ -333,12 +347,26 @@ func (m *Manager) startContainer(c *Container, reason string) {
 		if c.State == StateRunning {
 			return
 		}
-		c.State = StateRunning
-		c.Generation++
-		for _, l := range m.listeners {
-			l.ContainerStarted(*c)
-		}
+		m.containerUp(c)
 	})
+}
+
+// containerUp transitions a container to StateRunning and notifies
+// listeners. Every start path (cold start, restart, move, maintenance
+// recovery) funnels through here so the running-container metrics stay
+// consistent.
+func (m *Manager) containerUp(c *Container) {
+	c.State = StateRunning
+	c.Generation++
+	if mr := m.loop.Metrics(); mr != nil {
+		mr.Counter("cluster_container_starts_total",
+			"region", string(m.Region), "job", string(c.Job)).Inc()
+		mr.Gauge("cluster_containers_running",
+			"region", string(m.Region), "job", string(c.Job)).Add(1)
+	}
+	for _, l := range m.listeners {
+		l.ContainerStarted(*c)
+	}
 }
 
 // stopContainer takes the container down now. planned marks the stop as a
@@ -351,6 +379,13 @@ func (m *Manager) stopContainer(c *Container, reason string, planned bool) {
 		m.PlannedStops++
 	} else {
 		m.UnplannedStops++
+	}
+	if mr := m.loop.Metrics(); mr != nil {
+		mr.Counter("cluster_container_stops_total",
+			"region", string(m.Region), "job", string(c.Job),
+			"planned", fmt.Sprintf("%t", planned)).Inc()
+		mr.Gauge("cluster_containers_running",
+			"region", string(m.Region), "job", string(c.Job)).Add(-1)
 	}
 	for _, l := range m.listeners {
 		l.ContainerStopping(*c, reason)
@@ -490,11 +525,7 @@ func (m *Manager) execute(op *Operation) {
 		m.stopContainer(c, op.Reason, true)
 		m.loop.After(m.opts.RestartDuration, func() {
 			if !m.deadMachine[c.Machine] {
-				c.State = StateRunning
-				c.Generation++
-				for _, l := range m.listeners {
-					l.ContainerStarted(*c)
-				}
+				m.containerUp(c)
 			}
 			done()
 		})
@@ -526,11 +557,7 @@ func (m *Manager) execute(op *Operation) {
 		}
 		m.loop.After(m.opts.StartDuration, func() {
 			if !m.deadMachine[c.Machine] && c.State == StateDown {
-				c.State = StateRunning
-				c.Generation++
-				for _, l := range m.listeners {
-					l.ContainerStarted(*c)
-				}
+				m.containerUp(c)
 			}
 			done()
 		})
@@ -549,11 +576,7 @@ func (m *Manager) execute(op *Operation) {
 				m.perMachine[c.Machine]--
 				c.Machine = target
 				m.perMachine[c.Machine]++
-				c.State = StateRunning
-				c.Generation++
-				for _, l := range m.listeners {
-					l.ContainerStarted(*c)
-				}
+				m.containerUp(c)
 			}
 			done()
 		})
@@ -645,6 +668,8 @@ func (m *Manager) ScheduleMaintenance(machines []topology.MachineID, start, end 
 		End:      end,
 		Impact:   impact,
 	}
+	m.loop.Metrics().Counter("cluster_maintenance_total",
+		"region", string(m.Region), "impact", impact.String()).Inc()
 	for _, l := range m.maintaince {
 		l.MaintenanceScheduled(m.Region, ev)
 	}
@@ -671,11 +696,7 @@ func (m *Manager) beginMaintenance(ev MaintenanceEvent) {
 					m.stopContainer(c, "maintenance", true)
 					m.loop.After(m.opts.RestartDuration, func() {
 						if !m.deadMachine[c.Machine] && c.State == StateDown {
-							c.State = StateRunning
-							c.Generation++
-							for _, l := range m.listeners {
-								l.ContainerStarted(*c)
-							}
+							m.containerUp(c)
 						}
 					})
 				}

@@ -52,6 +52,7 @@ func (s *Subscription) Cancel() { s.cancelled = true }
 
 type appState struct {
 	current *shard.Map
+	pubAt   time.Duration // simulated time current was published
 	subs    []*Subscription
 }
 
@@ -64,6 +65,17 @@ type Service struct {
 
 	// Publications counts Publish calls, for tests and smctl.
 	Publications int64
+
+	// observer, if set, sees every delivery outcome. Unlike Subscribe it
+	// consumes no RNG draws, so attaching one (healthmon does) cannot
+	// perturb a seeded run. lag is publish-to-delivery staleness; status is
+	// "delivered", "stale", or "cancelled".
+	observer func(app shard.AppID, version int64, lag time.Duration, status string)
+}
+
+// SetObserver registers the delivery observer (nil to clear).
+func (s *Service) SetObserver(fn func(app shard.AppID, version int64, lag time.Duration, status string)) {
+	s.observer = fn
 }
 
 // NewService returns a discovery service using the given delay model (nil
@@ -103,15 +115,22 @@ func (s *Service) Publish(m *shard.Map) {
 	}
 	snap := m.Clone()
 	st.current = snap
+	st.pubAt = s.loop.Now()
 	s.Publications++
+	if mr := s.loop.Metrics(); mr != nil {
+		mr.Counter("discovery_publications_total", "app", string(m.App)).Inc()
+		mr.Gauge("discovery_map_version", "app", string(m.App)).Set(float64(snap.Version))
+	}
 	for _, sub := range st.subs {
-		s.deliver(sub, snap)
+		s.deliver(sub, snap, st.pubAt)
 	}
 }
 
 // deliver schedules one map delivery; its span stretches from publication to
 // the subscriber's callback, so map-propagation lag is directly visible.
-func (s *Service) deliver(sub *Subscription, m *shard.Map) {
+// pubAt is when the map version was published, so staleness metrics measure
+// from publication rather than from this (possibly later) subscribe time.
+func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) {
 	d := s.delay(s.rng)
 	tr := s.loop.Tracer()
 	var sp trace.SpanID
@@ -122,12 +141,27 @@ func (s *Service) deliver(sub *Subscription, m *shard.Map) {
 			trace.Int("sub", sub.id))
 	}
 	s.loop.After(d, func() {
+		status := "delivered"
 		if sub.cancelled || m.Version <= sub.lastSeen {
+			status = "stale"
+			if sub.cancelled {
+				status = "cancelled"
+			}
+		}
+		lag := s.loop.Now() - pubAt
+		if mr := s.loop.Metrics(); mr != nil {
+			mr.Counter("discovery_deliveries_total",
+				"app", string(m.App), "status", status).Inc()
+			if status == "delivered" {
+				mr.Histogram("discovery_propagation_ms", nil, "app", string(m.App)).
+					Observe(float64(lag) / float64(time.Millisecond))
+			}
+		}
+		if s.observer != nil {
+			s.observer(m.App, m.Version, lag, status)
+		}
+		if status != "delivered" {
 			if tr.Enabled() {
-				status := "stale"
-				if sub.cancelled {
-					status = "cancelled"
-				}
 				tr.EndSpan(sp, trace.String("status", status))
 			}
 			return // stale delivery overtaken by a newer one
@@ -151,7 +185,7 @@ func (s *Service) Subscribe(app shard.AppID, fn func(*shard.Map)) *Subscription 
 	sub := &Subscription{app: app, id: len(st.subs), fn: fn}
 	st.subs = append(st.subs, sub)
 	if st.current != nil {
-		s.deliver(sub, st.current)
+		s.deliver(sub, st.current, st.pubAt)
 	}
 	return sub
 }

@@ -8,6 +8,7 @@ import (
 	"shardmanager/internal/cluster"
 	"shardmanager/internal/coord"
 	"shardmanager/internal/discovery"
+	"shardmanager/internal/healthmon"
 	"shardmanager/internal/orchestrator"
 	"shardmanager/internal/routing"
 	"shardmanager/internal/rpcnet"
@@ -26,6 +27,16 @@ var defaultTracer *trace.Tracer
 // SetDefaultTracer installs the tracer used by deployments whose spec leaves
 // Tracer nil. Pass nil to clear.
 func SetDefaultTracer(tr *trace.Tracer) { defaultTracer = tr }
+
+// defaultHealthFactory, when non-nil, supplies a health monitor for every
+// deployment whose spec does not set its own. A factory (rather than a shared
+// monitor) because each deployment has its own loop/clock, and tests want one
+// monitor per Build to cross-check figures.
+var defaultHealthFactory func() *healthmon.Monitor
+
+// SetDefaultHealthFactory installs the monitor factory used by deployments
+// whose spec leaves Health nil. Pass nil to clear.
+func SetDefaultHealthFactory(fn func() *healthmon.Monitor) { defaultHealthFactory = fn }
 
 // DeploymentSpec wires a complete single-application world: fleet, one
 // cluster manager + job per region, application hosts, an orchestrator,
@@ -61,6 +72,11 @@ type DeploymentSpec struct {
 	// activity (falls back to the package default set by SetDefaultTracer).
 	Tracer *trace.Tracer
 
+	// Health, if non-nil, watches the whole deployment — cluster managers,
+	// discovery, orchestrator, and every client made with NewClient (falls
+	// back to the factory set by SetDefaultHealthFactory).
+	Health *healthmon.Monitor
+
 	Seed uint64
 }
 
@@ -76,6 +92,7 @@ type Deployment struct {
 	Jobs     map[topology.RegionID]cluster.JobID
 	Orch     *orchestrator.Orchestrator
 	Ctrl     *taskcontroller.Controller
+	Health   *healthmon.Monitor
 	App      shard.AppID
 }
 
@@ -94,6 +111,14 @@ func Build(spec DeploymentSpec) *Deployment {
 		tr = defaultTracer
 	}
 	loop.SetTracer(tr) // before any component is built or scheduled
+	mon := spec.Health
+	if mon == nil && defaultHealthFactory != nil {
+		mon = defaultHealthFactory()
+	}
+	if mon != nil {
+		mon.Bind(loop)
+		loop.SetMetrics(mon.Registry())
+	}
 	fleet := topology.Build(topology.Spec{
 		Regions:           spec.Regions,
 		MachinesPerRegion: spec.ServersPerRegion,
@@ -114,6 +139,7 @@ func Build(spec DeploymentSpec) *Deployment {
 		Dir:      appserver.NewDirectory(),
 		Managers: make(map[topology.RegionID]*cluster.Manager),
 		Jobs:     make(map[topology.RegionID]cluster.JobID),
+		Health:   mon,
 		App:      spec.Orch.App,
 	}
 	d.Store.SetTracer(tr)
@@ -121,6 +147,9 @@ func Build(spec DeploymentSpec) *Deployment {
 
 	for _, r := range spec.Regions {
 		mgr := cluster.NewManager(loop, fleet, r, spec.ClusterOpts)
+		if mon != nil {
+			mon.WatchManager(mgr)
+		}
 		d.Managers[r] = mgr
 		job := cluster.JobID(fmt.Sprintf("%s-%s", spec.Orch.App, r))
 		d.Jobs[r] = job
@@ -134,6 +163,10 @@ func Build(spec DeploymentSpec) *Deployment {
 		cfg.HomeRegion = spec.Regions[len(spec.Regions)-1]
 	}
 	d.Orch = orchestrator.New(loop, d.Store, d.Disc, d.Net, d.Dir, fleet, cfg, spec.Seed)
+	if mon != nil {
+		mon.WatchDiscovery(d.Disc)
+		mon.WatchOrchestrator(d.Orch)
+	}
 	d.Orch.Start()
 
 	if spec.TaskPolicy != nil {
@@ -177,9 +210,14 @@ func (d *Deployment) converged() bool {
 	return want > 0
 }
 
-// NewClient creates a routed application client in a region.
+// NewClient creates a routed application client in a region. When the
+// deployment has a health monitor, the client's results feed it.
 func (d *Deployment) NewClient(region topology.RegionID, ks *shard.Keyspace, opts routing.Options) *routing.Client {
-	return routing.NewClient(d.Loop, d.Net, d.Dir, d.Disc, d.Fleet, d.App, ks, region, opts)
+	c := routing.NewClient(d.Loop, d.Net, d.Dir, d.Disc, d.Fleet, d.App, ks, region, opts)
+	if d.Health != nil {
+		d.Health.WatchClient(c)
+	}
+	return c
 }
 
 // UniformShardConfigs builds n single-load shard configs named "sNNNNN".

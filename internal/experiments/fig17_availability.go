@@ -67,6 +67,10 @@ type availabilityOutcome struct {
 	rate          float64
 	worstBucket   float64
 	upgradeLength time.Duration
+	// windowFrom/windowTo delimit the measured upgrade window, so external
+	// monitors can recompute rate over the exact same interval.
+	windowFrom time.Duration
+	windowTo   time.Duration
 }
 
 // Fig17 regenerates Figure 17.
@@ -102,6 +106,9 @@ func Fig17(p AvailabilityParams) *Report {
 		})
 		r.AddNote("%s: success %.3f%%, upgrade took %v", v.name, out.rate*100,
 			out.upgradeLength.Truncate(time.Second))
+		r.AddValue(v.name+"/success_rate", out.rate)
+		r.AddValue(v.name+"/window_from_ns", float64(out.windowFrom))
+		r.AddValue(v.name+"/window_to_ns", float64(out.windowTo))
 	}
 	r.Tables = append(r.Tables, t)
 	r.AddNote("paper: SM ~100%%, no graceful migration ~98%%, neither <90%% (800s vs 1500s upgrade)")
@@ -192,5 +199,7 @@ func runAvailabilityVariant(p AvailabilityParams, v availabilityVariant) availab
 		rate:          ratio.RateBetween(start, finished),
 		worstBucket:   ratio.MinBucketBetween(start, finished),
 		upgradeLength: finished - start,
+		windowFrom:    start,
+		windowTo:      finished,
 	}
 }

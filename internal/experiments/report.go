@@ -40,11 +40,22 @@ type Report struct {
 	Curves []Curve
 	// Notes carries headline findings ("SM success rate 99.98%").
 	Notes []string
+	// Values exposes headline numbers machine-readably for cross-checks
+	// (e.g. healthmon agreement tests). Not rendered.
+	Values map[string]float64
 }
 
 // AddNote appends a formatted finding.
 func (r *Report) AddNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddValue records a machine-readable headline number.
+func (r *Report) AddValue(name string, v float64) {
+	if r.Values == nil {
+		r.Values = make(map[string]float64)
+	}
+	r.Values[name] = v
 }
 
 // Render produces the harness's text output.

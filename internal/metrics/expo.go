@@ -1,0 +1,216 @@
+// Deterministic exporters for the labeled Registry. All three formats are
+// byte-stable: families sort by name, cells sort by label values, and floats
+// render via strconv.FormatFloat(v, 'g', -1, 64) so the same registry state
+// always serializes to the same bytes — the property the golden-file and
+// same-seed determinism tests pin down.
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// fmtFloat renders a float the shortest way that round-trips, with
+// Prometheus-style +Inf/-Inf spellings.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders {k="v",...} for the cell, or "" when unlabeled. extra
+// appends one more pair (used for histogram le).
+func promLabels(keys, vals []string, extraK, extraV string) string {
+	if len(keys) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, vals[i])
+	}
+	if extraK != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP/# TYPE headers, one line per cell, and
+// cumulative _bucket/_sum/_count lines for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range f.sortedCells() {
+			switch f.kind {
+			case KindCounter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(f.keys, c.labels, "", ""), c.counter.Value()); err != nil {
+					return err
+				}
+			case KindGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(f.keys, c.labels, "", ""), fmtFloat(c.gauge.Value())); err != nil {
+					return err
+				}
+			case KindHistogram:
+				cum := c.hist.Cumulative()
+				for i, bound := range c.hist.bounds {
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(f.keys, c.labels, "le", fmtFloat(bound)), cum[i]); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(f.keys, c.labels, "le", "+Inf"), cum[len(cum)-1]); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(f.keys, c.labels, "", ""), fmtFloat(c.hist.Sum())); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(f.keys, c.labels, "", ""), c.hist.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// jsonCell is one exported (family, labels) instance.
+type jsonCell struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`   // counter (as float) or gauge
+	Count   *uint64           `json:"count,omitempty"`   // histogram
+	Sum     *float64          `json:"sum,omitempty"`     // histogram
+	Buckets []jsonBucket      `json:"buckets,omitempty"` // histogram, cumulative
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"` // formatted bound, "+Inf" for the last
+	Count uint64 `json:"count"`
+}
+
+type jsonFamily struct {
+	Name  string     `json:"name"`
+	Type  string     `json:"type"`
+	Help  string     `json:"help,omitempty"`
+	Cells []jsonCell `json:"cells"`
+}
+
+// WriteJSON writes a deterministic JSON snapshot: an array of families
+// sorted by name, each with cells sorted by label values, indented for
+// diff-friendliness.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := []jsonFamily{}
+	if r != nil {
+		for _, f := range r.sortedFamilies() {
+			jf := jsonFamily{Name: f.name, Type: f.kind.String(), Help: f.help, Cells: []jsonCell{}}
+			for _, c := range f.sortedCells() {
+				jc := jsonCell{}
+				if len(f.keys) > 0 {
+					jc.Labels = make(map[string]string, len(f.keys))
+					for i, k := range f.keys {
+						jc.Labels[k] = c.labels[i]
+					}
+				}
+				switch f.kind {
+				case KindCounter:
+					v := float64(c.counter.Value())
+					jc.Value = &v
+				case KindGauge:
+					v := c.gauge.Value()
+					jc.Value = &v
+				case KindHistogram:
+					n, s := c.hist.Count(), c.hist.Sum()
+					jc.Count, jc.Sum = &n, &s
+					cum := c.hist.Cumulative()
+					for i, bound := range c.hist.bounds {
+						jc.Buckets = append(jc.Buckets, jsonBucket{LE: fmtFloat(bound), Count: cum[i]})
+					}
+					jc.Buckets = append(jc.Buckets, jsonBucket{LE: "+Inf", Count: cum[len(cum)-1]})
+				}
+				jf.Cells = append(jf.Cells, jc)
+			}
+			fams = append(fams, jf)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fams)
+	// json.Marshal sorts map keys, so the labels object is deterministic too.
+}
+
+// WriteCSV writes the registry as flat rows: name,type,labels,field,value.
+// labels is "k=v;k=v" in key order; field is "value" for counters/gauges and
+// "count"/"sum"/"le=<bound>" (cumulative) for histograms.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "type", "labels", "field", "value"}); err != nil {
+		return err
+	}
+	if r != nil {
+		for _, f := range r.sortedFamilies() {
+			for _, c := range f.sortedCells() {
+				parts := make([]string, len(f.keys))
+				for i, k := range f.keys {
+					parts[i] = k + "=" + c.labels[i]
+				}
+				labels := strings.Join(parts, ";")
+				row := func(field, value string) error {
+					return cw.Write([]string{f.name, f.kind.String(), labels, field, value})
+				}
+				var err error
+				switch f.kind {
+				case KindCounter:
+					err = row("value", strconv.FormatInt(c.counter.Value(), 10))
+				case KindGauge:
+					err = row("value", fmtFloat(c.gauge.Value()))
+				case KindHistogram:
+					cum := c.hist.Cumulative()
+					for i, bound := range c.hist.bounds {
+						if err = row("le="+fmtFloat(bound), strconv.FormatUint(cum[i], 10)); err != nil {
+							break
+						}
+					}
+					if err == nil {
+						err = row("le=+Inf", strconv.FormatUint(cum[len(cum)-1], 10))
+					}
+					if err == nil {
+						err = row("sum", fmtFloat(c.hist.Sum()))
+					}
+					if err == nil {
+						err = row("count", strconv.FormatUint(c.hist.Count(), 10))
+					}
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

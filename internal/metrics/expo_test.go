@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixedRegistry populates a registry with a fixed, representative mix of
+// families so the golden files exercise every branch of the exporters:
+// unlabeled and labeled cells, negative/fractional gauges, and histograms.
+func buildFixedRegistry() *Registry {
+	r := NewRegistry()
+	r.Describe("requests_total", "Requests by app and outcome.")
+	r.Counter("requests_total", "app", "kv", "outcome", "ok").Add(142)
+	r.Counter("requests_total", "app", "kv", "outcome", "error").Add(3)
+	r.Counter("requests_total", "app", "queue", "outcome", "ok").Add(99)
+	r.Describe("map_version", "Latest published routing map version.")
+	r.Gauge("map_version", "app", "kv").Set(17)
+	r.Gauge("drift").Set(-0.25)
+	r.Describe("latency_ms", "Request latency in milliseconds.")
+	h := r.Histogram("latency_ms", []float64{1, 5, 25, 100}, "app", "kv")
+	for _, v := range []float64{0.3, 0.9, 2, 4, 4, 30, 80, 250} {
+		h.Observe(v)
+	}
+	r.Histogram("latency_ms", nil, "app", "queue").Observe(12)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run with -update to regenerate)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixedRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry.prom", buf.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixedRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry.json", buf.Bytes())
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixedRegistry().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry.csv", buf.Bytes())
+}
+
+// TestExportDeterminism builds the same registry twice and requires
+// byte-identical output in all three formats — map iteration order must
+// never leak.
+func TestExportDeterminism(t *testing.T) {
+	for _, format := range []struct {
+		name  string
+		write func(*Registry, *bytes.Buffer) error
+	}{
+		{"prometheus", func(r *Registry, b *bytes.Buffer) error { return r.WritePrometheus(b) }},
+		{"json", func(r *Registry, b *bytes.Buffer) error { return r.WriteJSON(b) }},
+		{"csv", func(r *Registry, b *bytes.Buffer) error { return r.WriteCSV(b) }},
+	} {
+		var a, b bytes.Buffer
+		if err := format.write(buildFixedRegistry(), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := format.write(buildFixedRegistry(), &b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s export not deterministic", format.name)
+		}
+		if a.Len() == 0 {
+			t.Fatalf("%s export empty", format.name)
+		}
+	}
+}

@@ -79,32 +79,33 @@ func (s *Series) Last() Point {
 	return s.points[len(s.points)-1]
 }
 
-// Max returns the maximum sample value, or 0 if empty.
-func (s *Series) Max() float64 {
+// Max returns the maximum sample value. ok is false for an empty series —
+// a plain 0 would be indistinguishable from a real zero sample.
+func (s *Series) Max() (v float64, ok bool) {
+	if len(s.points) == 0 {
+		return 0, false
+	}
 	m := math.Inf(-1)
 	for _, p := range s.points {
 		if p.V > m {
 			m = p.V
 		}
 	}
-	if math.IsInf(m, -1) {
-		return 0
-	}
-	return m
+	return m, true
 }
 
-// Min returns the minimum sample value, or 0 if empty.
-func (s *Series) Min() float64 {
+// Min returns the minimum sample value. ok is false for an empty series.
+func (s *Series) Min() (v float64, ok bool) {
+	if len(s.points) == 0 {
+		return 0, false
+	}
 	m := math.Inf(1)
 	for _, p := range s.points {
 		if p.V < m {
 			m = p.V
 		}
 	}
-	if math.IsInf(m, 1) {
-		return 0
-	}
-	return m
+	return m, true
 }
 
 // Mean returns the average sample value, or 0 if empty.
@@ -276,20 +277,21 @@ func (h *Histogram) Reset() {
 	h.sorted = false
 }
 
-// Registry is a named collection of series, handy for experiments that emit
-// several curves per figure.
-type Registry struct {
+// SeriesRegistry is a named collection of series, handy for experiments that
+// emit several curves per figure. (The labeled-metric-family Registry lives
+// in registry.go.)
+type SeriesRegistry struct {
 	series map[string]*Series
 	order  []string
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{series: make(map[string]*Series)}
+// NewSeriesRegistry returns an empty series registry.
+func NewSeriesRegistry() *SeriesRegistry {
+	return &SeriesRegistry{series: make(map[string]*Series)}
 }
 
 // Series returns the series with the given name, creating it on first use.
-func (r *Registry) Series(name string) *Series {
+func (r *SeriesRegistry) Series(name string) *Series {
 	s, ok := r.series[name]
 	if !ok {
 		s = NewSeries(name)
@@ -300,7 +302,7 @@ func (r *Registry) Series(name string) *Series {
 }
 
 // Names returns the series names in creation order.
-func (r *Registry) Names() []string {
+func (r *SeriesRegistry) Names() []string {
 	out := make([]string, len(r.order))
 	copy(out, r.order)
 	return out

@@ -41,8 +41,10 @@ func TestSeriesStats(t *testing.T) {
 	for i, v := range []float64{5, 1, 3} {
 		s.Record(time.Duration(i)*time.Second, v)
 	}
-	if s.Len() != 3 || s.Max() != 5 || s.Min() != 1 || s.Mean() != 3 {
-		t.Fatalf("stats: len=%d max=%v min=%v mean=%v", s.Len(), s.Max(), s.Min(), s.Mean())
+	max, okMax := s.Max()
+	min, okMin := s.Min()
+	if s.Len() != 3 || !okMax || max != 5 || !okMin || min != 1 || s.Mean() != 3 {
+		t.Fatalf("stats: len=%d max=%v min=%v mean=%v", s.Len(), max, min, s.Mean())
 	}
 	if s.Last().V != 3 {
 		t.Fatalf("Last = %v", s.Last())
@@ -51,7 +53,13 @@ func TestSeriesStats(t *testing.T) {
 
 func TestSeriesEmpty(t *testing.T) {
 	s := NewSeries("e")
-	if s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+	if v, ok := s.Max(); ok || v != 0 {
+		t.Fatalf("empty Max = %v, %v; want 0, false", v, ok)
+	}
+	if v, ok := s.Min(); ok || v != 0 {
+		t.Fatalf("empty Min = %v, %v; want 0, false", v, ok)
+	}
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
 		t.Fatal("empty series stats should be zero")
 	}
 	if (s.Last() != Point{}) {
@@ -206,8 +214,8 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-func TestRegistry(t *testing.T) {
-	r := NewRegistry()
+func TestSeriesRegistry(t *testing.T) {
+	r := NewSeriesRegistry()
 	a := r.Series("a")
 	b := r.Series("b")
 	if r.Series("a") != a || r.Series("b") != b {

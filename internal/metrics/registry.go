@@ -1,0 +1,280 @@
+// Labeled metric families. A Registry holds counters, gauges, and
+// fixed-bucket histograms keyed by (family name, label values) — the
+// aggregate layer that the per-experiment Series/SuccessRatio types do not
+// cover. The registry is built for the deterministic simulation: it is
+// unsynchronized (the event loop is single-threaded), iteration order never
+// leaks (exporters sort), and a nil *Registry is a valid no-op sink so
+// instrumented packages pay nothing when monitoring is off.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the labeled metric family types.
+type Kind int
+
+// Family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus type name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// FixedHistogram counts observations into fixed upper-bound buckets
+// (Prometheus-style cumulative "le" semantics on export). Unlike the
+// raw-value Histogram, its memory is bounded by the bucket count, which is
+// what an always-on monitoring plane needs.
+type FixedHistogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []uint64  // len(bounds)+1, last is the +Inf bucket
+	count  uint64
+	sum    float64
+}
+
+// NewFixedHistogram returns a histogram with the given ascending upper
+// bounds. It panics on unsorted or duplicate bounds. nil bounds yield a
+// single +Inf bucket (count/sum only).
+func NewFixedHistogram(bounds []float64) *FixedHistogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	h := &FixedHistogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]uint64, len(h.bounds)+1)
+	return h
+}
+
+// Observe records one value.
+func (h *FixedHistogram) Observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(h.bounds)+1)
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *FixedHistogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observed values.
+func (h *FixedHistogram) Sum() float64 { return h.sum }
+
+// Bounds returns the configured upper bounds (without the implicit +Inf).
+func (h *FixedHistogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// Cumulative returns the cumulative count per bound, ending with the +Inf
+// bucket (== Count()).
+func (h *FixedHistogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.bounds)+1)
+	var acc uint64
+	for i := range out {
+		if i < len(h.counts) {
+			acc += h.counts[i]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// DefaultLatencyBuckets suit request latencies in milliseconds, spanning
+// intra-rack hops to cross-ocean retries.
+var DefaultLatencyBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// family is one named metric with a fixed kind and label-key schema.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	keys    []string
+	buckets []float64 // histogram bounds, fixed at first use
+	cells   map[string]*cell
+}
+
+// cell is one (family, label values) instance.
+type cell struct {
+	labels  []string // values aligned with family.keys
+	counter Counter
+	gauge   Gauge
+	hist    *FixedHistogram
+}
+
+// Registry is a collection of labeled metric families with deterministic
+// exporters (see expo.go). The zero value is not usable; a nil *Registry is
+// a valid no-op sink: all lookups return shared discard instances.
+type Registry struct {
+	families map[string]*family
+}
+
+// NewRegistry returns an empty labeled-metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Shared sinks handed out by a nil registry so disabled instrumentation
+// still returns usable objects.
+var (
+	discardCounter Counter
+	discardGauge   Gauge
+	discardHist    = NewFixedHistogram(nil)
+)
+
+// Describe sets a family's help text (shown as # HELP in the exposition).
+// It may be called before or after the family's first sample and is
+// idempotent.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: KindCounter, cells: make(map[string]*cell)}
+		// kind is provisional until the first typed lookup fixes it.
+		f.kind = -1
+		r.families[name] = f
+	}
+	f.help = help
+}
+
+// Counter returns the counter cell for the family name and the alternating
+// key/value label pairs, creating family and cell on first use. A nil
+// registry returns a shared discard counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return &discardCounter
+	}
+	return &r.cell(name, KindCounter, nil, labels).counter
+}
+
+// Gauge returns the gauge cell for the family name and label pairs. A nil
+// registry returns a shared discard gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return &discardGauge
+	}
+	return &r.cell(name, KindGauge, nil, labels).gauge
+}
+
+// Histogram returns the fixed-bucket histogram cell for the family name and
+// label pairs. The bounds are fixed by the family's first lookup; later
+// calls may pass nil. A nil registry returns a shared discard histogram.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *FixedHistogram {
+	if r == nil {
+		return discardHist
+	}
+	c := r.cell(name, KindHistogram, bounds, labels)
+	return c.hist
+}
+
+// cell resolves (and lazily creates) the family and cell, enforcing a
+// consistent kind and label schema per family.
+func (r *Registry) cell(name string, kind Kind, bounds []float64, labels []string) *cell {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list %v", name, labels))
+	}
+	keys := make([]string, 0, len(labels)/2)
+	vals := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		keys = append(keys, labels[i])
+		vals = append(vals, labels[i+1])
+	}
+	f := r.families[name]
+	if f == nil || f.kind == -1 {
+		if f == nil {
+			f = &family{name: name, cells: make(map[string]*cell)}
+			r.families[name] = f
+		}
+		f.kind = kind
+		f.keys = keys
+		if kind == KindHistogram {
+			if bounds == nil {
+				bounds = DefaultLatencyBuckets
+			}
+			f.buckets = append([]float64(nil), bounds...)
+		}
+	} else {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %v, used as %v", name, f.kind, kind))
+		}
+		if len(f.keys) != len(keys) {
+			panic(fmt.Sprintf("metrics: %s label keys %v, used with %v", name, f.keys, keys))
+		}
+		for i := range keys {
+			if f.keys[i] != keys[i] {
+				panic(fmt.Sprintf("metrics: %s label keys %v, used with %v", name, f.keys, keys))
+			}
+		}
+	}
+	key := strings.Join(vals, "\xff")
+	c := f.cells[key]
+	if c == nil {
+		c = &cell{labels: vals}
+		if f.kind == KindHistogram {
+			c.hist = NewFixedHistogram(f.buckets)
+		}
+		f.cells[key] = c
+	}
+	return c
+}
+
+// sortedFamilies returns the families ordered by name; exporters and tests
+// iterate through this so map order never leaks.
+func (r *Registry) sortedFamilies() []*family {
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		if f.kind == -1 {
+			continue // Describe()d but never sampled
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sortedCells returns a family's cells ordered by label values.
+func (f *family) sortedCells() []*cell {
+	keys := make([]string, 0, len(f.cells))
+	for k := range f.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*cell, len(keys))
+	for i, k := range keys {
+		out[i] = f.cells[k]
+	}
+	return out
+}
+
+// Len returns the number of sampled families (for tests).
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range r.families {
+		if f.kind != -1 {
+			n++
+		}
+	}
+	return n
+}

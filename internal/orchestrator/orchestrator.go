@@ -129,6 +129,21 @@ type drainRequest struct {
 	onDone func()
 }
 
+// Hooks let an external monitor observe control-plane transitions. Unlike a
+// discovery subscription, hooks fire synchronously and draw no randomness,
+// so attaching them (healthmon does) cannot perturb a seeded run. Any field
+// may be nil.
+type Hooks struct {
+	// MigrationStarted fires when a queued migration begins executing.
+	MigrationStarted func(s shard.ID, from, to shard.ServerID, graceful bool)
+	// MigrationFinished fires when a migration completes or fails.
+	MigrationFinished func(s shard.ID, ok bool)
+	// RoleChanged fires when the orchestrator issues a change_role RPC.
+	RoleChanged func(s shard.ID, server shard.ServerID, from, to shard.Role)
+	// MapPublished fires on every shard-map publication.
+	MapPublished func(version int64, entries int)
+}
+
 // Orchestrator is one mini-SM control-plane instance.
 type Orchestrator struct {
 	cfg   Config
@@ -154,6 +169,7 @@ type Orchestrator struct {
 	drainCheckArmed bool
 	started         bool
 	tickers         []*sim.Ticker
+	hooks           Hooks
 
 	// Stats.
 	ShardMoves      metrics.Counter
@@ -209,6 +225,22 @@ func New(loop *sim.Loop, store *coord.Store, disc *discovery.Service,
 		o.order = append(o.order, sc.ID)
 	}
 	return o
+}
+
+// SetHooks installs the observer hooks (zero value clears them).
+func (o *Orchestrator) SetHooks(h Hooks) { o.hooks = h }
+
+// App returns the managed application ID.
+func (o *Orchestrator) App() shard.AppID { return o.cfg.App }
+
+// ServerDomains returns the failure-domain labels (region/datacenter/rack)
+// last resolved for the server, or nil if unknown. Domains persist after a
+// server dies so failures can still be attributed to the right domain.
+func (o *Orchestrator) ServerDomains(id shard.ServerID) map[string]string {
+	if st := o.servers[id]; st != nil {
+		return st.domains
+	}
+	return nil
 }
 
 // Start begins membership watching, load collection, and periodic
@@ -397,7 +429,7 @@ func (o *Orchestrator) collectLoads() {
 				}
 			})
 		}, nil, func() {
-			o.FailedRPCs.Inc()
+			o.failedRPC()
 		})
 	}
 }
@@ -452,6 +484,12 @@ func (o *Orchestrator) allocate(mode allocator.Mode) {
 		o.PeriodicRuns.Inc()
 	}
 	o.ViolationSeries.Record(o.loop.Now(), float64(res.Final.Total()))
+	if mr := o.loop.Metrics(); mr != nil {
+		app := string(o.cfg.App)
+		mr.Counter("orchestrator_allocations_total", "app", app, "mode", mode.String()).Inc()
+		mr.Counter("orchestrator_moves_planned_total", "app", app).Add(int64(len(res.Moves)))
+		mr.Gauge("orchestrator_violations", "app", app).Set(float64(res.Final.Total()))
+	}
 	o.executeDiff(res)
 	if tr.Enabled() {
 		tr.EndSpan(o.curAlloc,
@@ -702,6 +740,17 @@ func (o *Orchestrator) finishMigration(m migration, ok bool) {
 		tr.EndSpan(m.span, trace.Bool("ok", ok))
 	}
 	o.inFlight--
+	if mr := o.loop.Metrics(); mr != nil {
+		outcome := "ok"
+		if !ok {
+			outcome = "failed"
+		}
+		mr.Counter("orchestrator_migrations_total", "app", string(o.cfg.App), "outcome", outcome).Inc()
+		mr.Gauge("orchestrator_migrations_inflight", "app", string(o.cfg.App)).Set(float64(o.inFlight))
+	}
+	if o.hooks.MigrationFinished != nil {
+		o.hooks.MigrationFinished(m.shard, ok)
+	}
 	ss := o.shards[m.shard]
 	ss.migrating = false
 	if ok {
@@ -730,8 +779,13 @@ func (o *Orchestrator) runMigration(m migration) {
 			trace.String("shard", string(m.shard)),
 			trace.String("role", role.String()))
 	}
+	o.loop.Metrics().Gauge("orchestrator_migrations_inflight",
+		"app", string(o.cfg.App)).Set(float64(o.inFlight))
+	if o.hooks.MigrationStarted != nil {
+		o.hooks.MigrationStarted(m.shard, m.from, m.to, m.graceful)
+	}
 	fail := func() {
-		o.FailedRPCs.Inc()
+		o.failedRPC()
 		o.finishMigration(m, false)
 	}
 	commit := func() {
@@ -815,6 +869,14 @@ func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
 	}, fail)
 }
 
+// failedRPC counts one failed orchestrator->server RPC in both the legacy
+// counter and the labeled registry.
+func (o *Orchestrator) failedRPC() {
+	o.FailedRPCs.Inc()
+	o.loop.Metrics().Counter("orchestrator_failed_rpcs_total",
+		"app", string(o.cfg.App)).Inc()
+}
+
 // call performs an orchestrator->server RPC: handle runs at the server,
 // done runs back home after the round trip, fail runs if the server is
 // unreachable.
@@ -862,12 +924,12 @@ func (o *Orchestrator) callStep(parent trace.SpanID, step string, id shard.Serve
 
 func (o *Orchestrator) rpcAddShard(id shard.ServerID, s shard.ID, role shard.Role) {
 	o.callStep(o.curAlloc, "add_shard", id,
-		func(srv *appserver.Server) { srv.AddShard(s, role) }, nil, func() { o.FailedRPCs.Inc() })
+		func(srv *appserver.Server) { srv.AddShard(s, role) }, nil, func() { o.failedRPC() })
 }
 
 func (o *Orchestrator) rpcDropShard(id shard.ServerID, s shard.ID) {
 	o.callStep(o.curAlloc, "drop_shard", id,
-		func(srv *appserver.Server) { srv.DropShard(s) }, nil, func() { o.FailedRPCs.Inc() })
+		func(srv *appserver.Server) { srv.DropShard(s) }, nil, func() { o.failedRPC() })
 }
 
 func (o *Orchestrator) rpcChangeRole(id shard.ServerID, s shard.ID, from, to shard.Role) {
@@ -880,11 +942,16 @@ func (o *Orchestrator) rpcChangeRole(id shard.ServerID, s shard.ID, from, to sha
 			trace.String("from", from.String()),
 			trace.String("to", to.String()))
 	}
+	o.loop.Metrics().Counter("orchestrator_role_changes_total",
+		"app", string(o.cfg.App), "to", to.String()).Inc()
+	if o.hooks.RoleChanged != nil {
+		o.hooks.RoleChanged(s, id, from, to)
+	}
 	o.call(id, func(srv *appserver.Server) { _ = srv.ChangeRole(s, from, to) },
 		func() { tr.EndSpan(sp, trace.String("status", "ok")) },
 		func() {
 			tr.EndSpan(sp, trace.String("status", "failed"))
-			o.FailedRPCs.Inc()
+			o.failedRPC()
 		})
 }
 
@@ -922,6 +989,11 @@ func (o *Orchestrator) publish() {
 			trace.String("app", string(o.cfg.App)),
 			trace.Int64("version", m.Version),
 			trace.Int("entries", len(m.Entries)))
+	}
+	o.loop.Metrics().Counter("orchestrator_publishes_total",
+		"app", string(o.cfg.App)).Inc()
+	if o.hooks.MapPublished != nil {
+		o.hooks.MapPublished(m.Version, len(m.Entries))
 	}
 	o.disc.Publish(m)
 

@@ -70,6 +70,11 @@ type Client struct {
 
 	// MapUpdates counts received shard-map versions.
 	MapUpdates int64
+
+	// observers see every final Result at the simulated time it completes.
+	// They must not draw randomness — healthmon hangs availability tracking
+	// off this hook precisely because it cannot perturb the seeded RNG.
+	observers []func(Result)
 }
 
 // NewClient creates a client and subscribes it to the app's shard map.
@@ -100,6 +105,11 @@ func NewClient(loop *sim.Loop, net *rpcnet.Network, dir *appserver.Directory,
 	return c
 }
 
+// OnResult registers fn to run on every final request Result.
+func (c *Client) OnResult(fn func(Result)) {
+	c.observers = append(c.observers, fn)
+}
+
 // HasMap reports whether the client has received any shard map yet.
 func (c *Client) HasMap() bool { return c.current != nil }
 
@@ -116,6 +126,36 @@ func (c *Client) MapVersion() int64 {
 func (c *Client) Do(key string, write bool, op string, payload any, done func(Result)) {
 	s := c.keyspace.ShardFor(key)
 	start := c.loop.Now()
+	if mr := c.loop.Metrics(); mr != nil || len(c.observers) > 0 {
+		app := string(c.App)
+		inner := done
+		done = func(res Result) {
+			if mr != nil {
+				mr.Counter("routing_requests_total", "app", app).Inc()
+				outcome := "ok"
+				if !res.OK {
+					// res.Err comes from a small fixed set of reject
+					// reasons, so it is safe as a label value.
+					outcome = res.Err
+					if outcome == "" {
+						outcome = "error"
+					}
+				}
+				mr.Counter("routing_results_total", "app", app, "outcome", outcome).Inc()
+				if res.Attempts > 1 {
+					mr.Counter("routing_retries_total", "app", app).Add(int64(res.Attempts - 1))
+				}
+				if res.OK {
+					mr.Histogram("routing_latency_ms", nil, "app", app).
+						Observe(float64(res.Latency) / float64(time.Millisecond))
+				}
+			}
+			for _, fn := range c.observers {
+				fn(res)
+			}
+			inner(res)
+		}
+	}
 	var root trace.SpanID
 	if tr := c.loop.Tracer(); tr.Enabled() {
 		root = tr.StartSpan("routing", "request", 0,

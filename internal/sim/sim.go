@@ -14,6 +14,7 @@ import (
 	"math"
 	"time"
 
+	"shardmanager/internal/metrics"
 	"shardmanager/internal/trace"
 )
 
@@ -93,11 +94,12 @@ func (h *eventHeap) Pop() any {
 // Loop is a single-threaded discrete-event loop. The zero value is not
 // usable; create one with NewLoop.
 type Loop struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	rng    *RNG
-	tracer *trace.Tracer
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *RNG
+	tracer  *trace.Tracer
+	metrics *metrics.Registry
 }
 
 // NewLoop returns an event loop starting at time zero with a deterministic
@@ -126,6 +128,16 @@ func (l *Loop) SetTracer(tr *trace.Tracer) {
 // Tracer returns the loop's tracer, or nil when tracing is disabled.
 // Callers must treat a nil result as a valid disabled tracer.
 func (l *Loop) Tracer() *trace.Tracer { return l.tracer }
+
+// SetMetrics attaches a labeled-metrics registry to the loop, following the
+// same pattern as SetTracer: components reach the shared registry through
+// Metrics() without extra plumbing. Pass nil to disable metrics.
+func (l *Loop) SetMetrics(r *metrics.Registry) { l.metrics = r }
+
+// Metrics returns the loop's metrics registry, or nil when metrics are
+// disabled. A nil *metrics.Registry is itself a valid no-op sink, so callers
+// may use the result without checking.
+func (l *Loop) Metrics() *metrics.Registry { return l.metrics }
 
 // After schedules fn to run d after the current time.
 func (l *Loop) After(d time.Duration, fn func()) *Timer {

@@ -4,6 +4,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+fmt_out="$(gofmt -l .)"
+if [ -n "$fmt_out" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$fmt_out" >&2
+	exit 1
+fi
 echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
