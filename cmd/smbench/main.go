@@ -5,6 +5,8 @@
 //	smbench -fig fig17            # one experiment, full-paper parameters
 //	smbench -fig all -scale quick # everything, scaled down
 //	smbench -list                 # show available experiment ids
+//	smbench -faults "t=60s partition(region-a|region-b) for 120s"
+//	                              # compound-fault experiment, custom timeline
 //
 // Each experiment prints its parameters, result tables, downsampled curves,
 // and headline findings; EXPERIMENTS.md records the paper-vs-measured
@@ -32,7 +34,15 @@ func main() {
 	traceText := flag.String("trace-text", "", "write a human-readable text timeline of the run to this file")
 	metricsOut := flag.String("metrics-out", "", "write the run's labeled metrics to this file (byte-stable for a given seed)")
 	expo := flag.String("expo", "prom", "metrics exposition format: 'prom' (Prometheus text), 'json', or 'csv'")
+	faultSpec := flag.String("faults", "", "fault-timeline DSL for the 'faults' experiment, e.g. \"t=60s partition(region-a|region-b) for 120s\" (see internal/faults); implies -fig faults unless -fig is set")
 	flag.Parse()
+
+	if *faultSpec != "" {
+		experiments.SetFaultSpec(*faultSpec)
+		if *fig == "all" {
+			*fig = "faults"
+		}
+	}
 
 	var tracer *trace.Tracer
 	if *traceOut != "" || *traceText != "" {

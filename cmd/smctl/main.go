@@ -9,6 +9,8 @@
 //	smctl -servers 20 -shards 500 -replicas 3
 //	smctl status                  # live health dashboard through the demo
 //	smctl status -scenario geofailover
+//	smctl faults                  # compound fault-injection scenario
+//	smctl faults -spec "t=30s stall(coord) for 1m" -parse
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"shardmanager/internal/appserver"
 	"shardmanager/internal/cluster"
 	"shardmanager/internal/experiments"
+	"shardmanager/internal/faults"
 	"shardmanager/internal/healthmon"
 	"shardmanager/internal/orchestrator"
 	"shardmanager/internal/routing"
@@ -36,6 +39,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "status" {
 		runStatus(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "faults" {
+		runFaults(os.Args[2:])
 		return
 	}
 	servers := flag.Int("servers", 12, "servers per region")
@@ -186,6 +193,43 @@ func runStatus(argv []string) {
 		fmt.Fprintf(os.Stderr, "smctl status: unknown scenario %q\n", *scenario)
 		os.Exit(2)
 	}
+}
+
+// runFaults is the `smctl faults` subcommand: parse a fault-timeline spec,
+// print the normalized scenario, and run the compound-fault experiment
+// under it.
+func runFaults(argv []string) {
+	fs := flag.NewFlagSet("smctl faults", flag.ExitOnError)
+	spec := fs.String("spec", experiments.DefaultCompoundFaultSpec,
+		"fault timeline (scenario DSL, e.g. \"t=60s partition(region-a|region-b) for 120s\"; see internal/faults)")
+	scale := fs.String("scale", "quick", "'quick' or 'full' experiment sizing")
+	parseOnly := fs.Bool("parse", false, "validate and print the normalized timeline, then exit")
+	fs.Parse(argv)
+
+	scenario, err := faults.ParseSpec(*spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smctl faults: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("fault timeline (%d events):\n%s\n", len(scenario.Events), scenario)
+	if *parseOnly {
+		return
+	}
+
+	sc := experiments.ScaleQuick
+	if *scale == "full" {
+		sc = experiments.ScaleFull
+	} else if *scale != "quick" {
+		fmt.Fprintf(os.Stderr, "smctl faults: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	experiments.SetFaultSpec(*spec)
+	report, err := experiments.Run("faults", sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smctl faults: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.Render())
 }
 
 // checkpoint renders the dashboard under a scenario heading.

@@ -474,11 +474,26 @@ func (a *Allocator) capDiff(in Input, proposed map[shard.ID][]shard.ServerID) (m
 		}
 	}
 
+	// Per-replica decision; kind is keep (including unplaced), add, or
+	// migrate. Decisions are made first, then de-duplicated, and only then
+	// turned into moves — a capped migration falls back to keeping the
+	// replica in place, which can collide with a sibling replica that just
+	// migrated onto that very server.
+	const (
+		kindKeep = iota
+		kindAdd
+		kindMigrate
+	)
+	type decision struct {
+		srv, from shard.ServerID
+		kind      int
+	}
+
 	for _, id := range ids {
 		want := proposed[id]
 		cur := in.Current[id]
 		shardMoves := 0
-		out := make([]shard.ServerID, 0, len(want))
+		dec := make([]decision, len(want))
 		for idx, target := range want {
 			var curSrv shard.ServerID
 			if idx < len(cur) && liveServers[cur[idx]] {
@@ -487,29 +502,78 @@ func (a *Allocator) capDiff(in Input, proposed map[shard.ID][]shard.ServerID) (m
 			switch {
 			case target == "" && curSrv == "":
 				// Still unplaceable (no feasible server).
-				out = append(out, "")
+				dec[idx] = decision{kind: kindKeep}
 			case target == curSrv:
-				out = append(out, curSrv)
+				dec[idx] = decision{srv: curSrv, kind: kindKeep}
 			case curSrv == "":
 				// Add: restores availability, never capped.
-				adds = append(adds, ReplicaMove{Shard: id, From: "", To: target})
-				out = append(out, target)
+				dec[idx] = decision{srv: target, kind: kindAdd}
 			case target == "":
 				// Solver failed to place an existing replica;
 				// keep it where it is.
-				out = append(out, curSrv)
+				dec[idx] = decision{srv: curSrv, kind: kindKeep}
 			default:
 				// Migration: subject to per-shard and global caps.
 				if shardMoves >= p.PerShardMoveCap ||
 					(p.MaxTotalMoves > 0 && totalMigrations >= p.MaxTotalMoves) {
 					deferred++
-					out = append(out, curSrv)
+					dec[idx] = decision{srv: curSrv, kind: kindKeep}
 					continue
 				}
 				shardMoves++
 				totalMigrations++
-				migrations = append(migrations, ReplicaMove{Shard: id, From: curSrv, To: target})
-				out = append(out, target)
+				dec[idx] = decision{srv: target, from: curSrv, kind: kindMigrate}
+			}
+		}
+		// Invariant: a shard never ends with two replicas on one server.
+		// Cancel any add/migration whose target collides with another
+		// replica of the same shard (typically one kept in place by the
+		// churn caps). A cancelled migration reverts to its current
+		// server, which may collide with yet another pending move, so
+		// iterate to a fixpoint (bounded by the replica count).
+		for changed := true; changed; {
+			changed = false
+			used := make(map[shard.ServerID]int, len(dec))
+			for idx := range dec {
+				srv := dec[idx].srv
+				if srv == "" {
+					continue
+				}
+				first, dup := used[srv]
+				if !dup {
+					used[srv] = idx
+					continue
+				}
+				cancel := idx
+				if dec[cancel].kind == kindKeep {
+					cancel = first
+				}
+				if dec[cancel].kind == kindKeep {
+					continue // two keeps: current placement was malformed
+				}
+				d := &dec[cancel]
+				if d.kind == kindMigrate {
+					shardMoves--
+					totalMigrations--
+					d.srv = d.from
+				} else {
+					d.srv = "" // add retried next round
+				}
+				d.kind = kindKeep
+				d.from = ""
+				deferred++
+				changed = true
+				break
+			}
+		}
+		out := make([]shard.ServerID, len(dec))
+		for idx, d := range dec {
+			out[idx] = d.srv
+			switch d.kind {
+			case kindAdd:
+				adds = append(adds, ReplicaMove{Shard: id, From: "", To: d.srv})
+			case kindMigrate:
+				migrations = append(migrations, ReplicaMove{Shard: id, From: d.from, To: d.srv})
 			}
 		}
 		// Surplus current replicas beyond the spec become drops.

@@ -15,7 +15,26 @@ import (
 // ever has two replicas on one server, per-shard and global churn caps are
 // respected, and the result is internally consistent with its own moves.
 func TestRunInvariantsProperty(t *testing.T) {
-	check := func(seed uint64) bool {
+	check := func(seed uint64) bool { return checkRunInvariants(t, seed) }
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunInvariantsRegressions re-checks inputs that once violated the
+// invariants (found by the property test's random search).
+func TestRunInvariantsRegressions(t *testing.T) {
+	for _, seed := range []uint64{16414554008349849662} {
+		if !checkRunInvariants(t, seed) {
+			t.Errorf("invariants violated for seed %d", seed)
+		}
+	}
+}
+
+// checkRunInvariants builds a random allocator input from seed, runs it,
+// and reports whether the hard invariants hold (logging any violation).
+func checkRunInvariants(t *testing.T, seed uint64) bool {
+	{
 		rng := sim.NewRNG(seed)
 		nServers := 4 + rng.Intn(8)
 		nShards := 5 + rng.Intn(30)
@@ -145,8 +164,5 @@ func TestRunInvariantsProperty(t *testing.T) {
 			return false
 		}
 		return true
-	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
-		t.Fatal(err)
 	}
 }

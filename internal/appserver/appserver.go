@@ -14,6 +14,7 @@
 package appserver
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -141,6 +142,11 @@ type Server struct {
 	net  *rpcnet.Network
 	dir  *Directory
 	app  Application
+
+	// serveDelay stalls every request by this much before processing — a
+	// gray failure: the process is alive (liveness node intact, orchestrator
+	// sees it healthy) but slow. Set by fault injection via SetServeDelay.
+	serveDelay time.Duration
 
 	replicas   map[shard.ID]*replica
 	tombstones map[shard.ID]shard.ServerID
@@ -383,6 +389,21 @@ func (s *Server) LoadReport() map[shard.ID]topology.Capacity {
 // or more forwarding hops). reply is invoked exactly once and must not be
 // nil.
 func (s *Server) Serve(req *Request, reply func(Response)) {
+	if s.serveDelay > 0 {
+		s.loop.After(s.serveDelay, func() { s.serve(req, reply) })
+		return
+	}
+	s.serve(req, reply)
+}
+
+// SetServeDelay sets the per-request gray-failure stall (0 restores normal
+// service).
+func (s *Server) SetServeDelay(d time.Duration) { s.serveDelay = d }
+
+// ServeDelay returns the current gray-failure stall.
+func (s *Server) ServeDelay() time.Duration { return s.serveDelay }
+
+func (s *Server) serve(req *Request, reply func(Response)) {
 	r := s.replicas[req.Shard]
 	if r == nil {
 		if to, ok := s.tombstones[req.Shard]; ok {
@@ -521,6 +542,7 @@ type Host struct {
 
 	servers  map[shard.ServerID]*Server
 	sessions map[shard.ServerID]*coord.Session
+	machines map[shard.ServerID]topology.MachineID
 }
 
 // NewHost creates the host and prepares the coordination-store layout. The
@@ -543,6 +565,7 @@ func NewHost(loop *sim.Loop, net *rpcnet.Network, dir *Directory, store *coord.S
 		paths:    paths,
 		servers:  make(map[shard.ServerID]*Server),
 		sessions: make(map[shard.ServerID]*coord.Session),
+		machines: make(map[shard.ServerID]topology.MachineID),
 	}
 }
 
@@ -554,6 +577,17 @@ func mustCreateAll(store *coord.Store, path string) {
 
 // Server returns the live server for an ID, or nil.
 func (h *Host) Server(id shard.ServerID) *Server { return h.servers[id] }
+
+// ServerIDs returns the IDs of all live servers under this host, sorted —
+// fault injection iterates this, so the order must be deterministic.
+func (h *Host) ServerIDs() []shard.ServerID {
+	ids := make([]shard.ServerID, 0, len(h.servers))
+	for id := range h.servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
 
 // LiveServers returns the number of live servers under this host.
 func (h *Host) LiveServers() int { return len(h.servers) }
@@ -574,6 +608,7 @@ func (h *Host) ContainerStarted(c cluster.Container) {
 	srv := NewServer(h.loop, h.net, h.dir, nil, h.appID, id, machine.Region)
 	srv.app = h.factory(srv)
 	h.servers[id] = srv
+	h.machines[id] = machine.ID
 	h.dir.Register(srv)
 	h.net.Register(rpcnet.Endpoint(id), machine.Region)
 
@@ -587,13 +622,67 @@ func (h *Host) ContainerStarted(c cluster.Container) {
 	}
 	// The payload is the machine ID; the orchestrator resolves placement
 	// metadata (region, datacenter, rack) from it.
-	if err := h.store.Create(path, []byte(machine.ID), sess); err != nil {
-		panic(fmt.Sprintf("appserver: liveness node: %v", err))
-	}
+	h.createLiveness(id, sess, []byte(machine.ID))
 
 	// Start-up assignment: read persisted shard assignment directly from
 	// the store, without the SM control plane (§3.2).
 	h.restoreAssignment(srv)
+}
+
+// createLiveness publishes the server's ephemeral liveness node, retrying
+// while the coordination service is unavailable (write-stall fault): a real
+// SM library keeps reconnecting rather than crashing the container.
+func (h *Host) createLiveness(id shard.ServerID, sess *coord.Session, payload []byte) {
+	path := h.paths.ServerNode(id)
+	err := h.store.Create(path, payload, sess)
+	switch {
+	case err == nil:
+		return
+	case errors.Is(err, coord.ErrUnavailable):
+		h.loop.After(livenessRetryDelay, func() {
+			// Give up silently if the server died or reconnected with a
+			// fresh session in the meantime.
+			if h.servers[id] == nil || h.sessions[id] != sess {
+				return
+			}
+			h.createLiveness(id, sess, payload)
+		})
+	case errors.Is(err, coord.ErrNodeExists):
+		// Leftover from a racing earlier incarnation; replace it.
+		_ = h.store.Delete(path, -1)
+		h.createLiveness(id, sess, payload)
+	default:
+		panic(fmt.Sprintf("appserver: liveness node: %v", err))
+	}
+}
+
+// livenessRetryDelay spaces liveness-publication retries while the
+// coordination service rejects writes.
+const livenessRetryDelay = 500 * time.Millisecond
+
+// ExpireSession force-expires the coordination session of one live server —
+// the classic ZooKeeper false-dead: the process is healthy but its ephemeral
+// node vanishes, so the orchestrator begins failover. After reconnectAfter
+// (0 = never) the server opens a fresh session and republishes its liveness
+// node, as a real client would on reconnect.
+func (h *Host) ExpireSession(id shard.ServerID, reconnectAfter time.Duration) bool {
+	sess := h.sessions[id]
+	if sess == nil {
+		return false
+	}
+	sess.Expire()
+	delete(h.sessions, id)
+	if reconnectAfter > 0 {
+		h.loop.After(reconnectAfter, func() {
+			if h.servers[id] == nil || h.sessions[id] != nil {
+				return // died, or something else reconnected it
+			}
+			fresh := h.store.NewSession()
+			h.sessions[id] = fresh
+			h.createLiveness(id, fresh, []byte(h.machines[id]))
+		})
+	}
+	return true
 }
 
 // restoreAssignment loads the server's persisted shard list, if any.
@@ -619,6 +708,7 @@ func (h *Host) ContainerStopping(c cluster.Container, reason string) {
 	h.net.Unregister(rpcnet.Endpoint(id))
 	h.dir.Remove(id)
 	delete(h.servers, id)
+	delete(h.machines, id)
 	if sess := h.sessions[id]; sess != nil {
 		sess.Expire()
 		delete(h.sessions, id)

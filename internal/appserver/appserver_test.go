@@ -357,3 +357,104 @@ func TestHostIgnoresOtherJobs(t *testing.T) {
 		t.Fatal("host adopted containers of a different job")
 	}
 }
+
+func TestHostExpireSessionFalseDeadThenReconnect(t *testing.T) {
+	env := newEnv()
+	store := coord.NewStore()
+	mgr := cluster.NewManager(env.loop, env.fleet, "a", cluster.DefaultOptions())
+	host := NewHost(env.loop, env.net, env.dir, store, env.fleet, "app", "job", func(s *Server) Application {
+		return newEchoApp()
+	})
+	mgr.AddListener(host)
+	mgr.CreateJob("job", "app", 3)
+	env.loop.RunFor(time.Minute)
+	if host.LiveServers() != 3 {
+		t.Fatalf("live servers = %d", host.LiveServers())
+	}
+	id := host.ServerIDs()[0]
+	if !host.ExpireSession(id, 5*time.Second) {
+		t.Fatal("ExpireSession on a live server returned false")
+	}
+	// False-dead: the process is alive but its ephemeral node is gone.
+	if host.LiveServers() != 3 {
+		t.Fatalf("live servers after expiry = %d; expiry must not kill the process", host.LiveServers())
+	}
+	kids, _ := store.Children("/apps/app/servers")
+	if len(kids) != 2 {
+		t.Fatalf("liveness nodes right after expiry = %d, want 2", len(kids))
+	}
+	// After the reconnect delay the server republishes its liveness node.
+	env.loop.RunFor(10 * time.Second)
+	kids, _ = store.Children("/apps/app/servers")
+	if len(kids) != 3 {
+		t.Fatalf("liveness nodes after reconnect = %d, want 3", len(kids))
+	}
+	if !store.Exists(host.paths.ServerNode(id)) {
+		t.Fatalf("liveness node for %s missing after reconnect", id)
+	}
+	if host.ExpireSession("no-such-server", time.Second) {
+		t.Fatal("ExpireSession on unknown server returned true")
+	}
+}
+
+func TestHostLivenessRetriesThroughCoordWriteStall(t *testing.T) {
+	env := newEnv()
+	store := coord.NewStore()
+	mgr := cluster.NewManager(env.loop, env.fleet, "a", cluster.DefaultOptions())
+	host := NewHost(env.loop, env.net, env.dir, store, env.fleet, "app", "job", func(s *Server) Application {
+		return newEchoApp()
+	})
+	mgr.AddListener(host)
+	// Stall all coordination writes, then start containers: liveness
+	// publication must keep retrying instead of crashing.
+	store.SetWriteGate(func(op, path string) error { return coord.ErrUnavailable })
+	mgr.CreateJob("job", "app", 3)
+	env.loop.RunFor(time.Minute)
+	if host.LiveServers() != 3 {
+		t.Fatalf("live servers during stall = %d", host.LiveServers())
+	}
+	kids, _ := store.Children("/apps/app/servers")
+	if len(kids) != 0 {
+		t.Fatalf("liveness nodes published through the stall: %v", kids)
+	}
+	store.SetWriteGate(nil)
+	env.loop.RunFor(2 * time.Second)
+	kids, _ = store.Children("/apps/app/servers")
+	if len(kids) != 3 {
+		t.Fatalf("liveness nodes after stall lifted = %d, want 3", len(kids))
+	}
+}
+
+func TestServeDelayGrayFailure(t *testing.T) {
+	env := newEnv()
+	s := env.server("s1", "a", newEchoApp())
+	s.AddShard("sh1", shard.RolePrimary)
+
+	timed := func() time.Duration {
+		start := env.loop.Now()
+		var took time.Duration
+		got := false
+		s.Serve(&Request{Shard: "sh1", Key: "k", Write: true}, func(r Response) {
+			if !r.OK {
+				t.Fatalf("resp = %+v", r)
+			}
+			took = env.loop.Now() - start
+			got = true
+		})
+		env.loop.Run()
+		if !got {
+			t.Fatal("no reply")
+		}
+		return took
+	}
+
+	base := timed()
+	s.SetServeDelay(300 * time.Millisecond)
+	if d := timed(); d != base+300*time.Millisecond {
+		t.Fatalf("gray serve took %v, want base %v + 300ms", d, base)
+	}
+	s.SetServeDelay(0)
+	if d := timed(); d != base {
+		t.Fatalf("restored serve took %v, want %v", d, base)
+	}
+}

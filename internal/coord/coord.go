@@ -31,6 +31,7 @@ var (
 	ErrNotEmpty      = errors.New("coord: node has children")
 	ErrSessionClosed = errors.New("coord: session closed")
 	ErrBadPath       = errors.New("coord: malformed path")
+	ErrUnavailable   = errors.New("coord: service unavailable")
 )
 
 // EventType describes what changed at a watched path.
@@ -100,6 +101,31 @@ type Store struct {
 	sessions map[int64]*Session
 	nextSess int64
 	tracer   *trace.Tracer
+	// writeGate, if set, is consulted before every mutating client
+	// operation (Create/Set/Delete) and may veto it, typically with
+	// ErrUnavailable. Fault injection uses it to model znode-write stalls;
+	// server-side cleanup (ephemeral deletion on session expiry) is not
+	// gated, matching a ZooKeeper ensemble that can still expire sessions
+	// while rejecting client writes.
+	writeGate func(op, path string) error
+}
+
+// SetWriteGate installs (or, with nil, removes) the write gate.
+func (s *Store) SetWriteGate(gate func(op, path string) error) {
+	s.mu.Lock()
+	s.writeGate = gate
+	s.mu.Unlock()
+}
+
+// gated returns the gate's verdict for one mutating op (nil when open).
+func (s *Store) gated(op, path string) error {
+	s.mu.Lock()
+	g := s.writeGate
+	s.mu.Unlock()
+	if g == nil {
+		return nil
+	}
+	return g(op, path)
 }
 
 // SetTracer attaches a tracer; every watch delivery is recorded as a
@@ -246,6 +272,9 @@ func parentPath(path string) string {
 // Create makes a new node at path with data. Parent must exist. If sess is
 // non-nil the node is ephemeral and bound to the session.
 func (s *Store) Create(path string, data []byte, sess *Session) error {
+	if err := s.gated("create", path); err != nil {
+		return err
+	}
 	parts, err := splitPath(path)
 	if err != nil {
 		return err
@@ -325,6 +354,9 @@ func statOf(n *node) Stat {
 // Set replaces the data at path. If version >= 0 it must match the node's
 // current version (compare-and-swap); pass -1 to overwrite unconditionally.
 func (s *Store) Set(path string, data []byte, version int) (Stat, error) {
+	if err := s.gated("set", path); err != nil {
+		return Stat{}, err
+	}
 	s.mu.Lock()
 	n, err := s.lookup(path)
 	if err != nil {
@@ -351,6 +383,9 @@ func (s *Store) Set(path string, data []byte, version int) (Stat, error) {
 // Delete removes the node at path. If version >= 0 it must match. Nodes with
 // children cannot be deleted.
 func (s *Store) Delete(path string, version int) error {
+	if err := s.gated("delete", path); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	n, err := s.lookup(path)
 	if err != nil {

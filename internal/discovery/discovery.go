@@ -40,9 +40,14 @@ func DefaultDelay() DelayFunc { return UniformDelay(500*time.Millisecond, 2*time
 
 // Subscription is one client's registration for an app's shard maps.
 type Subscription struct {
-	app       shard.AppID
-	id        int // per-app subscriber index, for trace labels
-	fn        func(*shard.Map)
+	app shard.AppID
+	id  int // per-app subscriber index, for trace labels
+	fn  func(*shard.Map)
+	// rng drives this subscriber's propagation delays. Each subscriber owns
+	// a stream forked at Subscribe time: were delays drawn from one shared
+	// service RNG, adding or removing any subscriber would shift every other
+	// subscriber's delay sequence.
+	rng       *sim.RNG
 	lastSeen  int64
 	cancelled bool
 }
@@ -131,7 +136,7 @@ func (s *Service) Publish(m *shard.Map) {
 // pubAt is when the map version was published, so staleness metrics measure
 // from publication rather than from this (possibly later) subscribe time.
 func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) {
-	d := s.delay(s.rng)
+	d := s.delay(sub.rng)
 	tr := s.loop.Tracer()
 	var sp trace.SpanID
 	if tr.Enabled() {
@@ -182,7 +187,7 @@ func (s *Service) Subscribe(app shard.AppID, fn func(*shard.Map)) *Subscription 
 		panic("discovery: Subscribe(nil)")
 	}
 	st := s.state(app)
-	sub := &Subscription{app: app, id: len(st.subs), fn: fn}
+	sub := &Subscription{app: app, id: len(st.subs), fn: fn, rng: s.rng.Fork()}
 	st.subs = append(st.subs, sub)
 	if st.current != nil {
 		s.deliver(sub, st.current, st.pubAt)

@@ -159,3 +159,62 @@ func TestPanicsOnNilArgs(t *testing.T) {
 		}()
 	}
 }
+
+// TestSubscriberDeliveryTimingUnaffectedByOtherSubscribers is the regression
+// test for the shared-RNG bug: delivery delays used to come from one service
+// stream consumed in delivery order, so adding a subscriber shifted every
+// other subscriber's delay sequence. With per-subscriber forked RNGs, an
+// earlier subscriber's timing is identical whether or not later subscribers
+// exist.
+func TestSubscriberDeliveryTimingUnaffectedByOtherSubscribers(t *testing.T) {
+	run := func(extraSubscribers int) []time.Duration {
+		loop := sim.NewLoop(42)
+		svc := NewService(loop, DefaultDelay())
+		var at []time.Duration
+		svc.Subscribe("app", func(*shard.Map) { at = append(at, loop.Now()) })
+		for i := 0; i < extraSubscribers; i++ {
+			svc.Subscribe("app", func(*shard.Map) {})
+		}
+		for v := int64(1); v <= 5; v++ {
+			svc.Publish(mapV(v))
+			loop.RunFor(5 * time.Second)
+		}
+		return at
+	}
+	alone := run(0)
+	crowded := run(7)
+	if len(alone) != 5 || len(crowded) != 5 {
+		t.Fatalf("deliveries = %d and %d, want 5 each", len(alone), len(crowded))
+	}
+	for i := range alone {
+		if alone[i] != crowded[i] {
+			t.Fatalf("delivery %d at %v alone but %v with extra subscribers", i, alone[i], crowded[i])
+		}
+	}
+}
+
+// A cancelled subscription must not change the delay sequence of the
+// remaining subscribers either.
+func TestCancelDoesNotPerturbOtherSubscribers(t *testing.T) {
+	run := func(cancel bool) []time.Duration {
+		loop := sim.NewLoop(7)
+		svc := NewService(loop, DefaultDelay())
+		var at []time.Duration
+		svc.Subscribe("app", func(*shard.Map) { at = append(at, loop.Now()) })
+		other := svc.Subscribe("app", func(*shard.Map) {})
+		if cancel {
+			other.Cancel()
+		}
+		for v := int64(1); v <= 5; v++ {
+			svc.Publish(mapV(v))
+			loop.RunFor(5 * time.Second)
+		}
+		return at
+	}
+	kept, cancelled := run(false), run(true)
+	for i := range kept {
+		if kept[i] != cancelled[i] {
+			t.Fatalf("delivery %d moved from %v to %v when a sibling cancelled", i, kept[i], cancelled[i])
+		}
+	}
+}

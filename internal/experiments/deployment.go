@@ -8,6 +8,7 @@ import (
 	"shardmanager/internal/cluster"
 	"shardmanager/internal/coord"
 	"shardmanager/internal/discovery"
+	"shardmanager/internal/faults"
 	"shardmanager/internal/healthmon"
 	"shardmanager/internal/orchestrator"
 	"shardmanager/internal/routing"
@@ -90,6 +91,7 @@ type Deployment struct {
 	Dir      *appserver.Directory
 	Managers map[topology.RegionID]*cluster.Manager
 	Jobs     map[topology.RegionID]cluster.JobID
+	Hosts    map[topology.RegionID]*appserver.Host
 	Orch     *orchestrator.Orchestrator
 	Ctrl     *taskcontroller.Controller
 	Health   *healthmon.Monitor
@@ -139,6 +141,7 @@ func Build(spec DeploymentSpec) *Deployment {
 		Dir:      appserver.NewDirectory(),
 		Managers: make(map[topology.RegionID]*cluster.Manager),
 		Jobs:     make(map[topology.RegionID]cluster.JobID),
+		Hosts:    make(map[topology.RegionID]*appserver.Host),
 		Health:   mon,
 		App:      spec.Orch.App,
 	}
@@ -154,6 +157,7 @@ func Build(spec DeploymentSpec) *Deployment {
 		job := cluster.JobID(fmt.Sprintf("%s-%s", spec.Orch.App, r))
 		d.Jobs[r] = job
 		host := appserver.NewHost(loop, d.Net, d.Dir, d.Store, fleet, spec.Orch.App, job, spec.AppFactory)
+		d.Hosts[r] = host
 		mgr.AddListener(host)
 		mgr.CreateJob(job, string(spec.Orch.App), spec.ServersPerRegion)
 	}
@@ -208,6 +212,19 @@ func (d *Deployment) converged() bool {
 		}
 	}
 	return want > 0
+}
+
+// FaultEnv adapts the deployment to the fault-injection subsystem: every
+// handle an Action can touch, taken from this world.
+func (d *Deployment) FaultEnv() *faults.Env {
+	return &faults.Env{
+		Loop:     d.Loop,
+		Fleet:    d.Fleet,
+		Net:      d.Net,
+		Store:    d.Store,
+		Managers: d.Managers,
+		Hosts:    d.Hosts,
+	}
 }
 
 // NewClient creates a routed application client in a region. When the

@@ -25,6 +25,14 @@ func (s Scale) String() string {
 	return "quick"
 }
 
+// faultSpec, when non-empty, overrides the "faults" experiment's timeline.
+// smbench sets it from the -faults flag.
+var faultSpec string
+
+// SetFaultSpec installs the scenario DSL text the "faults" experiment runs
+// (empty restores the built-in compound timeline).
+func SetFaultSpec(spec string) { faultSpec = spec }
+
 // runner builds one experiment report.
 type runner struct {
 	id    string
@@ -93,6 +101,16 @@ var registry = []runner{
 			p.Servers, p.Shards, p.Days = 40, 1200, 1
 		}
 		return Fig23(p)
+	}},
+	{"faults", "compound fault injection and recovery", func(s Scale) *Report {
+		p := DefaultCompoundFaultParams()
+		if s == ScaleQuick {
+			p.Shards, p.ServersPerRegion, p.RequestRate = 150, 6, 15
+		}
+		if faultSpec != "" {
+			p.Spec = faultSpec
+		}
+		return CompoundFaults(p)
 	}},
 	{"ablations", "extra §5.3 design-choice ablations", func(s Scale) *Report {
 		p := DefaultSolverAblationParams()

@@ -142,3 +142,47 @@ func BenchmarkClientRequestRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+func TestRetryBackoffIsExponentialAndCapped(t *testing.T) {
+	e := newEnv(t)
+	// No map ever arrives, so every attempt fails instantly with no-replica
+	// and the request's total latency is exactly the sum of retry waits.
+	opts := Options{
+		MaxAttempts:   5,
+		RetryDelay:    100 * time.Millisecond,
+		MaxRetryDelay: 250 * time.Millisecond,
+		RetryJitter:   -1, // disable jitter for an exact schedule
+	}
+	c := NewClient(e.loop, e.net, e.dir, e.disc, e.fleet, "app", e.ks, "near", opts)
+	res := do(t, e, c, "abc", false)
+	if res.OK || res.Attempts != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Waits: 100ms, 200ms, then capped at 250ms twice.
+	want := 100*time.Millisecond + 200*time.Millisecond + 250*time.Millisecond + 250*time.Millisecond
+	if res.Latency != want {
+		t.Fatalf("total retry latency = %v, want %v", res.Latency, want)
+	}
+}
+
+func TestRetryJitterBoundedAndDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		e := newEnv(t)
+		opts := Options{
+			MaxAttempts:   4,
+			RetryDelay:    100 * time.Millisecond,
+			MaxRetryDelay: 400 * time.Millisecond,
+			RetryJitter:   0.5,
+		}
+		c := NewClient(e.loop, e.net, e.dir, e.disc, e.fleet, "app", e.ks, "near", opts)
+		return do(t, e, c, "abc", false).Latency
+	}
+	lat := run()
+	base := 100*time.Millisecond + 200*time.Millisecond + 400*time.Millisecond
+	if lat < base || lat > base+base/2 {
+		t.Fatalf("jittered retry latency %v outside [%v, %v]", lat, base, base+base/2)
+	}
+	if again := run(); again != lat {
+		t.Fatalf("same seed gave different retry schedules: %v vs %v", lat, again)
+	}
+}

@@ -30,13 +30,26 @@ import (
 type Options struct {
 	// MaxAttempts bounds total tries per request (default 4).
 	MaxAttempts int
-	// RetryDelay waits between attempts (default 200ms).
+	// RetryDelay is the base delay before the first retry (default 200ms).
+	// Subsequent retries back off exponentially from it.
 	RetryDelay time.Duration
+	// MaxRetryDelay caps the exponential backoff (default 5s).
+	MaxRetryDelay time.Duration
+	// RetryJitter adds up to this fraction of extra random delay per retry
+	// (default 0.2), drawn from the client's own forked RNG so retries from
+	// many clients decorrelate instead of stampeding in lockstep after a
+	// partition heals. Set negative to disable jitter entirely.
+	RetryJitter float64
 }
 
 // DefaultOptions returns sensible client settings.
 func DefaultOptions() Options {
-	return Options{MaxAttempts: 4, RetryDelay: 200 * time.Millisecond}
+	return Options{
+		MaxAttempts:   4,
+		RetryDelay:    200 * time.Millisecond,
+		MaxRetryDelay: 5 * time.Second,
+		RetryJitter:   0.2,
+	}
 }
 
 // Result is the final outcome of one request as seen by the client.
@@ -65,6 +78,7 @@ type Client struct {
 	keyspace *shard.Keyspace
 	opts     Options
 	rng      *sim.RNG
+	retryRNG *sim.RNG
 
 	current *shard.Map
 
@@ -87,6 +101,12 @@ func NewClient(loop *sim.Loop, net *rpcnet.Network, dir *appserver.Directory,
 	if opts.RetryDelay <= 0 {
 		opts.RetryDelay = 200 * time.Millisecond
 	}
+	if opts.MaxRetryDelay <= 0 {
+		opts.MaxRetryDelay = 5 * time.Second
+	}
+	if opts.RetryJitter == 0 {
+		opts.RetryJitter = 0.2
+	}
 	c := &Client{
 		App:      app,
 		Region:   region,
@@ -98,6 +118,10 @@ func NewClient(loop *sim.Loop, net *rpcnet.Network, dir *appserver.Directory,
 		opts:     opts,
 		rng:      loop.RNG().Fork(),
 	}
+	// Retry jitter has its own stream forked from the client's RNG: drawing
+	// jitter from c.rng directly would shift the read tie-break sequence
+	// whenever a request happens to retry.
+	c.retryRNG = c.rng.Fork()
 	disc.Subscribe(app, func(m *shard.Map) {
 		c.current = m
 		c.MapUpdates++
@@ -185,6 +209,24 @@ func (c *Client) Do(key string, write bool, op string, payload any, done func(Re
 	}, start, 1, make(map[shard.ServerID]bool), done)
 }
 
+// retryDelay returns the wait before attempt+1: capped exponential backoff
+// from RetryDelay, plus deterministic jitter from the client's retry RNG.
+// A fixed delay synchronizes every client blocked by the same partition into
+// one retry storm the instant it heals; the jitter spreads them out.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	d := c.opts.RetryDelay
+	for i := 1; i < attempt && d < c.opts.MaxRetryDelay; i++ {
+		d *= 2
+	}
+	if d > c.opts.MaxRetryDelay {
+		d = c.opts.MaxRetryDelay
+	}
+	if c.opts.RetryJitter > 0 {
+		d += time.Duration(c.retryRNG.Float64() * c.opts.RetryJitter * float64(d))
+	}
+	return d
+}
+
 // attempt performs one try and schedules retries.
 func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt int,
 	tried map[shard.ServerID]bool, done func(Result)) {
@@ -210,7 +252,7 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 			})
 			return
 		}
-		c.loop.After(c.opts.RetryDelay, func() {
+		c.loop.After(c.retryDelay(attempt), func() {
 			c.attempt(req, start, attempt+1, tried, done)
 		})
 	}
@@ -234,9 +276,9 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 			return
 		}
 		srv.Serve(req, func(resp appserver.Response) {
-			// Response travels back to the client's region.
-			back := c.net.Delay(srv.Region, c.Region)
-			c.loop.After(back, func() {
+			// Response travels back to the client's region over the fabric,
+			// so injected link faults can lose or delay the reply leg too.
+			c.net.Reply(srv.Region, c.Region, func() {
 				if resp.OK {
 					if tr.Enabled() {
 						tr.EndSpan(asp,
@@ -255,6 +297,8 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 					return
 				}
 				fail(resp.Err)
+			}, func() {
+				fail("reply-lost")
 			})
 		})
 	}, func() {

@@ -4,6 +4,13 @@
 // orchestrator all communicate through a Network so that experiments see
 // realistic geo-distributed latencies (Fig 19/20) and so that failed
 // endpoints drop traffic instead of magically responding.
+//
+// The fabric is also the injection point for network faults: per-directed-link
+// latency inflation, packet loss, and full partitions (symmetric or
+// asymmetric) installed via SetLinkFault. Failure detection is modeled
+// explicitly: a sender learns that a message was lost only after SendTimeout,
+// never "for free" at the would-be delivery instant — so injected latency can
+// never make a timeout arrive faster than a slow success.
 package rpcnet
 
 import (
@@ -17,6 +24,34 @@ import (
 // Endpoint is anything reachable on the network.
 type Endpoint string
 
+// DefaultSendTimeout is how long a sender waits before concluding a message
+// was lost (down endpoint, partition, or packet loss).
+const DefaultSendTimeout = 1 * time.Second
+
+// LinkFault describes an injected impairment of one directed region link.
+// The zero value is a healthy link.
+type LinkFault struct {
+	// LatencyScale multiplies the link's base latency (0 or 1 = unchanged).
+	LatencyScale float64
+	// LatencyAdd is added to the link's latency after scaling.
+	LatencyAdd time.Duration
+	// DropProb is the probability a message on this link is lost
+	// (1 = full partition).
+	DropProb float64
+}
+
+// partitioned reports whether the fault drops every message.
+func (f LinkFault) partitioned() bool { return f.DropProb >= 1 }
+
+// active reports whether the fault changes anything.
+func (f LinkFault) active() bool {
+	return f.DropProb > 0 || f.LatencyAdd > 0 || (f.LatencyScale > 0 && f.LatencyScale != 1)
+}
+
+type linkKey struct {
+	from, to topology.RegionID
+}
+
 // Network delivers messages between regions with simulated latency.
 type Network struct {
 	loop  *sim.Loop
@@ -25,23 +60,32 @@ type Network struct {
 	// Jitter adds up to this fraction of extra random latency per hop
 	// (default 0.1).
 	Jitter float64
+	// SendTimeout is how long a sender waits before detecting a lost
+	// message (default DefaultSendTimeout). Failure callbacks fire at
+	// send time + SendTimeout, decoupled from the (possibly inflated)
+	// delivery latency.
+	SendTimeout time.Duration
 
 	regions map[Endpoint]topology.RegionID
 	down    map[Endpoint]bool
+	faults  map[linkKey]LinkFault
 
-	// Messages counts deliveries, for tests.
+	// Messages counts deliveries, Dropped counts messages lost to link
+	// faults, for tests and smctl.
 	Messages int64
+	Dropped  int64
 }
 
 // NewNetwork returns a network over the fleet's latency model.
 func NewNetwork(loop *sim.Loop, fleet *topology.Fleet) *Network {
 	return &Network{
-		loop:    loop,
-		fleet:   fleet,
-		rng:     loop.RNG().Fork(),
-		Jitter:  0.1,
-		regions: make(map[Endpoint]topology.RegionID),
-		down:    make(map[Endpoint]bool),
+		loop:        loop,
+		fleet:       fleet,
+		rng:         loop.RNG().Fork(),
+		Jitter:      0.1,
+		SendTimeout: DefaultSendTimeout,
+		regions:     make(map[Endpoint]topology.RegionID),
+		down:        make(map[Endpoint]bool),
 	}
 }
 
@@ -63,20 +107,80 @@ func (n *Network) Reachable(e Endpoint) bool {
 // Region returns the endpoint's region ("" if unknown).
 func (n *Network) Region(e Endpoint) topology.RegionID { return n.regions[e] }
 
-// Delay returns one sampled one-way latency between two regions.
+// SetLinkFault installs a fault on the directed link from -> to, replacing
+// any previous fault on that link. A zero LinkFault clears it.
+func (n *Network) SetLinkFault(from, to topology.RegionID, f LinkFault) {
+	if !f.active() {
+		n.ClearLinkFault(from, to)
+		return
+	}
+	if n.faults == nil {
+		n.faults = make(map[linkKey]LinkFault)
+	}
+	n.faults[linkKey{from, to}] = f
+}
+
+// ClearLinkFault removes any fault on the directed link from -> to.
+func (n *Network) ClearLinkFault(from, to topology.RegionID) {
+	delete(n.faults, linkKey{from, to})
+}
+
+// LinkFaultOn returns the fault installed on the directed link (zero value
+// when healthy).
+func (n *Network) LinkFaultOn(from, to topology.RegionID) LinkFault {
+	return n.faults[linkKey{from, to}]
+}
+
+// Partitioned reports whether the directed link from -> to currently drops
+// all traffic.
+func (n *Network) Partitioned(from, to topology.RegionID) bool {
+	return n.faults[linkKey{from, to}].partitioned()
+}
+
+// Delay returns one sampled one-way latency between two regions, including
+// any injected latency inflation on the link.
 func (n *Network) Delay(from, to topology.RegionID) time.Duration {
 	base := n.fleet.Latency(from, to)
+	if f, ok := n.faults[linkKey{from, to}]; ok {
+		if f.LatencyScale > 0 {
+			base = time.Duration(float64(base) * f.LatencyScale)
+		}
+		base += f.LatencyAdd
+	}
 	if n.Jitter <= 0 {
 		return base
 	}
 	return base + time.Duration(n.rng.Float64()*n.Jitter*float64(base))
 }
 
+// sendTimeout returns the failure-detection delay for one message.
+func (n *Network) sendTimeout() time.Duration {
+	if n.SendTimeout > 0 {
+		return n.SendTimeout
+	}
+	return DefaultSendTimeout
+}
+
+// lost decides whether a message on from -> to is lost to an injected
+// link fault. It consumes randomness only on lossy (0 < p < 1) links so that
+// installing and removing faults perturbs the RNG stream minimally.
+func (n *Network) lost(from, to topology.RegionID) bool {
+	f, ok := n.faults[linkKey{from, to}]
+	if !ok || f.DropProb <= 0 {
+		return false
+	}
+	if f.DropProb >= 1 {
+		return true
+	}
+	return n.rng.Float64() < f.DropProb
+}
+
 // Send schedules fn to run after the one-way latency from the sender's
-// region to the destination endpoint's region. If the destination is
-// unreachable at delivery time, onFail runs instead (after the same delay —
-// the sender learns of the failure by timeout/RST, not instantly). Either
-// callback may be nil.
+// region to the destination endpoint's region. If the message is lost — the
+// destination is unreachable at delivery time, or an injected link fault
+// drops it — onFail runs at send time + SendTimeout instead: the sender
+// learns of the failure only by timeout, never faster than a slow success
+// could arrive. Either callback may be nil.
 func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onFail func()) {
 	toRegion, known := n.regions[to]
 	var d time.Duration
@@ -93,15 +197,33 @@ func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onF
 			trace.String("to", string(to)))
 		tr.Event("rpcnet", "tx", sp)
 	}
+	timeout := n.sendTimeout()
+	fail := func(status string) {
+		if tr.Enabled() {
+			tr.Event("rpcnet", "timeout", sp, trace.String("to", string(to)))
+			tr.EndSpan(sp, trace.String("status", status))
+		}
+		if onFail != nil {
+			onFail()
+		}
+	}
+	if known && n.lost(fromRegion, toRegion) {
+		n.Dropped++
+		n.loop.After(timeout, func() { fail("dropped") })
+		return
+	}
+	sentAt := n.loop.Now()
 	n.loop.After(d, func() {
 		n.Messages++
 		if !n.Reachable(to) {
-			if tr.Enabled() {
-				tr.Event("rpcnet", "timeout", sp, trace.String("to", string(to)))
-				tr.EndSpan(sp, trace.String("status", "unreachable"))
-			}
-			if onFail != nil {
-				onFail()
+			// Failure detection is by timeout from the send instant; if
+			// the (possibly inflated) delivery delay already exceeds the
+			// timeout the sender has been waiting long enough.
+			wait := sentAt + timeout - n.loop.Now()
+			if wait > 0 {
+				n.loop.After(wait, func() { fail("unreachable") })
+			} else {
+				fail("unreachable")
 			}
 			return
 		}
@@ -115,10 +237,26 @@ func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onF
 	})
 }
 
+// Reply schedules fn after the one-way latency from region from to region to
+// — the response leg of an RPC, where the receiver is not a registered
+// endpoint. It honors injected link faults: a lost reply invokes onFail at
+// send time + SendTimeout.
+func (n *Network) Reply(from, to topology.RegionID, fn func(), onFail func()) {
+	if n.lost(from, to) {
+		n.Dropped++
+		if onFail != nil {
+			n.loop.After(n.sendTimeout(), onFail)
+		}
+		return
+	}
+	n.loop.After(n.Delay(from, to), fn)
+}
+
 // Call performs a round trip: deliver the request, run handle at the
 // destination, then deliver the reply back and run done with the total
-// round-trip time. If the destination is unreachable, fail runs after the
-// one-way delay. handle runs only if the destination is reachable.
+// round-trip time. If the destination is unreachable or either leg is lost,
+// fail runs after the sender's timeout for that leg. handle runs only if the
+// destination is reachable.
 func (n *Network) Call(fromRegion topology.RegionID, to Endpoint, handle func(), done func(rtt time.Duration), fail func()) {
 	start := n.loop.Now()
 	tr := n.loop.Tracer()
@@ -133,13 +271,19 @@ func (n *Network) Call(fromRegion topology.RegionID, to Endpoint, handle func(),
 			handle()
 		}
 		// Reply path: destination region back to caller region.
-		back := n.Delay(n.regions[to], fromRegion)
-		n.loop.After(back, func() {
+		n.Reply(n.regions[to], fromRegion, func() {
 			if tr.Enabled() {
 				tr.EndSpan(sp, trace.String("status", "ok"))
 			}
 			if done != nil {
 				done(n.loop.Now() - start)
+			}
+		}, func() {
+			if tr.Enabled() {
+				tr.EndSpan(sp, trace.String("status", "reply-lost"))
+			}
+			if fail != nil {
+				fail()
 			}
 		})
 	}, func() {

@@ -121,3 +121,97 @@ func TestRegionLookup(t *testing.T) {
 		t.Fatal("Region lookup wrong")
 	}
 }
+
+func TestFailureDetectedAtSendTimeout(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	n.Unregister("dst")
+	var failedAt time.Duration
+	n.Send("a", "dst", nil, func() { failedAt = loop.Now() })
+	loop.Run()
+	if failedAt != n.SendTimeout {
+		t.Fatalf("failure detected at %v, want SendTimeout %v", failedAt, n.SendTimeout)
+	}
+}
+
+func TestTimeoutNeverBeatsSlowSuccess(t *testing.T) {
+	// With latency inflated past SendTimeout, a failure must be detected no
+	// earlier than the inflated delivery delay — the sender cannot learn of
+	// a loss faster than a success could have arrived.
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	n.Unregister("dst")
+	n.SetLinkFault("a", "b", LinkFault{LatencyScale: 40}) // 50ms -> 2s > 1s timeout
+	var failedAt time.Duration
+	n.Send("a", "dst", nil, func() { failedAt = loop.Now() })
+	loop.Run()
+	if failedAt != 2*time.Second {
+		t.Fatalf("failure detected at %v, want the 2s inflated delay", failedAt)
+	}
+}
+
+func TestPartitionDropsAndFailsAtTimeout(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	n.SetLinkFault("a", "b", LinkFault{DropProb: 1})
+	ok := false
+	var failedAt time.Duration
+	n.Send("a", "dst", func() { ok = true }, func() { failedAt = loop.Now() })
+	loop.Run()
+	if ok {
+		t.Fatal("message crossed a full partition")
+	}
+	if failedAt != n.SendTimeout {
+		t.Fatalf("failure detected at %v, want SendTimeout %v", failedAt, n.SendTimeout)
+	}
+	if n.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", n.Dropped)
+	}
+}
+
+func TestOneWayPartitionLeavesReverseOpen(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	n.Register("src", "a")
+	n.SetLinkFault("a", "b", LinkFault{DropProb: 1})
+	aToB, bToA := false, false
+	n.Send("a", "dst", func() { aToB = true }, nil)
+	n.Send("b", "src", func() { bToA = true }, nil)
+	loop.Run()
+	if aToB || !bToA {
+		t.Fatalf("aToB=%v bToA=%v; want only b->a delivered", aToB, bToA)
+	}
+}
+
+func TestLatencyAddInflatesDelay(t *testing.T) {
+	_, n := testNet(t)
+	n.SetLinkFault("a", "b", LinkFault{LatencyAdd: 30 * time.Millisecond})
+	if d := n.Delay("a", "b"); d != 80*time.Millisecond {
+		t.Fatalf("Delay = %v, want 80ms", d)
+	}
+	n.ClearLinkFault("a", "b")
+	if d := n.Delay("a", "b"); d != 50*time.Millisecond {
+		t.Fatalf("Delay after clear = %v, want 50ms", d)
+	}
+}
+
+func TestZeroLinkFaultClears(t *testing.T) {
+	_, n := testNet(t)
+	n.SetLinkFault("a", "b", LinkFault{DropProb: 1})
+	n.SetLinkFault("a", "b", LinkFault{})
+	if n.Partitioned("a", "b") {
+		t.Fatal("zero LinkFault should clear the fault")
+	}
+}
+
+func TestCallFailsWhenReplyLost(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	n.SetLinkFault("b", "a", LinkFault{DropProb: 1}) // only the reply leg
+	handled, done, failed := false, false, false
+	n.Call("a", "dst", func() { handled = true }, func(time.Duration) { done = true }, func() { failed = true })
+	loop.Run()
+	if !handled || done || !failed {
+		t.Fatalf("handled=%v done=%v failed=%v; want request delivered, reply lost", handled, done, failed)
+	}
+}

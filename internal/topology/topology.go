@@ -167,6 +167,19 @@ func (f *Fleet) MachinesInRegion(r RegionID) []*Machine {
 	return out
 }
 
+// MachinesInDomain returns the machines whose fault domain at the given
+// level matches name (as produced by Machine.Domain), in registration order.
+// Fault injection uses it to crash whole racks or datacenters.
+func (f *Fleet) MachinesInDomain(level FaultDomainLevel, name string) []*Machine {
+	var out []*Machine
+	for _, id := range f.order {
+		if m := f.machines[id]; m.Domain(level) == name {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // Regions returns the regions present, in first-seen order.
 func (f *Fleet) Regions() []RegionID {
 	out := make([]RegionID, len(f.regions))
