@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench vet build fmt
+.PHONY: check test bench bench-solver vet build fmt
 
 check: ## gofmt + vet + build + race-enabled tests (tier-1 verify)
 	sh scripts/check.sh
@@ -19,3 +19,7 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+bench-solver: ## run the solver scale benchmarks and regenerate BENCH_solver.json
+	$(GO) test ./internal/solver -run '^$$' -bench 'SolveScale|MoveDelta' -benchmem
+	$(GO) run ./cmd/smbench -fig solverscale -bench-out BENCH_solver.json

@@ -4,6 +4,8 @@
 //
 //	smbench -fig fig17            # one experiment, full-paper parameters
 //	smbench -fig all -scale quick # everything, scaled down
+//	smbench -fig solverscale      # solver perf benchmark -> BENCH_solver.json
+//	smbench -fig fig21 -scale stress  # solver experiments at ~100k entities
 //	smbench -list                 # show available experiment ids
 //	smbench -faults "t=60s partition(region-a|region-b) for 120s"
 //	                              # compound-fault experiment, custom timeline
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,8 +30,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id (fig1..fig23, ablations) or 'all'")
-	scale := flag.String("scale", "full", "'full' (paper parameters) or 'quick'")
+	fig := flag.String("fig", "all", "experiment id (fig1..fig23, solverscale, ablations) or 'all'")
+	scale := flag.String("scale", "full", "'full' (paper parameters), 'quick', or 'stress' (~100k-entity solver problems)")
+	benchOut := flag.String("bench-out", "BENCH_solver.json", "where the solverscale experiment writes its machine-readable benchmark record")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or ui.perfetto.dev)")
 	traceText := flag.String("trace-text", "", "write a human-readable text timeline of the run to this file")
@@ -66,9 +70,13 @@ func main() {
 		return
 	}
 	sc := experiments.ScaleFull
-	if *scale == "quick" {
+	switch *scale {
+	case "full":
+	case "quick":
 		sc = experiments.ScaleQuick
-	} else if *scale != "full" {
+	case "stress":
+		sc = experiments.ScaleStress
+	default:
 		fmt.Fprintf(os.Stderr, "smbench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
@@ -86,6 +94,12 @@ func main() {
 		}
 		fmt.Println(report.Render())
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Truncate(time.Millisecond))
+		if report.ID == "solverscale" && *benchOut != "" {
+			if err := writeBench(report, *benchOut); err != nil {
+				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if err := writeTrace(tracer, *traceOut, *traceText); err != nil {
@@ -96,6 +110,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeBench writes the solverscale experiment's machine-readable record
+// (BENCH_solver.json): one flat JSON object with the headline numbers —
+// problem size, evaluation throughput, moves, violations, and wall time.
+// Integral values are emitted as JSON integers for readability.
+func writeBench(r *experiments.Report, path string) error {
+	obj := make(map[string]any, len(r.Values))
+	for k, v := range r.Values {
+		if v == float64(int64(v)) {
+			obj[k] = int64(v)
+		} else {
+			obj[k] = v
+		}
+	}
+	data, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark record written to %s\n", path)
+	return nil
 }
 
 // writeMetrics exports the shared registry in the requested format (no-op

@@ -439,6 +439,9 @@ func (a *Allocator) Run(in Input, mode Mode) *Result {
 
 // rebuildProblem clones buckets and entities (with current assignments)
 // into a new Problem without any specs, so each goal batch starts clean.
+// The interned domain table is shared with the source problem: the bucket
+// set is identical across batches, so re-interning every scope's domain
+// strings per batch would be pure waste.
 func rebuildProblem(src *solver.Problem, metrics []string) *solver.Problem {
 	pr := solver.NewProblem(metrics)
 	for _, b := range src.Buckets {
@@ -447,6 +450,7 @@ func rebuildProblem(src *solver.Problem, metrics []string) *solver.Problem {
 	for _, e := range src.Entities {
 		pr.AddEntity(e)
 	}
+	pr.AdoptDomainTable(src.DomainTable())
 	return pr
 }
 

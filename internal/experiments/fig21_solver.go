@@ -21,7 +21,16 @@ type SolverScaleParams struct {
 	Seed   uint64
 	// TimeLimit bounds each solve (0 = none).
 	TimeLimit time.Duration
+	// EvalBudget bounds each solve by candidate evaluations (0 = none).
+	// Unlike TimeLimit it is deterministic, so curves reproduce exactly.
+	EvalBudget int
 }
+
+// evalTime maps a candidate-evaluation count onto the curve time axis
+// (1 evaluation ≡ 1µs). Keying progress points by evaluation count instead
+// of wall clock makes two runs with the same seed produce identical curves;
+// the µs encoding just reuses the metrics.Point time axis.
+func evalTime(evals int) time.Duration { return time.Duration(evals) * time.Microsecond }
 
 // DefaultSolverScaleParams mirror the paper's three problem sizes.
 func DefaultSolverScaleParams() SolverScaleParams {
@@ -121,12 +130,13 @@ func Fig21(params SolverScaleParams) *Report {
 		opt := solver.DefaultOptions()
 		opt.Seed = params.Seed
 		opt.TimeLimit = params.TimeLimit
+		opt.EvalBudget = params.EvalBudget
 		opt.Sampler = solver.GroupedSampler(p, 1) // utilization bias on CPU
 		opt.Progress = func(pi solver.ProgressInfo) {
-			curve.Points = append(curve.Points, point(pi.Elapsed, float64(pi.Violations.Total())))
+			curve.Points = append(curve.Points, point(evalTime(pi.Evaluated), float64(pi.Violations.Total())))
 		}
 		res := solver.Solve(p, opt)
-		curve.Points = append(curve.Points, point(res.Elapsed, float64(res.Final.Total())))
+		curve.Points = append(curve.Points, point(evalTime(res.Evaluated), float64(res.Final.Total())))
 		r.Curves = append(r.Curves, curve)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(servers), fmt.Sprint(shards),
@@ -154,6 +164,9 @@ type SolverAblationParams struct {
 	// TimeLimit bounds each solve; the paper's baseline fails to finish
 	// within 300s.
 	TimeLimit time.Duration
+	// EvalBudget bounds each solve by candidate evaluations (0 = none);
+	// deterministic, so ablation curves reproduce exactly per seed.
+	EvalBudget int
 }
 
 // DefaultSolverAblationParams scale the paper's 75K-shard comparison to a
@@ -182,7 +195,7 @@ func runAblation(params SolverAblationParams, variants []ablationVariant) (*Repo
 	}
 	t := Table{
 		Title:   "variant comparison",
-		Columns: []string{"variant", "final violations", "moves", "evaluations", "time to fix 90%", "solve time"},
+		Columns: []string{"variant", "final violations", "moves", "evaluations", "evals to fix 90%", "solve time"},
 	}
 	var results []solver.Result
 	for _, v := range variants {
@@ -191,6 +204,7 @@ func runAblation(params SolverAblationParams, variants []ablationVariant) (*Repo
 		opt := solver.DefaultOptions()
 		opt.Seed = params.Seed
 		opt.TimeLimit = params.TimeLimit
+		opt.EvalBudget = params.EvalBudget
 		// Both variants get the same candidate budget (one per region)
 		// so the comparison isolates *where* candidates come from, not
 		// how many there are.
@@ -199,15 +213,15 @@ func runAblation(params SolverAblationParams, variants []ablationVariant) (*Repo
 		v.tweak(&opt, p)
 		curve := Curve{Name: v.name, Unit: "violations"}
 		opt.Progress = func(pi solver.ProgressInfo) {
-			curve.Points = append(curve.Points, point(pi.Elapsed, float64(pi.Violations.Total())))
+			curve.Points = append(curve.Points, point(evalTime(pi.Evaluated), float64(pi.Violations.Total())))
 		}
 		res := solver.Solve(p, opt)
-		curve.Points = append(curve.Points, point(res.Elapsed, float64(res.Final.Total())))
+		curve.Points = append(curve.Points, point(evalTime(res.Evaluated), float64(res.Final.Total())))
 		r.Curves = append(r.Curves, curve)
 		t.Rows = append(t.Rows, []string{
 			v.name, fmt.Sprint(res.Final.Total()), fmt.Sprint(len(res.Moves)),
 			fmt.Sprint(res.Evaluated),
-			timeToFix(curve.Points, res.Initial.Total(), 0.9).Truncate(time.Millisecond).String(),
+			fmt.Sprint(int64(timeToFix(curve.Points, res.Initial.Total(), 0.9) / time.Microsecond)),
 			res.Elapsed.Truncate(time.Millisecond).String(),
 		})
 		results = append(results, *res)
@@ -216,8 +230,10 @@ func runAblation(params SolverAblationParams, variants []ablationVariant) (*Repo
 	return r, results
 }
 
-// timeToFix returns the elapsed time at which the violation curve first
-// dropped to (1-frac) of initial, or the last point's time if it never did.
+// timeToFix returns the curve position at which the violation curve first
+// dropped to (1-frac) of initial, or the last point's position if it never
+// did. With evaluation-keyed curves the returned Duration encodes an
+// evaluation count (1µs ≡ 1 evaluation).
 func timeToFix(pts []metrics.Point, initial int, frac float64) time.Duration {
 	target := float64(initial) * (1 - frac)
 	for _, p := range pts {
@@ -247,8 +263,8 @@ func Fig22(params SolverAblationParams) *Report {
 		opt, base := results[0], results[1]
 		optFix := timeToFix(r.Curves[0].Points, opt.Initial.Total(), 0.9)
 		baseFix := timeToFix(r.Curves[1].Points, base.Initial.Total(), 0.9)
-		r.AddNote("time to fix 90%% of violations: optimized %v vs baseline %v",
-			optFix.Truncate(time.Millisecond), baseFix.Truncate(time.Millisecond))
+		r.AddNote("evaluations to fix 90%% of violations: optimized %d vs baseline %d",
+			int64(optFix/time.Microsecond), int64(baseFix/time.Microsecond))
 		if len(opt.Moves) > 0 {
 			r.AddNote("baseline used %.0f%% more shard moves (paper: 22%% more)",
 				100*(float64(len(base.Moves))/float64(len(opt.Moves))-1))

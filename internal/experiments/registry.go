@@ -8,19 +8,24 @@ import (
 
 // Scale selects experiment sizing: Full mirrors the paper's parameters;
 // Quick shrinks each scenario so the whole suite finishes in seconds
-// (benchmarks and CI use Quick).
+// (benchmarks and CI use Quick); Stress grows the solver experiments to
+// ~100k entities / 5k buckets to exercise the fast path at scale.
 type Scale int
 
 // Experiment scales.
 const (
 	ScaleQuick Scale = iota
 	ScaleFull
+	ScaleStress
 )
 
 // String returns the scale name.
 func (s Scale) String() string {
-	if s == ScaleFull {
+	switch s {
+	case ScaleFull:
 		return "full"
+	case ScaleStress:
+		return "stress"
 	}
 	return "quick"
 }
@@ -83,15 +88,21 @@ var registry = []runner{
 	}},
 	{"fig21", "allocator scalability", func(s Scale) *Report {
 		p := DefaultSolverScaleParams()
-		if s == ScaleQuick {
+		switch s {
+		case ScaleQuick:
 			p.Scales = [][2]int{{200, 15000}, {600, 45000}, {1000, 75000}}
+		case ScaleStress:
+			p.Scales = [][2]int{{1000, 20000}, {2500, 50000}, {5000, 100000}}
 		}
 		return Fig21(p)
 	}},
 	{"fig22", "solver optimization ablation", func(s Scale) *Report {
 		p := DefaultSolverAblationParams()
-		if s == ScaleQuick {
+		switch s {
+		case ScaleQuick:
 			p.Servers, p.Shards, p.TimeLimit = 400, 30000, 10*time.Second
+		case ScaleStress:
+			p.Servers, p.Shards = 5000, 100000
 		}
 		return Fig22(p)
 	}},
@@ -111,6 +122,13 @@ var registry = []runner{
 			p.Spec = faultSpec
 		}
 		return CompoundFaults(p)
+	}},
+	{"solverscale", "solver fast-path scale benchmark (serial vs parallel)", func(s Scale) *Report {
+		p := DefaultSolverBenchParams()
+		if s == ScaleQuick {
+			p.Servers, p.Shards = 1000, 20000
+		}
+		return SolverScale(p)
 	}},
 	{"ablations", "extra §5.3 design-choice ablations", func(s Scale) *Report {
 		p := DefaultSolverAblationParams()

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"shardmanager/internal/sim"
+	"shardmanager/internal/solver"
+)
+
+// SolverBenchParams configure the "solverscale" benchmark experiment: one
+// ZippyDB-style placement problem solved twice — serially and with the
+// deterministic parallel evaluator — under default solver options.
+type SolverBenchParams struct {
+	// Servers and Shards size the problem (buckets and entities).
+	Servers, Shards int
+	Seed            uint64
+	// Parallel is the worker count for the parallel pass.
+	Parallel int
+}
+
+// DefaultSolverBenchParams is the headline scale the tracked perf numbers
+// in BENCH_solver.json refer to: ~100k entities on 5k buckets.
+func DefaultSolverBenchParams() SolverBenchParams {
+	return SolverBenchParams{Servers: 5000, Shards: 100000, Seed: 1, Parallel: 4}
+}
+
+// SolverScale runs the solver fast-path scale benchmark. It reports wall
+// time, evaluation throughput, and move counts for the serial solve, then
+// re-solves the identical problem with parallel candidate evaluation and
+// verifies the Result is byte-identical (same moves, same assignment, same
+// evaluation count). The machine-readable Values become BENCH_solver.json
+// via `smbench -fig solverscale`.
+func SolverScale(params SolverBenchParams) *Report {
+	r := &Report{
+		ID:    "solverscale",
+		Title: "Solver fast-path scale benchmark (serial vs deterministic parallel)",
+		Params: map[string]string{
+			"servers":  fmt.Sprint(params.Servers),
+			"shards":   fmt.Sprint(params.Shards),
+			"seed":     fmt.Sprint(params.Seed),
+			"parallel": fmt.Sprint(params.Parallel),
+		},
+	}
+	build := func() *solver.Problem {
+		return zippyProblem(sim.NewRNG(params.Seed), params.Servers, params.Shards, false)
+	}
+
+	opt := solver.DefaultOptions()
+	opt.Seed = params.Seed
+
+	p := build()
+	opt.Sampler = solver.GroupedSampler(p, 1)
+	start := time.Now()
+	serial := solver.Solve(p, opt)
+	serialWall := time.Since(start)
+
+	pp := build()
+	popt := opt
+	popt.Parallel = params.Parallel
+	popt.Sampler = solver.GroupedSampler(pp, 1)
+	start = time.Now()
+	par := solver.Solve(pp, popt)
+	parWall := time.Since(start)
+
+	identical := len(serial.Moves) == len(par.Moves) &&
+		serial.Evaluated == par.Evaluated &&
+		serial.Rounds == par.Rounds &&
+		serial.Final == par.Final
+	if identical {
+		for i := range serial.Moves {
+			if serial.Moves[i] != par.Moves[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	if identical {
+		for i := range p.Entities {
+			if p.Entities[i].Bucket != pp.Entities[i].Bucket {
+				identical = false
+				break
+			}
+		}
+	}
+
+	t := Table{
+		Title:   "scale solve",
+		Columns: []string{"mode", "initial violations", "final violations", "moves", "evaluations", "evals/sec", "wall time"},
+	}
+	row := func(mode string, res *solver.Result, wall time.Duration) {
+		t.Rows = append(t.Rows, []string{
+			mode, fmt.Sprint(res.Initial.Total()), fmt.Sprint(res.Final.Total()),
+			fmt.Sprint(len(res.Moves)), fmt.Sprint(res.Evaluated),
+			fmt.Sprintf("%.0f", float64(res.Evaluated)/wall.Seconds()),
+			wall.Truncate(time.Millisecond).String(),
+		})
+	}
+	row("serial", serial, serialWall)
+	row(fmt.Sprintf("parallel(%d)", params.Parallel), par, parWall)
+	r.Tables = append(r.Tables, t)
+
+	r.AddValue("entities", float64(params.Shards))
+	r.AddValue("buckets", float64(params.Servers))
+	r.AddValue("seed", float64(params.Seed))
+	r.AddValue("initial_violations", float64(serial.Initial.Total()))
+	r.AddValue("final_violations", float64(serial.Final.Total()))
+	r.AddValue("moves", float64(len(serial.Moves)))
+	r.AddValue("rounds", float64(serial.Rounds))
+	r.AddValue("evaluations", float64(serial.Evaluated))
+	r.AddValue("evals_per_sec", float64(serial.Evaluated)/serialWall.Seconds())
+	r.AddValue("wall_ms", float64(serialWall.Milliseconds()))
+	r.AddValue("parallel_wall_ms", float64(parWall.Milliseconds()))
+	if identical {
+		r.AddValue("parallel_identical", 1)
+	} else {
+		r.AddValue("parallel_identical", 0)
+	}
+
+	if identical {
+		r.AddNote("parallel(%d) Result is byte-identical to serial (moves, assignment, evaluations, rounds)", params.Parallel)
+	} else {
+		r.AddNote("WARNING: parallel Result DIVERGED from serial — determinism bug")
+	}
+	r.AddNote("serial solve: %d evaluations in %v (%.1fM evals/sec)",
+		serial.Evaluated, serialWall.Truncate(time.Millisecond),
+		float64(serial.Evaluated)/serialWall.Seconds()/1e6)
+	return r
+}

@@ -1,0 +1,99 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"shardmanager/internal/sim"
+)
+
+// scaleProblem builds a ZippyDB-like problem (mirroring the experiments
+// package's workload, rebuilt locally to keep the solver package
+// dependency-free): heterogeneous buckets in 8 groups, 20x shard-load
+// spread, capacity constraints plus utilization-band balance goals, and a
+// random initial assignment.
+func scaleProblem(rng *sim.RNG, buckets, entities int) *Problem {
+	p := NewProblem([]string{"storage", "cpu", "shard_count"})
+	for i := 0; i < buckets; i++ {
+		storageCap := 1000 * (1 + 0.2*rng.Float64())
+		p.AddBucket(Bucket{
+			Name:     fmt.Sprintf("srv%05d", i),
+			Capacity: []float64{storageCap, 100, 1000},
+			Group:    fmt.Sprintf("g%d", i%8),
+		})
+	}
+	baseStorage := float64(buckets) * 1100 * 0.55 / float64(entities)
+	baseCPU := float64(buckets) * 100 * 0.55 / float64(entities)
+	for i := 0; i < entities; i++ {
+		skew := 0.1 + 1.9*rng.Float64()
+		p.AddEntity(Entity{
+			Name:    fmt.Sprintf("sh%06d", i),
+			Load:    []float64{baseStorage * skew, baseCPU * skew, 1},
+			Bucket:  BucketID(rng.Intn(buckets)),
+			Movable: true,
+		})
+	}
+	for _, m := range []string{"storage", "cpu"} {
+		p.AddConstraint(CapacitySpec{Metric: m})
+		p.AddBalanceGoal(BalanceSpec{Metric: m, UtilCap: 0.9, MaxDiff: 0.1, Weight: 1})
+	}
+	p.AddBalanceGoal(BalanceSpec{Metric: "shard_count", MaxDiff: 0.15, Weight: 0.5})
+	return p
+}
+
+// BenchmarkSolveScale is the tentpole perf target: ~100k entities on 5k
+// buckets under default options. The pre-fast-path solver took ~756ms per
+// solve on this workload; the acceptance bar is >=5x faster.
+func BenchmarkSolveScale(b *testing.B) {
+	const buckets, entities = 5000, 100000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := scaleProblem(sim.NewRNG(1), buckets, entities)
+		opt := DefaultOptions()
+		opt.Seed = 1
+		opt.Sampler = GroupedSampler(p, 1)
+		b.StartTimer()
+		res := Solve(p, opt)
+		if res.Final.Total() != 0 {
+			b.Fatalf("solve left %d violations", res.Final.Total())
+		}
+		b.ReportMetric(float64(res.Evaluated), "evals/op")
+	}
+}
+
+// BenchmarkSolveScaleParallel runs the same workload with the deterministic
+// parallel evaluator (results are byte-identical to serial; see
+// TestParallelMatchesSerial).
+func BenchmarkSolveScaleParallel(b *testing.B) {
+	const buckets, entities = 5000, 100000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := scaleProblem(sim.NewRNG(1), buckets, entities)
+		opt := DefaultOptions()
+		opt.Seed = 1
+		opt.Parallel = 4
+		opt.Sampler = GroupedSampler(p, 1)
+		b.StartTimer()
+		res := Solve(p, opt)
+		if res.Final.Total() != 0 {
+			b.Fatalf("solve left %d violations", res.Final.Total())
+		}
+	}
+}
+
+// BenchmarkMoveDelta measures the hot loop in isolation; the fast path's
+// contract is zero allocations per evaluation (see TestMoveDeltaAllocFree).
+func BenchmarkMoveDelta(b *testing.B) {
+	p := scaleProblem(sim.NewRNG(1), 500, 10000)
+	st := newState(p)
+	rng := sim.NewRNG(2)
+	n := len(p.Entities)
+	nb := len(p.Buckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.moveDelta(EntityID(rng.Intn(n)), BucketID(rng.Intn(nb)))
+	}
+}

@@ -1,0 +1,111 @@
+package solver
+
+import "fmt"
+
+// DomainTable interns (bucket, scope) -> domain strings into dense int IDs
+// so the solver's hot loop indexes flat slices instead of hashing strings.
+// Scopes are interned on demand the first time a spec references them; the
+// table can be shared across Problems with identical bucket sets (the
+// allocator reuses one table across its goal batches, see
+// Problem.AdoptDomainTable).
+type DomainTable struct {
+	scopes map[string]*scopeDomains
+}
+
+// scopeDomains is the interned view of one scope: every bucket's domain ID,
+// the reverse ID -> name mapping, and the member buckets of each domain.
+type scopeDomains struct {
+	scope string
+	// bucketDom[b] is the dense domain ID of bucket b at this scope.
+	bucketDom []int32
+	// names[d] is the domain string of ID d.
+	names []string
+	// index maps a domain string back to its ID.
+	index map[string]int32
+	// members[d] lists the buckets in domain d.
+	members [][]int32
+}
+
+// numDomains returns the number of distinct domains at this scope.
+func (sd *scopeDomains) numDomains() int { return len(sd.names) }
+
+// domains returns the interned view of scope, building it on first use.
+// Buckets lacking a Props entry for the scope panic with the same message as
+// the string-keyed path did.
+func (t *DomainTable) domains(p *Problem, scope string) *scopeDomains {
+	if sd, ok := t.scopes[scope]; ok {
+		if len(sd.bucketDom) != len(p.Buckets) {
+			panic(fmt.Sprintf("solver: domain table built for %d buckets used with %d", len(sd.bucketDom), len(p.Buckets)))
+		}
+		return sd
+	}
+	sd := &scopeDomains{
+		scope:     scope,
+		bucketDom: make([]int32, len(p.Buckets)),
+		index:     make(map[string]int32),
+	}
+	for b := range p.Buckets {
+		name := p.domainOf(BucketID(b), scope)
+		id, ok := sd.index[name]
+		if !ok {
+			id = int32(len(sd.names))
+			sd.index[name] = id
+			sd.names = append(sd.names, name)
+			sd.members = append(sd.members, nil)
+		}
+		sd.bucketDom[b] = id
+		sd.members[id] = append(sd.members[id], int32(b))
+	}
+	t.scopes[scope] = sd
+	return sd
+}
+
+// DomainTable returns the problem's interning table, creating an empty one
+// on first use. Scope entries are populated lazily by newState.
+func (p *Problem) DomainTable() *DomainTable {
+	if p.domTable == nil {
+		p.domTable = &DomainTable{scopes: make(map[string]*scopeDomains)}
+	}
+	return p.domTable
+}
+
+// AdoptDomainTable installs a table built by another Problem with an
+// identical bucket set (same names, props, and order). The allocator uses it
+// to intern domains once and share them across its per-batch problem
+// rebuilds. Panics if the table was populated for a different bucket count.
+func (p *Problem) AdoptDomainTable(t *DomainTable) {
+	for _, sd := range t.scopes {
+		if len(sd.bucketDom) != len(p.Buckets) {
+			panic(fmt.Sprintf("solver: adopted domain table covers %d buckets, problem has %d", len(sd.bucketDom), len(p.Buckets)))
+		}
+	}
+	p.domTable = t
+}
+
+// ekey packs a (group ID, domain ID) pair into one map key; integer keys
+// keep exclusion/conflict count lookups allocation-free in the hot loop.
+func ekey(group, dom int32) uint64 {
+	return uint64(uint32(group))<<32 | uint64(uint32(dom))
+}
+
+// internGroups converts a spec's Groups map into a dense per-entity group ID
+// slice (-1 = entity not in the spec). IDs are assigned in entity order so
+// they are deterministic.
+func internGroups(n int, groups map[EntityID]string) (entGroup []int32, numGroups int) {
+	entGroup = make([]int32, n)
+	idx := make(map[string]int32, len(groups))
+	for e := 0; e < n; e++ {
+		g, ok := groups[EntityID(e)]
+		if !ok {
+			entGroup[e] = -1
+			continue
+		}
+		id, ok := idx[g]
+		if !ok {
+			id = int32(len(idx))
+			idx[g] = id
+		}
+		entGroup[e] = id
+	}
+	return entGroup, len(idx)
+}

@@ -127,6 +127,10 @@ type Problem struct {
 	exclusionSpecs []ExclusionSpec
 	conflictSpecs  []ExclusionSpec
 	drainWeight    float64
+
+	// domTable interns (bucket, scope) -> domain strings; built lazily,
+	// shareable across problems with identical buckets (see intern.go).
+	domTable *DomainTable
 }
 
 // NewProblem creates a problem with the given load metrics.
@@ -246,17 +250,110 @@ func (p *Problem) domainOf(b BucketID, scope string) string {
 
 // ---------------------------------------------------------------------------
 // Incremental evaluation state.
+//
+// All (bucket, scope) -> domain strings are interned into dense int IDs at
+// newState time (see intern.go): the hot path indexes flat slices and
+// integer-keyed maps instead of concatenating and hashing strings. Capacity
+// and balance specs sharing a (metric, scope) pair are merged into one
+// specState so their shared load/capacity aggregates are maintained once.
 
-// aggState tracks load and capacity per aggregation key for one spec.
-type aggState struct {
+// balParams is one merged balance goal on a specState.
+type balParams struct {
+	utilCap float64
+	maxDiff float64
+	weight  float64
+}
+
+// specState holds the per-domain load/capacity aggregates for one
+// (metric, scope) pair, serving every capacity and balance spec on it.
+type specState struct {
 	scope string
 	midx  int
-	// key -> aggregate
-	load map[string]float64
-	cap  map[string]float64
-	// For balance specs: mean utilization over keys with capacity,
-	// fixed at state-build time (moves conserve total load).
+	dom   *scopeDomains
+	// nHard counts merged hard capacity specs on this (metric, scope);
+	// >0 gates move feasibility, and multiplies the overflow penalty so
+	// duplicate AddConstraint calls keep their historical weight.
+	nHard int
+	bals  []balParams
+	load  []float64 // per domain ID
+	cap   []float64 // per domain ID
+	// meanUtil is the mean utilization over domains with capacity, fixed
+	// at state-build time (moves conserve total load). Unassigned load is
+	// included: once placed it pushes utilization up, and the target must
+	// account for it or the solver would chase a moving average.
 	meanUtil float64
+}
+
+// capPenalty treats hard-constraint overflow as a very large soft penalty so
+// local search can repair infeasible initial states while the feasibility
+// check prevents creating new overflow.
+func (sp *specState) capPenalty(d int32, load float64) float64 {
+	if sp.nHard == 0 {
+		return 0
+	}
+	if c := sp.cap[d]; load > c {
+		return float64(sp.nHard) * 1e6 * (load - c)
+	}
+	return 0
+}
+
+// balPenalty sums the merged balance goals' penalties for one domain given
+// its load. Penalty is measured in capacity-weighted overload so that moving
+// a large entity off an overloaded domain helps proportionally.
+func (sp *specState) balPenalty(d int32, load float64) float64 {
+	var pen float64
+	c := sp.cap[d]
+	for i := range sp.bals {
+		b := &sp.bals[i]
+		if c <= 0 {
+			// Load on a zero-capacity domain is maximally penalized.
+			if load > 0 {
+				pen += b.weight * load
+			}
+			continue
+		}
+		u := load / c
+		var over float64
+		if b.utilCap > 0 && u > b.utilCap {
+			over += (u - b.utilCap) * c
+		}
+		if b.maxDiff > 0 && u > sp.meanUtil+b.maxDiff {
+			over += (u - sp.meanUtil - b.maxDiff) * c
+		}
+		pen += b.weight * over
+	}
+	return pen
+}
+
+// domPenalty is the domain's total capacity+balance penalty at the given load.
+func (sp *specState) domPenalty(d int32, load float64) float64 {
+	return sp.capPenalty(d, load) + sp.balPenalty(d, load)
+}
+
+// exclState is one soft exclusion spec with interned groups and domains.
+type exclState struct {
+	dom      *scopeDomains
+	entGroup []int32 // entity -> group ID, -1 if not in the spec
+	weight   float64
+	// members[ekey(g, d)] lists the spec's entities of group g currently
+	// in domain d; the member list (not just a count) lets apply credit
+	// the exact buckets whose penalty changes on a boundary crossing.
+	members map[uint64][]EntityID
+}
+
+// confState is one hard conflict spec with interned groups and domains.
+type confState struct {
+	dom      *scopeDomains
+	entGroup []int32
+	counts   map[uint64]int32
+}
+
+// affTerm is one interned affinity goal of an entity: penalty weight applies
+// whenever the entity's bucket is outside domain domID at the goal's scope.
+type affTerm struct {
+	bucketDom []int32 // the scope's bucket -> domain mapping
+	domID     int32   // preferred domain; -1 if no bucket is in it
+	weight    float64
 }
 
 // state is the solver's incremental view of a problem.
@@ -265,13 +362,15 @@ type state struct {
 	// assignment[e] is the current bucket of entity e.
 	assignment []BucketID
 
-	capStates []aggState // parallel to capacitySpecs
-	balStates []aggState // parallel to balanceSpecs
+	specs []specState
+	excls []exclState
+	confs []confState
 
-	// exclusion counts: for each exclusion spec, (group|domain) -> count.
-	exclCounts []map[string]int
-	// conflict counts: for each conflict spec, (group|domain) -> count.
-	confCounts []map[string]int
+	// aff[e] lists entity e's interned affinity terms (nil for most).
+	aff [][]affTerm
+	// drainPen[b] is the per-entity drain penalty of bucket b (0 or the
+	// problem's drain weight).
+	drainPen []float64
 
 	// Per-bucket entity sets, maintained for neighborhood generation.
 	byBucket [][]EntityID
@@ -281,9 +380,19 @@ type state struct {
 	bucketLoad [][]float64
 
 	unassigned map[EntityID]struct{}
-}
 
-func key2(group, domain string) string { return group + "\x00" + domain }
+	// hot tracks every bucket's penalty incrementally (see hotset.go);
+	// apply keeps it in sync with the aggregates above.
+	hot *hotSet
+
+	// sigID[e] interns Problem.equivalenceSignature; built lazily by
+	// ensureSigs (loads and goals are immutable, so never invalidated).
+	sigID  []int32
+	numSig int
+
+	// scratch backs the allocation-free public moveDelta.
+	scratch prepared
+}
 
 // newState builds the incremental state from the problem's current
 // assignment.
@@ -309,284 +418,447 @@ func newState(p *Problem) *state {
 			}
 		}
 	}
-	build := func(metric, scope string) aggState {
-		a := aggState{
-			scope: scope,
-			midx:  p.MetricIndex(metric),
-			load:  make(map[string]float64),
-			cap:   make(map[string]float64),
-		}
-		for b := range p.Buckets {
-			k := p.domainOf(BucketID(b), scope)
-			a.cap[k] += p.Buckets[b].Capacity[a.midx]
-		}
-		for e := range p.Entities {
-			if s.assignment[e] == Unassigned {
-				continue
+
+	table := p.DomainTable()
+
+	// Merge capacity and balance specs by (metric, scope).
+	type specKey struct {
+		midx  int
+		scope string
+	}
+	specIdx := make(map[specKey]int)
+	getSpec := func(metric, scope string) *specState {
+		k := specKey{p.MetricIndex(metric), scope}
+		si, ok := specIdx[k]
+		if !ok {
+			si = len(s.specs)
+			specIdx[k] = si
+			dom := table.domains(p, scope)
+			sp := specState{
+				scope: scope,
+				midx:  k.midx,
+				dom:   dom,
+				load:  make([]float64, dom.numDomains()),
+				cap:   make([]float64, dom.numDomains()),
 			}
-			k := p.domainOf(s.assignment[e], scope)
-			a.load[k] += p.Entities[e].Load[a.midx]
+			for b := range p.Buckets {
+				sp.cap[dom.bucketDom[b]] += p.Buckets[b].Capacity[sp.midx]
+			}
+			for e := range p.Entities {
+				if s.assignment[e] == Unassigned {
+					continue
+				}
+				sp.load[dom.bucketDom[s.assignment[e]]] += p.Entities[e].Load[sp.midx]
+			}
+			var totLoad, totCap float64
+			for d := range sp.cap {
+				totCap += sp.cap[d]
+				totLoad += sp.load[d]
+			}
+			for e := range s.unassigned {
+				totLoad += p.Entities[e].Load[sp.midx]
+			}
+			if totCap > 0 {
+				sp.meanUtil = totLoad / totCap
+			}
+			s.specs = append(s.specs, sp)
 		}
-		var totLoad, totCap float64
-		for k, c := range a.cap {
-			totCap += c
-			totLoad += a.load[k]
-		}
-		// Include load of unassigned entities in the mean: once placed
-		// they will push utilization up, and the target must account
-		// for them or the solver would chase a moving average.
-		for e := range s.unassigned {
-			totLoad += p.Entities[e].Load[a.midx]
-		}
-		if totCap > 0 {
-			a.meanUtil = totLoad / totCap
-		}
-		return a
+		return &s.specs[si]
 	}
 	for _, c := range p.capacitySpecs {
-		s.capStates = append(s.capStates, build(c.Metric, c.Scope))
+		getSpec(c.Metric, c.Scope).nHard++
 	}
 	for _, b := range p.balanceSpecs {
-		s.balStates = append(s.balStates, build(b.Metric, b.Scope))
+		sp := getSpec(b.Metric, b.Scope)
+		sp.bals = append(sp.bals, balParams{utilCap: b.UtilCap, maxDiff: b.MaxDiff, weight: b.Weight})
 	}
-	buildCounts := func(ex ExclusionSpec) map[string]int {
-		counts := make(map[string]int)
-		for e, g := range ex.Groups {
-			if s.assignment[e] == Unassigned {
+
+	for _, ex := range p.exclusionSpecs {
+		dom := table.domains(p, ex.Scope)
+		entGroup, _ := internGroups(len(p.Entities), ex.Groups)
+		xs := exclState{
+			dom:      dom,
+			entGroup: entGroup,
+			weight:   ex.Weight,
+			members:  make(map[uint64][]EntityID, len(ex.Groups)),
+		}
+		for e := range p.Entities {
+			g := entGroup[e]
+			if g < 0 || s.assignment[e] == Unassigned {
 				continue
 			}
-			counts[key2(g, p.domainOf(s.assignment[e], ex.Scope))]++
+			k := ekey(g, dom.bucketDom[s.assignment[e]])
+			xs.members[k] = append(xs.members[k], EntityID(e))
 		}
-		return counts
+		s.excls = append(s.excls, xs)
 	}
-	for _, ex := range p.exclusionSpecs {
-		s.exclCounts = append(s.exclCounts, buildCounts(ex))
+	for _, cf := range p.conflictSpecs {
+		dom := table.domains(p, cf.Scope)
+		entGroup, _ := internGroups(len(p.Entities), cf.Groups)
+		cs := confState{
+			dom:      dom,
+			entGroup: entGroup,
+			counts:   make(map[uint64]int32, len(cf.Groups)),
+		}
+		for e := range p.Entities {
+			g := entGroup[e]
+			if g < 0 || s.assignment[e] == Unassigned {
+				continue
+			}
+			cs.counts[ekey(g, dom.bucketDom[s.assignment[e]])]++
+		}
+		s.confs = append(s.confs, cs)
 	}
-	for _, ex := range p.conflictSpecs {
-		s.confCounts = append(s.confCounts, buildCounts(ex))
+
+	s.aff = make([][]affTerm, len(p.Entities))
+	for e, goals := range p.affinityGoals {
+		terms := make([]affTerm, 0, len(goals))
+		for _, g := range goals {
+			dom := table.domains(p, g.Scope)
+			domID, ok := dom.index[g.Domain]
+			if !ok {
+				domID = -1 // no bucket is in the preferred domain
+			}
+			terms = append(terms, affTerm{bucketDom: dom.bucketDom, domID: domID, weight: g.Weight})
+		}
+		s.aff[e] = terms
 	}
+	s.drainPen = make([]float64, len(p.Buckets))
+	if p.drainWeight > 0 {
+		for b := range p.Buckets {
+			if p.Buckets[b].Draining {
+				s.drainPen[b] = p.drainWeight
+			}
+		}
+	}
+
+	s.hot = newHotSet(len(p.Buckets))
+	for b := range p.Buckets {
+		s.hot.pen[b] = s.bucketPenalty(BucketID(b))
+	}
+	s.hot.init()
+
+	s.scratch = newPrepared(s)
 	return s
 }
 
-// balancePenalty returns one balance spec's penalty for a key given its
-// load. Penalty is measured in capacity-weighted overload so that moving a
-// large entity off an overloaded key helps proportionally.
-func balancePenalty(spec BalanceSpec, a *aggState, k string, load float64) float64 {
-	c := a.cap[k]
-	if c <= 0 {
-		// Load on a zero-capacity key is maximally penalized.
-		if load > 0 {
-			return spec.Weight * load
-		}
-		return 0
-	}
-	u := load / c
-	var pen float64
-	if spec.UtilCap > 0 && u > spec.UtilCap {
-		pen += (u - spec.UtilCap) * c
-	}
-	if spec.MaxDiff > 0 && u > a.meanUtil+spec.MaxDiff {
-		pen += (u - a.meanUtil - spec.MaxDiff) * c
-	}
-	return spec.Weight * pen
-}
-
-// capacityPenalty treats hard-constraint overflow as a very large soft
-// penalty so local search can repair infeasible initial states while the
-// feasibility check prevents creating new overflow.
-func capacityPenalty(a *aggState, k string, load float64) float64 {
-	c := a.cap[k]
-	if load > c {
-		return 1e6 * (load - c)
-	}
-	return 0
-}
-
-// affinityPenalty returns the penalty of entity e sitting on bucket b.
+// affinityPenalty returns the affinity penalty of entity e sitting on bucket b.
 func (s *state) affinityPenalty(e EntityID, b BucketID) float64 {
-	goals := s.p.affinityGoals[e]
-	if len(goals) == 0 {
+	terms := s.aff[e]
+	if len(terms) == 0 {
 		return 0
 	}
 	var pen float64
-	for _, g := range goals {
-		if s.p.domainOf(b, g.Scope) != g.Domain {
-			pen += g.Weight
+	for i := range terms {
+		t := &terms[i]
+		if t.bucketDom[b] != t.domID {
+			pen += t.weight
 		}
 	}
 	return pen
 }
 
-// drainPenalty returns the penalty of entity e sitting on bucket b.
-func (s *state) drainPenalty(b BucketID) float64 {
-	if s.p.drainWeight > 0 && s.p.Buckets[b].Draining {
-		return s.p.drainWeight
-	}
-	return 0
+// drainPenalty returns the penalty of an entity sitting on bucket b.
+func (s *state) drainPenalty(b BucketID) float64 { return s.drainPen[b] }
+
+// prepared caches the from-side of a candidate move for one entity: loads,
+// source domains, and the penalty deltas of leaving them. Preparing once and
+// then calling evalTarget per sampled target avoids recomputing the source
+// side for every (entity, target) pair, and makes target evaluation a pure
+// read — the parallel mode prepares serially and fans evalTarget out.
+type prepared struct {
+	e    EntityID
+	from BucketID
+	// base is the target-independent delta: leaving the source bucket's
+	// affinity/drain penalties, or -unassignedPenalty when unplaced.
+	base float64
+	// Per merged spec (parallel to state.specs):
+	load      []float64 // entity load on the spec's metric
+	fromDom   []int32   // source domain, -1 when unassigned
+	fromDelta []float64 // penalty delta of the source domain losing load
+
+	// Per conflict spec (parallel to state.confs):
+	confGid     []int32
+	confFromDom []int32
+
+	// Per exclusion spec (parallel to state.excls):
+	exGid       []int32
+	exFromDom   []int32
+	exFromDelta []float64 // -weight when leaving a crowded domain
 }
 
-// moveDelta returns the objective change of moving e from its current
-// bucket to target, and whether the move is feasible w.r.t. hard capacity
-// constraints. A move is feasible if every capacity aggregation key it
-// loads stays within capacity OR was already over capacity and does not get
-// worse... (we only allow strictly safe targets: target keys must remain
-// within capacity).
-func (s *state) moveDelta(e EntityID, target BucketID) (float64, bool) {
+func newPrepared(s *state) prepared {
+	return prepared{
+		load:        make([]float64, len(s.specs)),
+		fromDom:     make([]int32, len(s.specs)),
+		fromDelta:   make([]float64, len(s.specs)),
+		confGid:     make([]int32, len(s.confs)),
+		confFromDom: make([]int32, len(s.confs)),
+		exGid:       make([]int32, len(s.excls)),
+		exFromDom:   make([]int32, len(s.excls)),
+		exFromDelta: make([]float64, len(s.excls)),
+	}
+}
+
+// prepare fills pr with entity e's from-side move state.
+func (s *state) prepare(pr *prepared, e EntityID) {
 	from := s.assignment[e]
-	if from == target {
+	pr.e = e
+	pr.from = from
+	ent := &s.p.Entities[e]
+	for si := range s.specs {
+		sp := &s.specs[si]
+		l := ent.Load[sp.midx]
+		pr.load[si] = l
+		pr.fromDom[si] = -1
+		pr.fromDelta[si] = 0
+		if from != Unassigned && l != 0 {
+			fd := sp.dom.bucketDom[from]
+			pr.fromDom[si] = fd
+			lf := sp.load[fd]
+			pr.fromDelta[si] = sp.domPenalty(fd, lf-l) - sp.domPenalty(fd, lf)
+		}
+	}
+	for ci := range s.confs {
+		cs := &s.confs[ci]
+		g := cs.entGroup[e]
+		pr.confGid[ci] = g
+		pr.confFromDom[ci] = -1
+		if g >= 0 && from != Unassigned {
+			pr.confFromDom[ci] = cs.dom.bucketDom[from]
+		}
+	}
+	for xi := range s.excls {
+		ex := &s.excls[xi]
+		g := ex.entGroup[e]
+		pr.exGid[xi] = g
+		pr.exFromDom[xi] = -1
+		pr.exFromDelta[xi] = 0
+		if g >= 0 && from != Unassigned {
+			fd := ex.dom.bucketDom[from]
+			pr.exFromDom[xi] = fd
+			// Leaving a domain with >= 2 group members saves Weight.
+			if len(ex.members[ekey(g, fd)]) >= 2 {
+				pr.exFromDelta[xi] = -ex.weight
+			}
+		}
+	}
+	if from != Unassigned {
+		pr.base = -(s.affinityPenalty(e, from) + s.drainPen[from])
+	} else {
+		pr.base = -unassignedPenalty
+	}
+}
+
+// evalTarget returns the objective change of moving the prepared entity to
+// target, and whether the move is feasible (hard conflicts and capacity).
+// Only strictly safe targets are feasible: every capacity domain the move
+// loads must remain within capacity. evalTarget does not mutate state and is
+// safe to call concurrently with other evalTarget calls.
+func (s *state) evalTarget(pr *prepared, target BucketID) (float64, bool) {
+	if target == pr.from {
 		return 0, false
 	}
-	ent := &s.p.Entities[e]
-	var delta float64
 
 	// Hard conflict feasibility: a group member may not join a domain
 	// that already holds one.
-	for i := range s.p.conflictSpecs {
-		cf := &s.p.conflictSpecs[i]
-		g, ok := cf.Groups[e]
-		if !ok {
+	for ci := range s.confs {
+		g := pr.confGid[ci]
+		if g < 0 {
 			continue
 		}
-		td := s.p.domainOf(target, cf.Scope)
-		if from != Unassigned && s.p.domainOf(from, cf.Scope) == td {
+		cs := &s.confs[ci]
+		td := cs.dom.bucketDom[target]
+		if td == pr.confFromDom[ci] {
 			continue
 		}
-		if s.confCounts[i][key2(g, td)] >= 1 {
+		if cs.counts[ekey(g, td)] >= 1 {
 			return 0, false
 		}
 	}
 
-	// Hard capacity feasibility + overflow penalty delta.
-	for i := range s.p.capacitySpecs {
-		a := &s.capStates[i]
-		l := ent.Load[a.midx]
+	delta := pr.base + s.affinityPenalty(pr.e, target) + s.drainPen[target]
+
+	// Hard capacity feasibility + capacity/balance penalty deltas.
+	for si := range s.specs {
+		l := pr.load[si]
 		if l == 0 {
 			continue
 		}
-		tk := s.p.domainOf(target, a.scope)
-		newLoad := a.load[tk] + l
-		var fk string
-		if from != Unassigned {
-			fk = s.p.domainOf(from, a.scope)
-			if fk == tk {
-				continue // same aggregation key: no change
-			}
+		sp := &s.specs[si]
+		td := sp.dom.bucketDom[target]
+		if td == pr.fromDom[si] {
+			continue // same aggregation domain: no change
 		}
-		if newLoad > a.cap[tk] {
+		lt := sp.load[td]
+		newLoad := lt + l
+		if sp.nHard > 0 && newLoad > sp.cap[td] {
 			return 0, false
 		}
-		delta += capacityPenalty(a, tk, newLoad) - capacityPenalty(a, tk, a.load[tk])
-		if from != Unassigned {
-			delta += capacityPenalty(a, fk, a.load[fk]-l) - capacityPenalty(a, fk, a.load[fk])
-		}
+		delta += sp.domPenalty(td, newLoad) - sp.domPenalty(td, lt) + pr.fromDelta[si]
 	}
 
-	// Balance deltas.
-	for i := range s.p.balanceSpecs {
-		spec := s.p.balanceSpecs[i]
-		a := &s.balStates[i]
-		l := ent.Load[a.midx]
-		if l == 0 {
+	// Exclusion deltas: joining a domain that already has a group member
+	// costs Weight; leaving a crowded one saves it (precomputed).
+	for xi := range s.excls {
+		g := pr.exGid[xi]
+		if g < 0 {
 			continue
 		}
-		tk := s.p.domainOf(target, a.scope)
-		var fk string
-		if from != Unassigned {
-			fk = s.p.domainOf(from, a.scope)
-			if fk == tk {
-				continue
-			}
-		}
-		delta += balancePenalty(spec, a, tk, a.load[tk]+l) - balancePenalty(spec, a, tk, a.load[tk])
-		if from != Unassigned {
-			delta += balancePenalty(spec, a, fk, a.load[fk]-l) - balancePenalty(spec, a, fk, a.load[fk])
-		}
-	}
-
-	// Exclusion deltas.
-	for i := range s.p.exclusionSpecs {
-		ex := &s.p.exclusionSpecs[i]
-		g, ok := ex.Groups[e]
-		if !ok {
+		ex := &s.excls[xi]
+		td := ex.dom.bucketDom[target]
+		if td == pr.exFromDom[xi] {
 			continue
 		}
-		td := s.p.domainOf(target, ex.Scope)
-		var fd string
-		if from != Unassigned {
-			fd = s.p.domainOf(from, ex.Scope)
-			if fd == td {
-				continue
-			}
+		if len(ex.members[ekey(g, td)]) >= 1 {
+			delta += ex.weight
 		}
-		counts := s.exclCounts[i]
-		// Adding to target domain costs Weight if it already has a
-		// group member; leaving the source domain saves Weight if it
-		// had more than one.
-		if counts[key2(g, td)] >= 1 {
-			delta += ex.Weight
-		}
-		if from != Unassigned && counts[key2(g, fd)] >= 2 {
-			delta -= ex.Weight
-		}
-	}
-
-	// Affinity and drain.
-	delta += s.affinityPenalty(e, target)
-	delta += s.drainPenalty(target)
-	if from != Unassigned {
-		delta -= s.affinityPenalty(e, from)
-		delta -= s.drainPenalty(from)
-	} else {
-		delta -= unassignedPenalty
+		delta += pr.exFromDelta[xi]
 	}
 	return delta, true
 }
 
-// apply commits the move of e to target, updating all aggregate state.
+// moveDelta returns the objective change of moving e from its current bucket
+// to target, and whether the move is feasible w.r.t. hard constraints. It is
+// allocation-free but uses state-owned scratch, so it must not be called
+// concurrently; the parallel path uses prepare/evalTarget directly.
+func (s *state) moveDelta(e EntityID, target BucketID) (float64, bool) {
+	s.prepare(&s.scratch, e)
+	return s.evalTarget(&s.scratch, target)
+}
+
+// apply commits the move of e to target, updating all aggregate state and
+// the incremental hot-bucket penalties.
 func (s *state) apply(e EntityID, target BucketID) {
 	from := s.assignment[e]
 	if from == target {
 		return
 	}
 	ent := &s.p.Entities[e]
-	move := func(a *aggState) {
-		l := ent.Load[a.midx]
+	hot := s.hot
+
+	// Merged spec aggregates. A domain's penalty change is credited to
+	// every bucket in the domain (they share the aggregate).
+	for si := range s.specs {
+		sp := &s.specs[si]
+		l := ent.Load[sp.midx]
 		if l == 0 {
-			return
+			continue
 		}
+		td := sp.dom.bucketDom[target]
 		if from != Unassigned {
-			a.load[s.p.domainOf(from, a.scope)] -= l
+			fd := sp.dom.bucketDom[from]
+			if fd == td {
+				continue
+			}
+			before := sp.domPenalty(fd, sp.load[fd])
+			sp.load[fd] -= l
+			if d := sp.domPenalty(fd, sp.load[fd]) - before; d != 0 {
+				for _, b := range sp.dom.members[fd] {
+					hot.add(BucketID(b), d)
+				}
+			}
 		}
-		a.load[s.p.domainOf(target, a.scope)] += l
+		before := sp.domPenalty(td, sp.load[td])
+		sp.load[td] += l
+		if d := sp.domPenalty(td, sp.load[td]) - before; d != 0 {
+			for _, b := range sp.dom.members[td] {
+				hot.add(BucketID(b), d)
+			}
+		}
 	}
-	for i := range s.capStates {
-		move(&s.capStates[i])
+
+	// Exclusion member lists. bucketPenalty charges Weight to each entity
+	// sharing its domain with another group member, so crossing the 1<->2
+	// member boundary also changes the penalty of the other member's
+	// bucket. Member buckets are read before s.assignment[e] updates.
+	for xi := range s.excls {
+		ex := &s.excls[xi]
+		g := ex.entGroup[e]
+		if g < 0 {
+			continue
+		}
+		w := ex.weight
+		td := ex.dom.bucketDom[target]
+		if from != Unassigned {
+			fd := ex.dom.bucketDom[from]
+			if fd == td {
+				// Same domain: counts unchanged, but e's own crowding
+				// term moves with it.
+				if len(ex.members[ekey(g, td)]) >= 2 {
+					hot.add(from, -w)
+					hot.add(target, w)
+				}
+				continue
+			}
+			fk := ekey(g, fd)
+			mem := ex.members[fk]
+			for i, id := range mem {
+				if id == e {
+					mem[i] = mem[len(mem)-1]
+					mem = mem[:len(mem)-1]
+					break
+				}
+			}
+			if len(mem) == 0 {
+				delete(ex.members, fk)
+			} else {
+				ex.members[fk] = mem
+			}
+			if len(mem)+1 >= 2 {
+				hot.add(from, -w) // e was crowded at the source
+			}
+			if len(mem) == 1 {
+				hot.add(s.assignment[mem[0]], -w) // last peer no longer crowded
+			}
+			tk := ekey(g, td)
+			tmem := ex.members[tk]
+			if len(tmem) >= 1 {
+				hot.add(target, w) // e becomes crowded at the target
+			}
+			if len(tmem) == 1 {
+				hot.add(s.assignment[tmem[0]], w) // sole occupant now crowded
+			}
+			ex.members[tk] = append(tmem, e)
+		} else {
+			tk := ekey(g, td)
+			tmem := ex.members[tk]
+			if len(tmem) >= 1 {
+				hot.add(target, w)
+			}
+			if len(tmem) == 1 {
+				hot.add(s.assignment[tmem[0]], w)
+			}
+			ex.members[tk] = append(tmem, e)
+		}
 	}
-	for i := range s.balStates {
-		move(&s.balStates[i])
-	}
-	for i := range s.p.exclusionSpecs {
-		ex := &s.p.exclusionSpecs[i]
-		g, ok := ex.Groups[e]
-		if !ok {
+
+	// Conflict counts (hard; no penalty term to maintain).
+	for ci := range s.confs {
+		cs := &s.confs[ci]
+		g := cs.entGroup[e]
+		if g < 0 {
 			continue
 		}
 		if from != Unassigned {
-			s.exclCounts[i][key2(g, s.p.domainOf(from, ex.Scope))]--
+			fk := ekey(g, cs.dom.bucketDom[from])
+			if cs.counts[fk]--; cs.counts[fk] == 0 {
+				delete(cs.counts, fk)
+			}
 		}
-		s.exclCounts[i][key2(g, s.p.domainOf(target, ex.Scope))]++
+		cs.counts[ekey(g, cs.dom.bucketDom[target])]++
 	}
-	for i := range s.p.conflictSpecs {
-		cf := &s.p.conflictSpecs[i]
-		g, ok := cf.Groups[e]
-		if !ok {
-			continue
+
+	// Affinity and drain are per-entity terms that travel with e.
+	if from != Unassigned {
+		if d := s.affinityPenalty(e, from) + s.drainPen[from]; d != 0 {
+			hot.add(from, -d)
 		}
-		if from != Unassigned {
-			s.confCounts[i][key2(g, s.p.domainOf(from, cf.Scope))]--
-		}
-		s.confCounts[i][key2(g, s.p.domainOf(target, cf.Scope))]++
 	}
+	if d := s.affinityPenalty(e, target) + s.drainPen[target]; d != 0 {
+		hot.add(target, d)
+	}
+
 	if from != Unassigned {
 		lst := s.byBucket[from]
 		for i, id := range lst {
@@ -636,27 +908,29 @@ func (v ViolationCounts) Total() int {
 // violations does a full scan; used for reporting, not in the hot path.
 func (s *state) violations() ViolationCounts {
 	var v ViolationCounts
-	for i := range s.p.capacitySpecs {
-		a := &s.capStates[i]
-		for k, load := range a.load {
-			if load > a.cap[k]+1e-9 {
-				v.Capacity++
+	for si := range s.specs {
+		sp := &s.specs[si]
+		if sp.nHard > 0 {
+			for d := range sp.load {
+				if sp.load[d] > sp.cap[d]+1e-9 {
+					v.Capacity += sp.nHard
+				}
 			}
 		}
-	}
-	for i := range s.p.balanceSpecs {
-		spec := s.p.balanceSpecs[i]
-		a := &s.balStates[i]
-		for k, c := range a.cap {
-			if c <= 0 {
-				continue
-			}
-			u := a.load[k] / c
-			if spec.UtilCap > 0 && u > spec.UtilCap+1e-9 {
-				v.Balance++
-			}
-			if spec.MaxDiff > 0 && u > a.meanUtil+spec.MaxDiff+1e-9 {
-				v.Balance++
+		for i := range sp.bals {
+			bp := &sp.bals[i]
+			for d := range sp.cap {
+				c := sp.cap[d]
+				if c <= 0 {
+					continue
+				}
+				u := sp.load[d] / c
+				if bp.utilCap > 0 && u > bp.utilCap+1e-9 {
+					v.Balance++
+				}
+				if bp.maxDiff > 0 && u > sp.meanUtil+bp.maxDiff+1e-9 {
+					v.Balance++
+				}
 			}
 		}
 	}
@@ -672,17 +946,17 @@ func (s *state) violations() ViolationCounts {
 			v.Drain++
 		}
 	}
-	for i := range s.p.exclusionSpecs {
-		for _, n := range s.exclCounts[i] {
-			if n > 1 {
-				v.Exclusion += n - 1
+	for xi := range s.excls {
+		for _, mem := range s.excls[xi].members {
+			if len(mem) > 1 {
+				v.Exclusion += len(mem) - 1
 			}
 		}
 	}
-	for i := range s.p.conflictSpecs {
-		for _, n := range s.confCounts[i] {
+	for ci := range s.confs {
+		for _, n := range s.confs[ci].counts {
 			if n > 1 {
-				v.Conflict += n - 1
+				v.Conflict += int(n) - 1
 			}
 		}
 	}
@@ -690,33 +964,50 @@ func (s *state) violations() ViolationCounts {
 	return v
 }
 
-// bucketPenalty estimates how much bucket b contributes to the objective;
-// used to pick hot buckets. It scans only the spec aggregates that b
-// belongs to plus b's entities for affinity/drain.
+// bucketPenalty recomputes from scratch how much bucket b contributes to the
+// objective. newState seeds the hot set with it; afterwards apply maintains
+// the same quantity incrementally (tests cross-check the two).
 func (s *state) bucketPenalty(b BucketID) float64 {
 	var pen float64
-	for i := range s.p.capacitySpecs {
-		a := &s.capStates[i]
-		k := s.p.domainOf(b, a.scope)
-		pen += capacityPenalty(a, k, a.load[k])
-	}
-	for i := range s.p.balanceSpecs {
-		a := &s.balStates[i]
-		k := s.p.domainOf(b, a.scope)
-		pen += balancePenalty(s.p.balanceSpecs[i], a, k, a.load[k])
+	for si := range s.specs {
+		sp := &s.specs[si]
+		d := sp.dom.bucketDom[b]
+		pen += sp.domPenalty(d, sp.load[d])
 	}
 	for _, e := range s.byBucket[b] {
 		pen += s.affinityPenalty(e, b) + s.drainPenalty(b)
-		for i := range s.p.exclusionSpecs {
-			ex := &s.p.exclusionSpecs[i]
-			if g, ok := ex.Groups[e]; ok {
-				if s.exclCounts[i][key2(g, s.p.domainOf(b, ex.Scope))] > 1 {
-					pen += ex.Weight
+		for xi := range s.excls {
+			ex := &s.excls[xi]
+			if g := ex.entGroup[e]; g >= 0 {
+				if len(ex.members[ekey(g, ex.dom.bucketDom[b])]) > 1 {
+					pen += ex.weight
 				}
 			}
 		}
 	}
 	return pen
+}
+
+// ensureSigs interns every entity's equivalence signature into a dense
+// class ID, once per state. Loads and goals are immutable, so the IDs are
+// never invalidated; candidate filtering then dedups by int comparison
+// instead of rebuilding a string-keyed set per attempt.
+func (s *state) ensureSigs() {
+	if s.sigID != nil {
+		return
+	}
+	s.sigID = make([]int32, len(s.p.Entities))
+	idx := make(map[string]int32, len(s.p.Entities))
+	for e := range s.p.Entities {
+		sig := s.p.equivalenceSignature(EntityID(e))
+		id, ok := idx[sig]
+		if !ok {
+			id = int32(len(idx))
+			idx[sig] = id
+		}
+		s.sigID[e] = id
+	}
+	s.numSig = len(idx)
 }
 
 // equivalenceSignature groups interchangeable entities: same load vector,

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"shardmanager/internal/sim"
@@ -34,15 +35,18 @@ func (v *View) Load(b BucketID, m int) float64 { return v.st.bucketLoad[b][m] }
 func (v *View) Entities(b BucketID) int { return len(v.st.byBucket[b]) }
 
 // Sampler picks candidate target buckets for an entity. It may return fewer
-// than k buckets; duplicates are tolerated.
+// than k buckets; duplicates are tolerated. The returned slice is only valid
+// until the next call — samplers may reuse its backing array, and the solver
+// consumes each batch before sampling again.
 type Sampler func(rng *sim.RNG, e EntityID, k int, view *View) []BucketID
 
 // RandomSampler samples buckets uniformly — the baseline that Fig 22
 // compares against grouped, utilization-aware sampling.
 func RandomSampler(p *Problem) Sampler {
 	n := len(p.Buckets)
+	var out []BucketID
 	return func(rng *sim.RNG, _ EntityID, k int, _ *View) []BucketID {
-		out := make([]BucketID, 0, k)
+		out = out[:0]
 		for i := 0; i < k; i++ {
 			out = append(out, BucketID(rng.Intn(n)))
 		}
@@ -51,10 +55,15 @@ func RandomSampler(p *Problem) Sampler {
 }
 
 // GroupedSampler groups buckets by their Group tag and draws candidates
-// from every group, preferring underloaded buckets within each group. This
-// is the domain-knowledge optimization of §5.3: sampling across groups has
-// a much better chance of finding a target that satisfies region-preference
+// across groups, preferring underloaded buckets within each group. This is
+// the domain-knowledge optimization of §5.3: sampling across groups has a
+// much better chance of finding a target that satisfies region-preference
 // and spread goals than uniform sampling.
+//
+// At most k candidates are returned. With more groups than k, a rotation
+// over the group order decides which groups contribute this call, so every
+// group is covered across successive calls and candidate counts still match
+// CandidateTargets.
 func GroupedSampler(p *Problem, utilMetric int) Sampler {
 	groups := make(map[string][]BucketID)
 	var order []string
@@ -65,17 +74,32 @@ func GroupedSampler(p *Problem, utilMetric int) Sampler {
 		}
 		groups[g] = append(groups[g], BucketID(b))
 	}
+	// Flatten to a slice indexed by group position: the sampler is the
+	// solver's hottest caller-supplied code and must not hash strings.
+	byGroup := make([][]BucketID, len(order))
+	for i, g := range order {
+		byGroup[i] = groups[g]
+	}
+	var rot int
+	var out []BucketID
 	return func(rng *sim.RNG, _ EntityID, k int, view *View) []BucketID {
-		perGroup := (k + len(order) - 1) / len(order)
+		if k <= 0 {
+			return nil
+		}
+		ng := len(order)
+		perGroup := (k + ng - 1) / ng
 		if perGroup < 1 {
 			perGroup = 1
 		}
-		out := make([]BucketID, 0, k)
-		for _, g := range order {
-			members := groups[g]
+		start := rot % ng
+		used := 0
+		out = out[:0]
+		for gi := 0; gi < ng && len(out) < k; gi++ {
+			used++
+			members := byGroup[(start+gi)%ng]
 			// Draw 2x candidates, keep the least-utilized half:
 			// cheap bias toward cold targets.
-			for i := 0; i < perGroup; i++ {
+			for i := 0; i < perGroup && len(out) < k; i++ {
 				a := members[rng.Intn(len(members))]
 				b := members[rng.Intn(len(members))]
 				if view.Utilization(b, utilMetric) < view.Utilization(a, utilMetric) {
@@ -84,6 +108,10 @@ func GroupedSampler(p *Problem, utilMetric int) Sampler {
 				out = append(out, a)
 			}
 		}
+		// Advance the rotation past the groups consumed, so the next
+		// call starts where this one left off and all groups get
+		// covered across successive calls.
+		rot = start + used
 		return out
 	}
 }
@@ -94,6 +122,11 @@ type Options struct {
 	TimeLimit time.Duration
 	// MoveBudget bounds the number of applied moves; <= 0 means no limit.
 	MoveBudget int
+	// EvalBudget bounds the number of candidate-move evaluations; <= 0
+	// means no limit. Unlike TimeLimit, an evaluation budget is
+	// deterministic: two runs with the same seed stop at the same point,
+	// so experiment curves are reproducible (Fig 21/22).
+	EvalBudget int
 	// CandidateTargets is how many target buckets to sample per entity
 	// (default 16).
 	CandidateTargets int
@@ -115,9 +148,15 @@ type Options struct {
 	Sampler Sampler
 	// Seed drives the solver's deterministic RNG.
 	Seed uint64
+	// Parallel > 1 fans candidate evaluation for each sampled
+	// (entity, target) grid over that many worker goroutines. The result
+	// is byte-identical to serial mode: targets are sampled serially (the
+	// RNG stream is untouched) and workers reduce to the same argmin via
+	// a stable (delta, pair-index) tie-break.
+	Parallel int
 	// Progress, if set, is invoked after every search round with the
 	// current violation counts; experiments use it to plot
-	// violations-vs-time curves (Fig 21/22).
+	// violations-vs-evaluations curves (Fig 21/22).
 	Progress func(ProgressInfo)
 }
 
@@ -135,8 +174,11 @@ func DefaultOptions() Options {
 
 // ProgressInfo is a snapshot of solver progress.
 type ProgressInfo struct {
-	Elapsed    time.Duration
-	Moves      int
+	Elapsed time.Duration
+	Moves   int
+	// Evaluated counts candidate evaluations so far; it is the
+	// deterministic progress axis (same seed -> same snapshots).
+	Evaluated  int
 	Violations ViolationCounts
 }
 
@@ -155,7 +197,7 @@ type Result struct {
 	Assignment []BucketID
 	// Initial and Final violation counts.
 	Initial, Final ViolationCounts
-	// Rounds of hot-bucket scanning performed.
+	// Rounds of hot-bucket repair epochs performed.
 	Rounds int
 	// Evaluated counts candidate move evaluations.
 	Evaluated int
@@ -164,6 +206,45 @@ type Result struct {
 }
 
 const improveEps = 1e-9
+
+// maxSwapEntities bounds how many of a hot bucket's candidate entities a
+// swap attempt considers before giving up.
+const maxSwapEntities = 4
+
+// solveCtx carries one Solve call's mutable machinery: budgets, per-bucket
+// candidate caches, scratch buffers, and the optional worker pool. All
+// buffers are reused across attempts so the hot loop does not allocate.
+type solveCtx struct {
+	p        *Problem
+	st       *state
+	opt      Options
+	rng      *sim.RNG
+	view     *View
+	res      *Result
+	start    time.Time
+	deadline time.Time
+
+	// entCache[b] is bucket b's movable entities, sorted for BigFirst;
+	// valid until a move touches b (see applyRaw).
+	entCache      [][]EntityID
+	entCacheValid []bool
+	// shuffleScratch holds the shuffled copy when BigFirst is off.
+	shuffleScratch []EntityID
+	// pickScratch holds the equivalence-filtered, truncated pick.
+	pickScratch []EntityID
+	// seenGen[sigID] == gen marks equivalence classes already picked in
+	// the current candidateEntities call (generation counter beats
+	// clearing a map or slice each time).
+	seenGen []int32
+	gen     int32
+
+	// The sampled (entity, target) grid of one fix attempt, flattened.
+	preps      []prepared
+	pairPrep   []int32
+	pairTarget []BucketID
+
+	pool *evalPool
+}
 
 // Solve improves the problem's assignment with local search and returns the
 // result. The Problem's Entities' Bucket fields are updated in place to the
@@ -178,174 +259,34 @@ func Solve(p *Problem, opt Options) *Result {
 	if opt.Sampler == nil {
 		opt.Sampler = RandomSampler(p)
 	}
-	rng := sim.NewRNG(opt.Seed)
 	st := newState(p)
-	view := &View{st: st}
 	res := &Result{Initial: st.violations()}
 	start := time.Now()
-	deadline := time.Time{}
+	ctx := &solveCtx{
+		p:             p,
+		st:            st,
+		opt:           opt,
+		rng:           sim.NewRNG(opt.Seed),
+		view:          &View{st: st},
+		res:           res,
+		start:         start,
+		entCache:      make([][]EntityID, len(p.Buckets)),
+		entCacheValid: make([]bool, len(p.Buckets)),
+		preps:         make([]prepared, opt.MaxEntitiesPerBucket),
+	}
+	for i := range ctx.preps {
+		ctx.preps[i] = newPrepared(st)
+	}
 	if opt.TimeLimit > 0 {
-		deadline = start.Add(opt.TimeLimit)
+		ctx.deadline = start.Add(opt.TimeLimit)
 	}
-	budgetLeft := func() bool {
-		if opt.MoveBudget > 0 && len(res.Moves) >= opt.MoveBudget {
-			return false
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return false
-		}
-		return true
+	if opt.Parallel > 1 {
+		ctx.pool = newEvalPool(st, opt.Parallel)
+		defer ctx.pool.close()
 	}
 
-	// candidateEntities picks the entities of bucket b to evaluate.
-	candidateEntities := func(b BucketID) []EntityID {
-		all := st.byBucket[b]
-		picked := make([]EntityID, 0, opt.MaxEntitiesPerBucket)
-		if opt.UseEquivalence {
-			seen := make(map[string]struct{}, len(all))
-			for _, e := range all {
-				if !p.Entities[e].Movable {
-					continue
-				}
-				sig := p.equivalenceSignature(e)
-				if _, dup := seen[sig]; dup {
-					continue
-				}
-				seen[sig] = struct{}{}
-				picked = append(picked, e)
-			}
-		} else {
-			for _, e := range all {
-				if p.Entities[e].Movable {
-					picked = append(picked, e)
-				}
-			}
-		}
-		if opt.BigFirst {
-			m := opt.BigFirstMetric
-			sort.Slice(picked, func(i, j int) bool {
-				return p.Entities[picked[i]].Load[m] > p.Entities[picked[j]].Load[m]
-			})
-		} else {
-			rng.Shuffle(len(picked), func(i, j int) {
-				picked[i], picked[j] = picked[j], picked[i]
-			})
-		}
-		if len(picked) > opt.MaxEntitiesPerBucket {
-			picked = picked[:opt.MaxEntitiesPerBucket]
-		}
-		return picked
-	}
-
-	applyMove := func(e EntityID, to BucketID) {
-		res.Moves = append(res.Moves, Move{Entity: e, From: st.assignment[e], To: to})
-		st.apply(e, to)
-	}
-
-	// Phase 1 (emergency placement): assign every unassigned entity to
-	// its best sampled feasible target. This is what the emergency mode
-	// (§5.1) does first — restore availability, then polish.
-	if len(st.unassigned) > 0 {
-		pending := make([]EntityID, 0, len(st.unassigned))
-		for e := range st.unassigned {
-			pending = append(pending, e)
-		}
-		sort.Slice(pending, func(i, j int) bool {
-			a, b := pending[i], pending[j]
-			la := p.Entities[a].Load[opt.BigFirstMetric]
-			lb := p.Entities[b].Load[opt.BigFirstMetric]
-			if la != lb {
-				return la > lb
-			}
-			return a < b
-		})
-		for _, e := range pending {
-			if !budgetLeft() {
-				break
-			}
-			bestDelta := 0.0
-			bestTarget := Unassigned
-			for _, t := range opt.Sampler(rng, e, opt.CandidateTargets, view) {
-				d, ok := st.moveDelta(e, t)
-				res.Evaluated++
-				if ok && (bestTarget == Unassigned || d < bestDelta) {
-					bestDelta, bestTarget = d, t
-				}
-			}
-			if bestTarget != Unassigned {
-				applyMove(e, bestTarget)
-			}
-		}
-	}
-
-	// Phase 2: hot-bucket repair rounds.
-	for budgetLeft() {
-		res.Rounds++
-		type hot struct {
-			b   BucketID
-			pen float64
-		}
-		var hots []hot
-		for b := range p.Buckets {
-			if pen := st.bucketPenalty(BucketID(b)); pen > improveEps {
-				hots = append(hots, hot{BucketID(b), pen})
-			}
-		}
-		if len(hots) == 0 {
-			break
-		}
-		sort.Slice(hots, func(i, j int) bool { return hots[i].pen > hots[j].pen })
-		improvedAny := false
-		for _, h := range hots {
-			if !budgetLeft() {
-				break
-			}
-			// Repeatedly chip away at this bucket until it stops
-			// improving.
-			for attempt := 0; attempt < 64; attempt++ {
-				if !budgetLeft() || st.bucketPenalty(h.b) <= improveEps {
-					break
-				}
-				ents := candidateEntities(h.b)
-				bestDelta := -improveEps
-				var bestEntity EntityID
-				bestTarget := Unassigned
-				for _, e := range ents {
-					for _, t := range opt.Sampler(rng, e, opt.CandidateTargets, view) {
-						if t == h.b {
-							continue
-						}
-						d, ok := st.moveDelta(e, t)
-						res.Evaluated++
-						if ok && d < bestDelta {
-							bestDelta, bestEntity, bestTarget = d, e, t
-						}
-					}
-				}
-				if bestTarget != Unassigned {
-					applyMove(bestEntity, bestTarget)
-					improvedAny = true
-					continue
-				}
-				// No single move helps; optionally try a swap.
-				if opt.EnableSwap && len(ents) > 0 && trySwap(st, view, rng, opt, res, ents, h.b) {
-					improvedAny = true
-					continue
-				}
-				break
-			}
-		}
-		if opt.Progress != nil {
-			opt.Progress(ProgressInfo{
-				Elapsed:    time.Since(start),
-				Moves:      len(res.Moves),
-				Violations: st.violations(),
-			})
-		}
-		if !improvedAny {
-			break
-		}
-	}
+	ctx.phase1()
+	ctx.phase2()
 
 	res.Final = st.violations()
 	res.Elapsed = time.Since(start)
@@ -356,39 +297,392 @@ func Solve(p *Problem, opt Options) *Result {
 	return res
 }
 
+func (c *solveCtx) budgetLeft() bool {
+	if c.opt.MoveBudget > 0 && len(c.res.Moves) >= c.opt.MoveBudget {
+		return false
+	}
+	if c.opt.EvalBudget > 0 && c.res.Evaluated >= c.opt.EvalBudget {
+		return false
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return false
+	}
+	return true
+}
+
+// applyRaw commits a move and invalidates the touched buckets' candidate
+// caches (the state's own aggregates update incrementally inside apply).
+func (c *solveCtx) applyRaw(e EntityID, to BucketID) {
+	from := c.st.assignment[e]
+	c.st.apply(e, to)
+	if from != Unassigned {
+		c.entCacheValid[from] = false
+	}
+	c.entCacheValid[to] = false
+}
+
+func (c *solveCtx) applyMove(e EntityID, to BucketID) {
+	c.res.Moves = append(c.res.Moves, Move{Entity: e, From: c.st.assignment[e], To: to})
+	c.applyRaw(e, to)
+}
+
+// phase1 (emergency placement) assigns every unassigned entity to its best
+// sampled feasible target. This is what the emergency mode (§5.1) does
+// first — restore availability, then polish.
+func (c *solveCtx) phase1() {
+	st, opt := c.st, &c.opt
+	if len(st.unassigned) == 0 {
+		return
+	}
+	pending := make([]EntityID, 0, len(st.unassigned))
+	for e := range st.unassigned {
+		pending = append(pending, e)
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		a, b := pending[i], pending[j]
+		la := c.p.Entities[a].Load[opt.BigFirstMetric]
+		lb := c.p.Entities[b].Load[opt.BigFirstMetric]
+		if la != lb {
+			return la > lb
+		}
+		return a < b
+	})
+	pr := &c.preps[0]
+	for _, e := range pending {
+		if !c.budgetLeft() {
+			break
+		}
+		st.prepare(pr, e)
+		bestDelta := 0.0
+		bestTarget := Unassigned
+		for _, t := range opt.Sampler(c.rng, e, opt.CandidateTargets, c.view) {
+			d, ok := st.evalTarget(pr, t)
+			c.res.Evaluated++
+			if ok && (bestTarget == Unassigned || d < bestDelta) {
+				bestDelta, bestTarget = d, t
+			}
+		}
+		if bestTarget != Unassigned {
+			c.applyMove(e, bestTarget)
+		}
+	}
+}
+
+// phase2 runs hot-bucket repair epochs. Each iteration pulls the hottest
+// unfrozen bucket from the incremental penalty heap (O(log B) instead of the
+// former rescan-and-sort of all buckets) and chips away at it; buckets that
+// resist improvement are frozen until their penalty changes. When no
+// unfrozen bucket is hot the epoch ends: progress is reported, and the
+// search either stops (nothing improved this epoch) or thaws everything and
+// starts the next epoch.
+func (c *solveCtx) phase2() {
+	st, opt := c.st, &c.opt
+	improved := false
+	if c.budgetLeft() {
+		c.res.Rounds++
+	}
+	for c.budgetLeft() {
+		b, pen := st.hot.top()
+		if b < 0 || pen <= improveEps {
+			// Epoch boundary.
+			c.fireProgress()
+			if !improved {
+				break
+			}
+			st.hot.unfreezeAll()
+			b, pen = st.hot.top()
+			if b < 0 || pen <= improveEps {
+				break
+			}
+			c.res.Rounds++
+			improved = false
+		}
+		_ = pen
+		// Repeatedly chip away at this bucket until it stops improving.
+		for attempt := 0; attempt < 64; attempt++ {
+			if !c.budgetLeft() || st.hot.pen[b] <= improveEps {
+				break
+			}
+			ents := c.candidateEntities(b)
+			e, t, found := c.bestGridMove(ents, b)
+			if found {
+				c.applyMove(e, t)
+				improved = true
+				continue
+			}
+			// No single move helps; optionally try a swap.
+			if opt.EnableSwap && len(ents) > 0 && c.trySwap(ents, b) {
+				improved = true
+				continue
+			}
+			st.hot.freeze(b)
+			break
+		}
+	}
+}
+
+func (c *solveCtx) fireProgress() {
+	if c.opt.Progress == nil {
+		return
+	}
+	c.opt.Progress(ProgressInfo{
+		Elapsed:    time.Since(c.start),
+		Moves:      len(c.res.Moves),
+		Evaluated:  c.res.Evaluated,
+		Violations: c.st.violations(),
+	})
+}
+
+// candidateEntities picks the entities of bucket b to evaluate this attempt:
+// the bucket's cached movable list (sorted once per invalidation, not per
+// attempt), deduplicated by equivalence class, truncated to
+// MaxEntitiesPerBucket. The returned slice is scratch, valid until the next
+// call.
+func (c *solveCtx) candidateEntities(b BucketID) []EntityID {
+	st, opt := c.st, &c.opt
+	if !c.entCacheValid[b] {
+		all := st.byBucket[b]
+		cached := c.entCache[b][:0]
+		for _, e := range all {
+			if c.p.Entities[e].Movable {
+				cached = append(cached, e)
+			}
+		}
+		if opt.BigFirst {
+			m := opt.BigFirstMetric
+			sort.Slice(cached, func(i, j int) bool {
+				li := c.p.Entities[cached[i]].Load[m]
+				lj := c.p.Entities[cached[j]].Load[m]
+				if li != lj {
+					return li > lj
+				}
+				return cached[i] < cached[j]
+			})
+		}
+		c.entCache[b] = cached
+		c.entCacheValid[b] = true
+	}
+	ents := c.entCache[b]
+	if !opt.BigFirst {
+		// Random order is per-attempt, so shuffle a scratch copy and
+		// leave the cache intact.
+		c.shuffleScratch = append(c.shuffleScratch[:0], ents...)
+		c.rng.Shuffle(len(c.shuffleScratch), func(i, j int) {
+			c.shuffleScratch[i], c.shuffleScratch[j] = c.shuffleScratch[j], c.shuffleScratch[i]
+		})
+		ents = c.shuffleScratch
+	}
+	picked := c.pickScratch[:0]
+	if opt.UseEquivalence {
+		st.ensureSigs()
+		if c.seenGen == nil {
+			c.seenGen = make([]int32, st.numSig)
+		}
+		c.gen++
+		for _, e := range ents {
+			sid := st.sigID[e]
+			if c.seenGen[sid] == c.gen {
+				continue
+			}
+			c.seenGen[sid] = c.gen
+			picked = append(picked, e)
+			if len(picked) == opt.MaxEntitiesPerBucket {
+				break
+			}
+		}
+	} else {
+		for _, e := range ents {
+			picked = append(picked, e)
+			if len(picked) == opt.MaxEntitiesPerBucket {
+				break
+			}
+		}
+	}
+	c.pickScratch = picked
+	return picked
+}
+
+// bestGridMove samples targets for every candidate entity (serially, so the
+// RNG stream is identical in parallel mode), then evaluates the flattened
+// (entity, target) grid — serially or on the worker pool — and returns the
+// feasible pair with the most negative delta. Ties break toward the earliest
+// pair, which makes the parallel reduction byte-identical to the serial scan.
+func (c *solveCtx) bestGridMove(ents []EntityID, hotB BucketID) (EntityID, BucketID, bool) {
+	st, opt := c.st, &c.opt
+	c.pairPrep = c.pairPrep[:0]
+	c.pairTarget = c.pairTarget[:0]
+	for pi, e := range ents {
+		st.prepare(&c.preps[pi], e)
+		for _, t := range opt.Sampler(c.rng, e, opt.CandidateTargets, c.view) {
+			if t == hotB {
+				continue
+			}
+			c.pairPrep = append(c.pairPrep, int32(pi))
+			c.pairTarget = append(c.pairTarget, t)
+		}
+	}
+	n := len(c.pairTarget)
+	c.res.Evaluated += n
+	if n == 0 {
+		return 0, Unassigned, false
+	}
+	bestIdx := -1
+	if c.pool != nil {
+		bestIdx = c.pool.run(c.preps, c.pairPrep, c.pairTarget)
+	} else {
+		bestDelta := -improveEps
+		for i := 0; i < n; i++ {
+			d, ok := st.evalTarget(&c.preps[c.pairPrep[i]], c.pairTarget[i])
+			if ok && d < bestDelta {
+				bestDelta, bestIdx = d, i
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return 0, Unassigned, false
+	}
+	return c.preps[c.pairPrep[bestIdx]].e, c.pairTarget[bestIdx], true
+}
+
 // trySwap attempts a two-way swap between an entity of hot bucket b and an
-// entity of a sampled target bucket; it applies the swap and returns true
-// if the combined delta improves the objective (§5.3: "it may consider
-// two-way swapping of shards").
-func trySwap(st *state, view *View, rng *sim.RNG, opt Options, res *Result, ents []EntityID, b BucketID) bool {
-	p := st.p
-	e := ents[0] // largest (BigFirst) or random-first entity
-	for _, t := range opt.Sampler(rng, e, opt.CandidateTargets, view) {
-		if t == b || len(st.byBucket[t]) == 0 {
-			continue
+// entity of a sampled target bucket; it applies the swap and returns true if
+// the combined delta improves the objective (§5.3: "it may consider two-way
+// swapping of shards"). Up to maxSwapEntities candidates are tried — the
+// first (largest) entity is often unmovable precisely because it is large.
+// Every moveDelta call counts toward Result.Evaluated, including the ones
+// whose tentative move is rolled back.
+func (c *solveCtx) trySwap(ents []EntityID, b BucketID) bool {
+	st, opt := c.st, &c.opt
+	n := len(ents)
+	if n > maxSwapEntities {
+		n = maxSwapEntities
+	}
+	for _, e := range ents[:n] {
+		for _, t := range opt.Sampler(c.rng, e, opt.CandidateTargets, c.view) {
+			if t == b || len(st.byBucket[t]) == 0 {
+				continue
+			}
+			peers := st.byBucket[t]
+			e2 := peers[c.rng.Intn(len(peers))]
+			if !c.p.Entities[e2].Movable || !c.p.Entities[e].Movable {
+				continue
+			}
+			// Evaluate sequentially: move e off b first so e2 can take
+			// its place; roll back if the pair does not improve. The
+			// tentative window keeps frozen buckets frozen across
+			// probe/rollback pairs (they net to zero change).
+			d1, ok := st.moveDelta(e, t)
+			c.res.Evaluated++
+			if !ok {
+				continue
+			}
+			st.hot.beginTentative()
+			c.applyRaw(e, t)
+			d2, ok2 := st.moveDelta(e2, b)
+			c.res.Evaluated++
+			if ok2 && d1+d2 < -improveEps {
+				c.res.Moves = append(c.res.Moves, Move{Entity: e, From: b, To: t})
+				c.res.Moves = append(c.res.Moves, Move{Entity: e2, From: t, To: b})
+				c.applyRaw(e2, b)
+				st.hot.commitTentative()
+				return true
+			}
+			c.applyRaw(e, b) // roll back
+			st.hot.abortTentative()
 		}
-		peers := st.byBucket[t]
-		e2 := peers[rng.Intn(len(peers))]
-		if !p.Entities[e2].Movable || !p.Entities[e].Movable {
-			continue
-		}
-		// Evaluate sequentially: move e off b first so e2 can take
-		// its place; roll back if the pair does not improve.
-		d1, ok := st.moveDelta(e, t)
-		res.Evaluated++
-		if !ok {
-			continue
-		}
-		st.apply(e, t)
-		d2, ok2 := st.moveDelta(e2, b)
-		res.Evaluated++
-		if ok2 && d1+d2 < -improveEps {
-			res.Moves = append(res.Moves, Move{Entity: e, From: b, To: t})
-			res.Moves = append(res.Moves, Move{Entity: e2, From: t, To: b})
-			st.apply(e2, b)
-			return true
-		}
-		st.apply(e, b) // roll back
 	}
 	return false
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel candidate evaluation.
+
+// evalPool fans evalTarget calls for one (entity, target) grid over a fixed
+// set of worker goroutines. Workers stride the flattened pair array and keep
+// a local (delta, index) argmin with a strict less-than test, so each worker
+// ends at the earliest occurrence of its minimum; the final merge prefers
+// the smaller delta and breaks ties toward the smaller index. That is
+// exactly the serial scan's "first strict improvement wins" rule, so serial
+// and parallel runs produce byte-identical Results.
+//
+// evalTarget only reads state (prepare runs serially beforehand), so the
+// workers race on nothing.
+type evalPool struct {
+	st      *state
+	workers int
+
+	// Per-batch inputs, set by run before the workers start.
+	preps      []prepared
+	pairPrep   []int32
+	pairTarget []BucketID
+
+	best  []poolBest
+	start []chan struct{}
+	wg    sync.WaitGroup
+}
+
+// poolBest is one worker's argmin slot, padded to a cache line so workers
+// do not false-share.
+type poolBest struct {
+	delta float64
+	idx   int32
+	_     [48]byte
+}
+
+func newEvalPool(st *state, workers int) *evalPool {
+	p := &evalPool{
+		st:      st,
+		workers: workers,
+		best:    make([]poolBest, workers),
+		start:   make([]chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		ch := make(chan struct{}, 1)
+		p.start[w] = ch
+		go p.worker(w, ch)
+	}
+	return p
+}
+
+func (p *evalPool) worker(w int, ch chan struct{}) {
+	for range ch {
+		best := poolBest{delta: -improveEps, idx: -1}
+		for i := w; i < len(p.pairTarget); i += p.workers {
+			d, ok := p.st.evalTarget(&p.preps[p.pairPrep[i]], p.pairTarget[i])
+			if ok && d < best.delta {
+				best.delta, best.idx = d, int32(i)
+			}
+		}
+		p.best[w] = best
+		p.wg.Done()
+	}
+}
+
+// run evaluates the grid and returns the winning pair index, or -1 when no
+// feasible pair improves.
+func (p *evalPool) run(preps []prepared, pairPrep []int32, pairTarget []BucketID) int {
+	p.preps, p.pairPrep, p.pairTarget = preps, pairPrep, pairTarget
+	p.wg.Add(p.workers)
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.wg.Wait()
+	bestIdx := int32(-1)
+	bestDelta := -improveEps
+	for w := 0; w < p.workers; w++ {
+		b := &p.best[w]
+		if b.idx < 0 {
+			continue
+		}
+		if b.delta < bestDelta || (b.delta == bestDelta && (bestIdx < 0 || b.idx < bestIdx)) {
+			bestDelta, bestIdx = b.delta, b.idx
+		}
+	}
+	return int(bestIdx)
+}
+
+func (p *evalPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
 }

@@ -316,6 +316,110 @@ func TestGroupedSamplerCoversAllGroups(t *testing.T) {
 	}
 }
 
+func TestGroupedSamplerCapsAtK(t *testing.T) {
+	// 8 groups, one bucket each; k=3 must return exactly 3 candidates
+	// (the old sampler returned len(groups) = 8), and successive calls
+	// must rotate through the groups so all of them get covered.
+	p := NewProblem([]string{"cpu"})
+	for i := 0; i < 8; i++ {
+		p.AddBucket(Bucket{
+			Name:     fmt.Sprintf("b%d", i),
+			Capacity: []float64{100},
+			Group:    fmt.Sprintf("g%d", i),
+		})
+	}
+	p.AddEntity(Entity{Name: "e", Load: []float64{1}, Bucket: 0, Movable: true})
+	st := newState(p)
+	view := &View{st: st}
+	s := GroupedSampler(p, 0)
+	rng := sim.NewRNG(1)
+	covered := map[string]bool{}
+	for call := 0; call < 4; call++ {
+		got := s(rng, 0, 3, view)
+		if len(got) != 3 {
+			t.Fatalf("call %d returned %d candidates, want 3", call, len(got))
+		}
+		for _, b := range got {
+			covered[p.Buckets[b].Group] = true
+		}
+	}
+	// 4 calls x 3 candidates with rotation must touch more groups than a
+	// single call's 3; with one bucket per group, rotation covers 8.
+	if len(covered) != 8 {
+		t.Fatalf("rotation covered %d groups over 4 calls, want 8", len(covered))
+	}
+}
+
+func TestEvalBudgetRespected(t *testing.T) {
+	run := func() *Result {
+		p := buildSkewed(16, 200, 5)
+		p.AddConstraint(CapacitySpec{Metric: "cpu"})
+		p.AddBalanceGoal(BalanceSpec{Metric: "cpu", MaxDiff: 0.05, Weight: 1})
+		opt := DefaultOptions()
+		opt.EvalBudget = 500
+		return Solve(p, opt)
+	}
+	res := run()
+	// The budget is checked per fix attempt, so one attempt may overshoot
+	// by its grid (MaxEntitiesPerBucket * CandidateTargets) plus a swap
+	// probe (maxSwapEntities * CandidateTargets * 2).
+	if res.Evaluated >= 500+16*16+4*16*2+1 {
+		t.Fatalf("evaluated %d, budget 500 overshot by more than one attempt", res.Evaluated)
+	}
+	unbudgeted := func() *Result {
+		p := buildSkewed(16, 200, 5)
+		p.AddConstraint(CapacitySpec{Metric: "cpu"})
+		p.AddBalanceGoal(BalanceSpec{Metric: "cpu", MaxDiff: 0.05, Weight: 1})
+		return Solve(p, DefaultOptions())
+	}()
+	if res.Evaluated >= unbudgeted.Evaluated {
+		t.Fatalf("budgeted run evaluated %d >= unbudgeted %d", res.Evaluated, unbudgeted.Evaluated)
+	}
+	// Same seed, same budget -> identical stopping point.
+	if again := run(); again.Evaluated != res.Evaluated || len(again.Moves) != len(res.Moves) {
+		t.Fatalf("EvalBudget run not deterministic: %d/%d vs %d/%d evals/moves",
+			res.Evaluated, len(res.Moves), again.Evaluated, len(again.Moves))
+	}
+}
+
+// TestSwapConsidersMultipleEntities builds a state where the hot bucket's
+// first (largest-by-tie-break) entity can never participate in an improving
+// swap but its second one can: two full-ish buckets whose small entities
+// each prefer the other's region, with balance penalties making the single
+// moves non-improving. The old trySwap only tried ents[0] and deadlocked.
+func TestSwapConsidersMultipleEntities(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem([]string{"cpu"})
+		p.AddBucket(Bucket{Name: "A", Capacity: []float64{30}, Props: map[string]string{"region": "rA"}})
+		p.AddBucket(Bucket{Name: "B", Capacity: []float64{30}, Props: map[string]string{"region": "rB"}})
+		// e0 is gripped to A by a heavy affinity; e1 wants B.
+		p.AddEntity(Entity{Name: "e0", Load: []float64{10}, Bucket: 0, Movable: true})
+		p.AddEntity(Entity{Name: "e1", Load: []float64{10}, Bucket: 0, Movable: true})
+		p.AddEntity(Entity{Name: "e2", Load: []float64{10}, Bucket: 1, Movable: true})
+		p.AddEntity(Entity{Name: "e3", Load: []float64{10}, Bucket: 1, Movable: true})
+		p.AddAffinityGoal(AffinityGoal{Scope: "region", Entity: 0, Domain: "rA", Weight: 50})
+		p.AddAffinityGoal(AffinityGoal{Scope: "region", Entity: 1, Domain: "rB", Weight: 10})
+		p.AddAffinityGoal(AffinityGoal{Scope: "region", Entity: 3, Domain: "rA", Weight: 10})
+		p.AddConstraint(CapacitySpec{Metric: "cpu"})
+		// Mean util 40/60 = 2/3; band 0.767. A lone extra entity pushes a
+		// bucket to 1.0, costing (1.0-0.767)*30*2 = 14 > the 10 an
+		// affinity fix gains, so no single move improves.
+		p.AddBalanceGoal(BalanceSpec{Metric: "cpu", MaxDiff: 0.1, Weight: 2})
+		return p
+	}
+	opt := DefaultOptions()
+	res := Solve(build(), opt)
+	if res.Final.Affinity != 0 {
+		t.Fatalf("swap failed to fix affinity: final %+v, %d moves", res.Final, len(res.Moves))
+	}
+	// Sanity: without swaps the state is genuinely stuck.
+	noSwap := opt
+	noSwap.EnableSwap = false
+	if res2 := Solve(build(), noSwap); res2.Final.Affinity == 0 {
+		t.Fatal("expected the no-swap solver to stay stuck; test premise broken")
+	}
+}
+
 func TestSolveMovesConserveEntitiesProperty(t *testing.T) {
 	// Property: after solving a random instance, every entity is
 	// assigned to a valid bucket and total load is conserved.

@@ -70,54 +70,43 @@ func randomProblem(rng *sim.RNG) *Problem {
 // rebuild.
 func statesEqual(t *testing.T, got, want *state) bool {
 	t.Helper()
-	aggEqual := func(a, b aggState) bool {
-		for k, v := range b.load {
-			if math.Abs(a.load[k]-v) > 1e-6 {
+	for si := range want.specs {
+		g, w := &got.specs[si], &want.specs[si]
+		for d := range w.load {
+			if math.Abs(g.load[d]-w.load[d]) > 1e-6 {
+				t.Logf("spec %d domain %d load diverged: %v vs %v", si, d, g.load[d], w.load[d])
 				return false
 			}
 		}
-		for k, v := range a.load {
-			if math.Abs(b.load[k]-v) > 1e-6 {
+	}
+	for xi := range want.excls {
+		g, w := &got.excls[xi], &want.excls[xi]
+		for k, mem := range w.members {
+			if len(g.members[k]) != len(mem) {
+				t.Logf("excl %d key %d member count diverged", xi, k)
 				return false
 			}
 		}
-		return true
-	}
-	for i := range want.capStates {
-		if !aggEqual(got.capStates[i], want.capStates[i]) {
-			t.Logf("capState %d diverged", i)
-			return false
-		}
-	}
-	for i := range want.balStates {
-		if !aggEqual(got.balStates[i], want.balStates[i]) {
-			t.Logf("balState %d diverged", i)
-			return false
-		}
-	}
-	countsEqual := func(a, b map[string]int) bool {
-		for k, v := range b {
-			if a[k] != v {
+		for k, mem := range g.members {
+			if len(mem) != 0 && len(w.members[k]) != len(mem) {
+				t.Logf("excl %d key %d member count diverged", xi, k)
 				return false
 			}
 		}
-		for k, v := range a {
-			if v != 0 && b[k] != v {
+	}
+	for ci := range want.confs {
+		g, w := &got.confs[ci], &want.confs[ci]
+		for k, n := range w.counts {
+			if g.counts[k] != n {
+				t.Logf("conf %d key %d count diverged", ci, k)
 				return false
 			}
 		}
-		return true
-	}
-	for i := range want.exclCounts {
-		if !countsEqual(got.exclCounts[i], want.exclCounts[i]) {
-			t.Logf("exclCounts %d diverged", i)
-			return false
-		}
-	}
-	for i := range want.confCounts {
-		if !countsEqual(got.confCounts[i], want.confCounts[i]) {
-			t.Logf("confCounts %d diverged", i)
-			return false
+		for k, n := range g.counts {
+			if n != 0 && w.counts[k] != n {
+				t.Logf("conf %d key %d count diverged", ci, k)
+				return false
+			}
 		}
 	}
 	for b := range want.bucketLoad {
@@ -151,10 +140,100 @@ func TestIncrementalStateMatchesRebuild(t *testing.T) {
 			// Keep Problem's view in sync for the rebuild.
 			p.Entities[e].Bucket = target
 		}
-		fresh := newState(p)
+		fresh := newStateFresh(p)
 		return statesEqual(t, st, fresh)
 	}, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// newStateFresh rebuilds solver state with a fresh domain table, as a solver
+// entry point would; reusing p's existing (lazily grown) table is fine too,
+// but a fresh one also re-exercises interning.
+func newStateFresh(p *Problem) *state {
+	p.domTable = nil
+	return newState(p)
+}
+
+// TestHotSetMatchesRecompute drives 1,000 random applied moves and then
+// cross-checks every incrementally maintained quantity against a from-scratch
+// recomputation: per-bucket penalties (the hot heap), violations(), and the
+// aggregate state. This is the invariant that lets Phase 2 trust the heap
+// instead of rescanning buckets.
+func TestHotSetMatchesRecompute(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := sim.NewRNG(seed)
+		p := randomProblem(rng)
+		st := newState(p)
+		nB := len(p.Buckets)
+		for step := 0; step < 1000; step++ {
+			e := EntityID(rng.Intn(len(p.Entities)))
+			target := BucketID(rng.Intn(nB))
+			if st.assignment[e] == target {
+				continue
+			}
+			st.apply(e, target)
+			p.Entities[e].Bucket = target
+		}
+		fresh := newStateFresh(p)
+		if !statesEqual(t, st, fresh) {
+			t.Fatalf("seed %d: aggregates diverged from rebuild", seed)
+		}
+		if sv, fv := st.violations(), fresh.violations(); sv != fv {
+			t.Fatalf("seed %d: violations diverged: %+v vs %+v", seed, sv, fv)
+		}
+		for b := 0; b < nB; b++ {
+			got := st.hot.pen[b]
+			want := fresh.bucketPenalty(BucketID(b))
+			// Incremental penalties accumulate float error
+			// proportional to the magnitudes that flowed through.
+			tol := 1e-6 * (math.Abs(want) + 1)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("seed %d: hot pen[%d] = %v, recomputed %v", seed, b, got, want)
+			}
+		}
+		// The heap must agree with its own pen array: the reported top
+		// is the max over unfrozen buckets (none are frozen here).
+		topB, topPen := st.hot.top()
+		for b := 0; b < nB; b++ {
+			if st.hot.pen[b] > topPen {
+				t.Fatalf("seed %d: heap top %d (%v) < pen[%d]=%v", seed, topB, topPen, b, st.hot.pen[b])
+			}
+		}
+	}
+}
+
+// TestHotSetFreezeUnfreeze exercises the freeze bookkeeping directly.
+func TestHotSetFreezeUnfreeze(t *testing.T) {
+	h := newHotSet(5)
+	for b, pen := range []float64{3, 9, 1, 9, 0} {
+		h.pen[b] = pen
+	}
+	h.init()
+	if b, pen := h.top(); b != 1 || pen != 9 {
+		t.Fatalf("top = %d/%v, want 1/9 (tie breaks to lower ID)", b, pen)
+	}
+	h.freeze(1)
+	if b, _ := h.top(); b != 3 {
+		t.Fatalf("top after freeze = %d, want 3", b)
+	}
+	h.freeze(3)
+	if b, _ := h.top(); b != 0 {
+		t.Fatalf("top after freezes = %d, want 0", b)
+	}
+	// A frozen bucket whose penalty changes thaws automatically.
+	h.add(3, -1)
+	if b, pen := h.top(); b != 3 || pen != 8 {
+		t.Fatalf("top after add to frozen = %d/%v, want 3/8", b, pen)
+	}
+	h.unfreezeAll() // brings bucket 1 (pen 9) back
+	if b, pen := h.top(); b != 1 || pen != 9 {
+		t.Fatalf("top after unfreezeAll = %d/%v, want 1/9", b, pen)
+	}
+	h.add(1, -9)
+	h.add(3, -8)
+	if b, pen := h.top(); b != 0 || pen != 3 {
+		t.Fatalf("top after drain = %d/%v, want 0/3", b, pen)
 	}
 }
 
@@ -163,17 +242,10 @@ func TestIncrementalStateMatchesRebuild(t *testing.T) {
 func TestMoveDeltaMatchesAppliedObjective(t *testing.T) {
 	objective := func(st *state) float64 {
 		var total float64
-		for i := range st.p.capacitySpecs {
-			a := &st.capStates[i]
-			for k, load := range a.load {
-				total += capacityPenalty(a, k, load)
-			}
-		}
-		for i := range st.p.balanceSpecs {
-			spec := st.p.balanceSpecs[i]
-			a := &st.balStates[i]
-			for k, load := range a.load {
-				total += balancePenalty(spec, a, k, load)
+		for si := range st.specs {
+			sp := &st.specs[si]
+			for d := range sp.load {
+				total += sp.domPenalty(int32(d), sp.load[d])
 			}
 		}
 		for e := range st.p.Entities {
@@ -184,11 +256,11 @@ func TestMoveDeltaMatchesAppliedObjective(t *testing.T) {
 			}
 			total += st.affinityPenalty(EntityID(e), b) + st.drainPenalty(b)
 		}
-		for i := range st.p.exclusionSpecs {
-			w := st.p.exclusionSpecs[i].Weight
-			for _, n := range st.exclCounts[i] {
-				if n > 1 {
-					total += w * float64(n-1)
+		for xi := range st.excls {
+			ex := &st.excls[xi]
+			for _, mem := range ex.members {
+				if len(mem) > 1 {
+					total += ex.weight * float64(len(mem)-1)
 				}
 			}
 		}
@@ -220,6 +292,25 @@ func TestMoveDeltaMatchesAppliedObjective(t *testing.T) {
 		return true
 	}, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMoveDeltaAllocFree: the hot loop's contract is zero allocations per
+// candidate evaluation.
+func TestMoveDeltaAllocFree(t *testing.T) {
+	rng := sim.NewRNG(7)
+	p := randomProblem(rng)
+	st := newState(p)
+	nE, nB := len(p.Entities), len(p.Buckets)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		e := EntityID(i % nE)
+		b := BucketID((i * 7) % nB)
+		st.moveDelta(e, b)
+		i++
+	})
+	if allocs > 0 {
+		t.Fatalf("moveDelta allocates %.1f times per call, want 0", allocs)
 	}
 }
 
@@ -285,4 +376,74 @@ func TestSolveIdempotentOnCleanState(t *testing.T) {
 	if second.Rounds > 1 {
 		t.Fatalf("second solve took %d rounds, want immediate convergence", second.Rounds)
 	}
+}
+
+// TestParallelMatchesSerial: the deterministic parallel evaluation mode must
+// produce byte-identical results — same moves, same assignment, same
+// violation counts, same evaluation count — for any seed.
+func TestParallelMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		build := func() *Problem { return randomProblem(sim.NewRNG(seed)) }
+		optS := DefaultOptions()
+		optS.Seed = seed
+		optS.Sampler = nil // per-problem default
+		serial := Solve(build(), optS)
+
+		optP := optS
+		optP.Parallel = 3
+		parallel := Solve(build(), optP)
+
+		if len(serial.Moves) != len(parallel.Moves) {
+			t.Fatalf("seed %d: move counts differ: %d vs %d", seed, len(serial.Moves), len(parallel.Moves))
+		}
+		for i := range serial.Moves {
+			if serial.Moves[i] != parallel.Moves[i] {
+				t.Fatalf("seed %d: move %d differs: %+v vs %+v", seed, i, serial.Moves[i], parallel.Moves[i])
+			}
+		}
+		for i := range serial.Assignment {
+			if serial.Assignment[i] != parallel.Assignment[i] {
+				t.Fatalf("seed %d: assignment of entity %d differs", seed, i)
+			}
+		}
+		if serial.Initial != parallel.Initial || serial.Final != parallel.Final {
+			t.Fatalf("seed %d: violations differ: %+v/%+v vs %+v/%+v",
+				seed, serial.Initial, serial.Final, parallel.Initial, parallel.Final)
+		}
+		if serial.Evaluated != parallel.Evaluated || serial.Rounds != parallel.Rounds {
+			t.Fatalf("seed %d: evaluated/rounds differ: %d/%d vs %d/%d",
+				seed, serial.Evaluated, serial.Rounds, parallel.Evaluated, parallel.Rounds)
+		}
+	}
+}
+
+// TestAdoptDomainTableSharing: a table built by one problem serves a clone
+// with identical buckets, and panics on a mismatched bucket set.
+func TestAdoptDomainTableSharing(t *testing.T) {
+	p1 := buildSkewed(4, 10, 5)
+	p1.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p1.AddBalanceGoal(BalanceSpec{Metric: "cpu", Scope: "region", MaxDiff: 0.1, Weight: 1})
+	newState(p1) // populates p1's table for bucket and region scopes
+
+	p2 := buildSkewed(4, 10, 5)
+	p2.AddConstraint(CapacitySpec{Metric: "cpu"})
+	p2.AddBalanceGoal(BalanceSpec{Metric: "cpu", Scope: "region", MaxDiff: 0.1, Weight: 1})
+	p2.AdoptDomainTable(p1.DomainTable())
+	// cpu@bucket (the constraint) and cpu@region (the balance goal) stay
+	// separate merged specs; both must resolve via the adopted table.
+	st := newState(p2)
+	if len(st.specs) != 2 || st.specs[0].dom.numDomains() == 0 || st.specs[1].dom.numDomains() == 0 {
+		t.Fatalf("state built on adopted table looks wrong: %d specs", len(st.specs))
+	}
+	if p2.DomainTable() != p1.DomainTable() {
+		t.Fatal("adopted table not shared")
+	}
+
+	p3 := buildSkewed(5, 10, 5) // different bucket count
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adopting a mismatched table should panic")
+		}
+	}()
+	p3.AdoptDomainTable(p1.DomainTable())
 }

@@ -22,4 +22,6 @@ echo "== go test -race (all packages except sim-heavy experiments)"
 go test -race $(go list ./... | grep -v 'internal/experiments$')
 echo "== go test ./internal/experiments"
 go test ./internal/experiments
+echo "== solver benchmark smoke (-benchtime=1x)"
+go test ./internal/solver -run '^$' -bench . -benchtime=1x
 echo "check: OK"
