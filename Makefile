@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench bench-solver vet build fmt
+.PHONY: check test bench bench-solver bench-sim vet build fmt
 
 check: ## gofmt + vet + build + race-enabled tests (tier-1 verify)
 	sh scripts/check.sh
@@ -23,3 +23,7 @@ bench:
 bench-solver: ## run the solver scale benchmarks and regenerate BENCH_solver.json
 	$(GO) test ./internal/solver -run '^$$' -bench 'SolveScale|MoveDelta' -benchmem
 	$(GO) run ./cmd/smbench -fig solverscale -bench-out BENCH_solver.json
+
+bench-sim: ## run the kernel benchmarks and regenerate BENCH_sim.json
+	$(GO) test . -run '^$$' -bench 'ProfilerOverhead|SimScale' -benchmem
+	$(GO) run ./cmd/smbench -fig simscale -bench-sim-out BENCH_sim.json

@@ -20,6 +20,7 @@ import (
 	"shardmanager/internal/routing"
 	"shardmanager/internal/shard"
 	"shardmanager/internal/sim"
+	"shardmanager/internal/simprof"
 	"shardmanager/internal/solver"
 	"shardmanager/internal/topology"
 	"shardmanager/internal/trace"
@@ -246,6 +247,51 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	}
 	b.Run("disabled", func(b *testing.B) { run(b, nil) })
 	b.Run("enabled", func(b *testing.B) { run(b, trace.New(trace.Options{})) })
+}
+
+// BenchmarkProfilerOverhead measures what the kernel profiler adds to one
+// schedule+dispatch cycle. The disabled cases (no profiler attached) are the
+// tier-1 bar: a labeled event must cost the same as an unlabeled one — no
+// extra allocations, the label check is a single nil-pointer test.
+func BenchmarkProfilerOverhead(b *testing.B) {
+	lb := sim.LabelFor("bench", "tick")
+	run := func(b *testing.B, labeled bool, p sim.Profiler) {
+		l := sim.NewLoop(1)
+		if p != nil {
+			l.SetProfiler(p)
+		}
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if labeled {
+				l.AfterL(time.Microsecond, lb, fn)
+			} else {
+				l.After(time.Microsecond, fn)
+			}
+			if !l.Step() {
+				b.Fatal("empty loop")
+			}
+		}
+	}
+	b.Run("disabled-unlabeled", func(b *testing.B) { run(b, false, nil) })
+	b.Run("disabled-labeled", func(b *testing.B) { run(b, true, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, true, simprof.New(simprof.Options{})) })
+	b.Run("enabled-allocs", func(b *testing.B) { run(b, true, simprof.New(simprof.Options{Allocs: true})) })
+}
+
+// BenchmarkSimScale drives one small simscale point per iteration — the
+// kernel-throughput benchmark smbench runs at full scale for BENCH_sim.json.
+func BenchmarkSimScale(b *testing.B) {
+	p := experiments.DefaultSimScaleParams()
+	p.Points = []experiments.SimScalePoint{{Shards: 2000, Clients: 200, Servers: 50}}
+	p.SimTime = 2 * time.Minute
+	for i := 0; i < b.N; i++ {
+		r := experiments.SimScale(p)
+		if r == nil || r.Extra == nil {
+			b.Fatal("empty simscale report")
+		}
+	}
 }
 
 // BenchmarkAllocatorEmergency measures the latency-critical path: replacing

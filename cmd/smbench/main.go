@@ -21,11 +21,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"shardmanager/internal/experiments"
 	"shardmanager/internal/healthmon"
 	"shardmanager/internal/metrics"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/simprof"
 	"shardmanager/internal/trace"
 )
 
@@ -39,7 +43,27 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the run's labeled metrics to this file (byte-stable for a given seed)")
 	expo := flag.String("expo", "prom", "metrics exposition format: 'prom' (Prometheus text), 'json', or 'csv'")
 	faultSpec := flag.String("faults", "", "fault-timeline DSL for the 'faults' experiment, e.g. \"t=60s partition(region-a|region-b) for 120s\" (see internal/faults); implies -fig faults unless -fig is set")
+	benchSimOut := flag.String("bench-sim-out", "BENCH_sim.json", "where the simscale experiment writes its machine-readable kernel benchmark record")
+	profOut := flag.String("prof-out", "", "write the kernel profiler's text report to this file (byte-stable for a given seed unless -prof-wall)")
+	profJSON := flag.String("prof-json", "", "write the kernel profiler's JSON report to this file")
+	profFolded := flag.String("prof-folded", "", "write folded stacks (flamegraph.pl / inferno / speedscope input) to this file")
+	profWall := flag.Bool("prof-wall", false, "include wall-clock and allocation columns in the kernel profiler reports (nondeterministic)")
+	cpuProfile := flag.String("cpuprofile", "", "write a Go CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a Go heap profile taken at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *faultSpec != "" {
 		experiments.SetFaultSpec(*faultSpec)
@@ -61,6 +85,15 @@ func main() {
 		experiments.SetDefaultHealthFactory(func() *healthmon.Monitor {
 			return healthmon.New(healthmon.Options{Registry: reg})
 		})
+	}
+	var prof *simprof.Profile
+	if *profOut != "" || *profJSON != "" || *profFolded != "" {
+		// One profile across every deployment the run builds: deployments
+		// run sequentially, so combined attribution is safe and covers the
+		// whole invocation. Alloc attribution only when the wall-clock
+		// columns that render it were requested (it costs ~1µs/event).
+		prof = simprof.New(simprof.Options{Allocs: *profWall, Registry: reg})
+		experiments.SetDefaultProfiler(func() sim.Profiler { return prof })
 	}
 
 	if *list {
@@ -100,6 +133,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if report.ID == "simscale" && *benchSimOut != "" {
+			if err := writeBenchSim(report, *benchSimOut); err != nil {
+				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if err := writeTrace(tracer, *traceOut, *traceText); err != nil {
@@ -110,6 +149,80 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
 		os.Exit(1)
 	}
+	if err := writeProf(prof, *profOut, *profJSON, *profFolded, *profWall); err != nil {
+		fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle live-heap numbers before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("heap profile written to %s\n", *memProfile)
+	}
+}
+
+// writeBenchSim writes the simscale experiment's structured kernel
+// benchmark record (BENCH_sim.json): one entry per scale point with
+// events/sec, allocs/event, heap depth, and the top-5 cost centers.
+func writeBenchSim(r *experiments.Report, path string) error {
+	if r.Extra == nil {
+		return fmt.Errorf("simscale report carries no benchmark record")
+	}
+	data, err := json.MarshalIndent(r.Extra, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("kernel benchmark record written to %s\n", path)
+	return nil
+}
+
+// writeProf exports the run's kernel profile in the requested formats
+// (no-op when no -prof-* flag was given).
+func writeProf(prof *simprof.Profile, textPath, jsonPath, foldedPath string, wall bool) error {
+	if prof == nil {
+		return nil
+	}
+	opts := simprof.ReportOptions{Wall: wall}
+	write := func(path string, render func(io.Writer, simprof.ReportOptions) error, what string) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f, opts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+		return nil
+	}
+	if err := write(textPath, prof.WriteText, "kernel profile"); err != nil {
+		return err
+	}
+	if err := write(jsonPath, prof.WriteJSON, "kernel profile (json)"); err != nil {
+		return err
+	}
+	return write(foldedPath, prof.WriteFolded, "folded stacks")
 }
 
 // writeBench writes the solverscale experiment's machine-readable record

@@ -31,6 +31,7 @@ import (
 	"shardmanager/internal/routing"
 	"shardmanager/internal/rpcnet"
 	"shardmanager/internal/shard"
+	"shardmanager/internal/simprof"
 	"shardmanager/internal/taskcontroller"
 	"shardmanager/internal/topology"
 	"shardmanager/internal/trace"
@@ -181,17 +182,25 @@ func runStatus(argv []string) {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	scenario := fs.String("scenario", "demo",
 		"'demo' (machine failure + rolling upgrade) or 'geofailover' (fig19-style region loss and recovery)")
+	profile := fs.Bool("prof", false, "attach the kernel profiler and print the top-10 cost centers after the scenario")
 	fs.Parse(argv)
 
 	mon := healthmon.New(healthmon.Options{})
+	var prof *simprof.Profile
+	if *profile {
+		prof = simprof.New(simprof.Options{Allocs: true, Registry: mon.Registry()})
+	}
 	switch *scenario {
 	case "demo":
-		statusDemo(mon, *servers, *shards, *replicas, *seed)
+		statusDemo(mon, prof, *servers, *shards, *replicas, *seed)
 	case "geofailover":
-		statusGeoFailover(mon, *servers, *shards, *seed)
+		statusGeoFailover(mon, prof, *servers, *shards, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "smctl status: unknown scenario %q\n", *scenario)
 		os.Exit(2)
+	}
+	if prof != nil {
+		fmt.Printf("\n%s", prof.RenderTop(10))
 	}
 }
 
@@ -232,6 +241,16 @@ func runFaults(argv []string) {
 	fmt.Println(report.Render())
 }
 
+// buildProfiled builds the deployment with the kernel profiler attached when
+// one was requested (spec.Profiler must stay unset for a nil *Profile — a
+// typed-nil sim.Profiler would make the loop call methods on nil).
+func buildProfiled(spec experiments.DeploymentSpec, prof *simprof.Profile) *experiments.Deployment {
+	if prof != nil {
+		spec.Profiler = prof
+	}
+	return experiments.Build(spec)
+}
+
 // checkpoint renders the dashboard under a scenario heading.
 func checkpoint(mon *healthmon.Monitor, title string) {
 	fmt.Printf("\n=== %s ===\n", title)
@@ -253,7 +272,7 @@ func startTraffic(d *experiments.Deployment, shards int) {
 // statusDemo runs the default demo scenario (same world as plain smctl)
 // under the health monitor: settle, unplanned machine failure, then a
 // negotiated rolling upgrade.
-func statusDemo(mon *healthmon.Monitor, servers, shards, replicas int, seed uint64) {
+func statusDemo(mon *healthmon.Monitor, prof *simprof.Profile, servers, shards, replicas int, seed uint64) {
 	pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
 	strategy := shard.PrimarySecondary
 	if replicas == 1 {
@@ -277,7 +296,7 @@ func statusDemo(mon *healthmon.Monitor, servers, shards, replicas int, seed uint
 	}
 	tp := taskcontroller.DefaultPolicy(3)
 	backing := apps.NewKVBacking()
-	d := experiments.Build(experiments.DeploymentSpec{
+	d := buildProfiled(experiments.DeploymentSpec{
 		Regions:          []topology.RegionID{"frc", "prn", "odn"},
 		ServersPerRegion: servers,
 		Orch:             cfg,
@@ -288,7 +307,7 @@ func statusDemo(mon *healthmon.Monitor, servers, shards, replicas int, seed uint
 		},
 		Health: mon,
 		Seed:   seed,
-	})
+	}, prof)
 	if err := d.Settle(10 * time.Minute); err != nil {
 		fmt.Fprintf(os.Stderr, "smctl status: %v\n", err)
 		os.Exit(1)
@@ -317,7 +336,7 @@ func statusDemo(mon *healthmon.Monitor, servers, shards, replicas int, seed uint
 // statusGeoFailover runs the Fig 19 shape — a secondary-only geo-distributed
 // store losing and recovering a whole region — and shows what an operator
 // would see at each stage.
-func statusGeoFailover(mon *healthmon.Monitor, servers, shards int, seed uint64) {
+func statusGeoFailover(mon *healthmon.Monitor, prof *simprof.Profile, servers, shards int, seed uint64) {
 	pol := allocator.DefaultPolicy(topology.ResourceCPU, topology.ResourceShardCount)
 	pol.SpreadLevel = topology.LevelRegion
 	pol.SpreadWeight = 100
@@ -346,7 +365,7 @@ func statusGeoFailover(mon *healthmon.Monitor, servers, shards int, seed uint64)
 		MaxConcurrentMigrations: 200,
 	}
 	backing := apps.NewKVBacking()
-	d := experiments.Build(experiments.DeploymentSpec{
+	d := buildProfiled(experiments.DeploymentSpec{
 		Regions:          []topology.RegionID{"frc", "prn", "odn"},
 		ServersPerRegion: servers,
 		Latency: map[[2]topology.RegionID]time.Duration{
@@ -360,7 +379,7 @@ func statusGeoFailover(mon *healthmon.Monitor, servers, shards int, seed uint64)
 		},
 		Health: mon,
 		Seed:   seed,
-	})
+	}, prof)
 	if err := d.Settle(10 * time.Minute); err != nil {
 		fmt.Fprintf(os.Stderr, "smctl status: %v\n", err)
 		os.Exit(1)

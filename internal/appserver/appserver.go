@@ -125,6 +125,15 @@ type replica struct {
 // client requests ... and drops its replica when no more requests arrive".
 const tombstoneTTL = 30 * time.Second
 
+// Kernel-profiler attribution labels for server-side timers.
+var (
+	lbShardLoad        = sim.LabelFor("appserver", "shard_load")
+	lbTombstoneGC      = sim.LabelFor("appserver", "tombstone_gc")
+	lbServeDelay       = sim.LabelFor("appserver", "serve_delay")
+	lbLivenessRetry    = sim.LabelFor("appserver", "liveness_retry")
+	lbSessionReconnect = sim.LabelFor("appserver", "session_reconnect")
+)
+
 // Server is one application server instance (the SM library + the app).
 type Server struct {
 	ID     shard.ServerID
@@ -266,7 +275,7 @@ func (s *Server) startLoad(id shard.ID, r *replica) {
 	r.phase = phaseLoading
 	r.loadGen++
 	gen := r.loadGen
-	s.loop.After(s.LoadTime, func() {
+	s.loop.AfterL(s.LoadTime, lbShardLoad, func() {
 		if s.replicas[id] != r || r.loadGen != gen || r.phase != phaseLoading {
 			return
 		}
@@ -289,7 +298,7 @@ func (s *Server) DropShard(id shard.ID) {
 	if r.phase == phaseForwarding && r.forwardTo != "" {
 		to := r.forwardTo
 		s.tombstones[id] = to
-		s.loop.After(tombstoneTTL, func() {
+		s.loop.AfterL(tombstoneTTL, lbTombstoneGC, func() {
 			if s.tombstones[id] == to {
 				delete(s.tombstones, id)
 			}
@@ -390,7 +399,7 @@ func (s *Server) LoadReport() map[shard.ID]topology.Capacity {
 // nil.
 func (s *Server) Serve(req *Request, reply func(Response)) {
 	if s.serveDelay > 0 {
-		s.loop.After(s.serveDelay, func() { s.serve(req, reply) })
+		s.loop.AfterL(s.serveDelay, lbServeDelay, func() { s.serve(req, reply) })
 		return
 	}
 	s.serve(req, reply)
@@ -639,7 +648,7 @@ func (h *Host) createLiveness(id shard.ServerID, sess *coord.Session, payload []
 	case err == nil:
 		return
 	case errors.Is(err, coord.ErrUnavailable):
-		h.loop.After(livenessRetryDelay, func() {
+		h.loop.AfterL(livenessRetryDelay, lbLivenessRetry, func() {
 			// Give up silently if the server died or reconnected with a
 			// fresh session in the meantime.
 			if h.servers[id] == nil || h.sessions[id] != sess {
@@ -673,7 +682,7 @@ func (h *Host) ExpireSession(id shard.ServerID, reconnectAfter time.Duration) bo
 	sess.Expire()
 	delete(h.sessions, id)
 	if reconnectAfter > 0 {
-		h.loop.After(reconnectAfter, func() {
+		h.loop.AfterL(reconnectAfter, lbSessionReconnect, func() {
 			if h.servers[id] == nil || h.sessions[id] != nil {
 				return // died, or something else reconnected it
 			}

@@ -16,6 +16,9 @@ import (
 	"shardmanager/internal/trace"
 )
 
+// lbDeliver attributes propagation deliveries in the kernel profiler.
+var lbDeliver = sim.LabelFor("discovery", "deliver")
+
 // DelayFunc returns the propagation delay for one delivery.
 type DelayFunc func(rng *sim.RNG) time.Duration
 
@@ -145,7 +148,7 @@ func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) 
 			trace.Int64("version", m.Version),
 			trace.Int("sub", sub.id))
 	}
-	s.loop.After(d, func() {
+	s.loop.AfterL(d, lbDeliver, func() {
 		status := "delivered"
 		if sub.cancelled || m.Version <= sub.lastSeen {
 			status = "stale"

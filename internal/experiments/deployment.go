@@ -39,6 +39,16 @@ var defaultHealthFactory func() *healthmon.Monitor
 // whose spec leaves Health nil. Pass nil to clear.
 func SetDefaultHealthFactory(fn func() *healthmon.Monitor) { defaultHealthFactory = fn }
 
+// defaultProfiler, when non-nil, supplies the kernel profiler for every
+// deployment whose spec does not set its own. A factory so callers can choose
+// between one shared profile (combined attribution across the sequentially
+// built deployments of a run, as smbench does) and one per Build.
+var defaultProfiler func() sim.Profiler
+
+// SetDefaultProfiler installs the profiler factory used by deployments whose
+// spec leaves Profiler nil. Pass nil to clear.
+func SetDefaultProfiler(fn func() sim.Profiler) { defaultProfiler = fn }
+
 // DeploymentSpec wires a complete single-application world: fleet, one
 // cluster manager + job per region, application hosts, an orchestrator,
 // and optionally a TaskController.
@@ -78,6 +88,10 @@ type DeploymentSpec struct {
 	// back to the factory set by SetDefaultHealthFactory).
 	Health *healthmon.Monitor
 
+	// Profiler, if non-nil, receives the loop's kernel-profiling hooks
+	// (falls back to the factory set by SetDefaultProfiler).
+	Profiler sim.Profiler
+
 	Seed uint64
 }
 
@@ -113,6 +127,13 @@ func Build(spec DeploymentSpec) *Deployment {
 		tr = defaultTracer
 	}
 	loop.SetTracer(tr) // before any component is built or scheduled
+	prof := spec.Profiler
+	if prof == nil && defaultProfiler != nil {
+		prof = defaultProfiler()
+	}
+	if prof != nil {
+		loop.SetProfiler(prof)
+	}
 	mon := spec.Health
 	if mon == nil && defaultHealthFactory != nil {
 		mon = defaultHealthFactory()

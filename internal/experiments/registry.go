@@ -123,6 +123,18 @@ var registry = []runner{
 		}
 		return CompoundFaults(p)
 	}},
+	{"simscale", "sim-kernel throughput benchmark -> BENCH_sim.json", func(s Scale) *Report {
+		p := DefaultSimScaleParams()
+		if s == ScaleQuick {
+			p.Points = []SimScalePoint{
+				{Shards: 2000, Clients: 200, Servers: 50},
+				{Shards: 5000, Clients: 500, Servers: 100},
+				{Shards: 10000, Clients: 1000, Servers: 200},
+			}
+			p.SimTime = 2 * time.Minute
+		}
+		return SimScale(p)
+	}},
 	{"solverscale", "solver fast-path scale benchmark (serial vs parallel)", func(s Scale) *Report {
 		p := DefaultSolverBenchParams()
 		if s == ScaleQuick {

@@ -43,6 +43,10 @@ type Report struct {
 	// Values exposes headline numbers machine-readably for cross-checks
 	// (e.g. healthmon agreement tests). Not rendered.
 	Values map[string]float64
+	// Extra carries an experiment-specific structured record for
+	// machine-readable export (simscale's BENCH_sim.json payload). Not
+	// rendered.
+	Extra any
 }
 
 // AddNote appends a formatted finding.

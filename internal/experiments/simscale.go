@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"shardmanager/internal/discovery"
+	"shardmanager/internal/rpcnet"
+	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
+	"shardmanager/internal/simprof"
+	"shardmanager/internal/topology"
+	"shardmanager/internal/workload"
+)
+
+// Attribution labels for the simscale workload's own timers; everything else
+// (fabric delivery, map propagation) is attributed by the component packages.
+var (
+	lbSimRequest  = sim.LabelFor("simscale", "client_request")
+	lbSimLiveness = sim.LabelFor("simscale", "liveness")
+	lbSimShard    = sim.LabelFor("simscale", "shard_load")
+	lbSimPublish  = sim.LabelFor("simscale", "publish")
+)
+
+// SimScalePoint is one kernel-benchmark configuration.
+type SimScalePoint struct {
+	Shards  int
+	Clients int
+	Servers int
+}
+
+// SimScaleParams configure the simscale kernel benchmark.
+type SimScaleParams struct {
+	// Points are run in order; BENCH_sim.json records one entry each.
+	Points []SimScalePoint
+	// SimTime is the simulated horizon per point.
+	SimTime time.Duration
+	// ClientInterval is the mean gap between one client's requests
+	// (diurnally modulated, exponentially jittered).
+	ClientInterval time.Duration
+	// LivenessInterval paces per-server heartbeat ticks.
+	LivenessInterval time.Duration
+	// PublishInterval paces shard-map republication (version bump + fan-out
+	// to every subscribed client).
+	PublishInterval time.Duration
+	Seed            uint64
+}
+
+// DefaultSimScaleParams mirror the fig18-style production trace shape at
+// kernel-stress scale: the largest point crosses 100k shards so the event
+// heap is exercised at the depth ROADMAP's million-entity goal cares about.
+func DefaultSimScaleParams() SimScaleParams {
+	return SimScaleParams{
+		Points: []SimScalePoint{
+			{Shards: 10000, Clients: 1000, Servers: 200},
+			{Shards: 50000, Clients: 5000, Servers: 1000},
+			{Shards: 120000, Clients: 10000, Servers: 2000},
+		},
+		SimTime:          10 * time.Minute,
+		ClientInterval:   10 * time.Second,
+		LivenessInterval: 15 * time.Second,
+		PublishInterval:  time.Minute,
+		Seed:             1,
+	}
+}
+
+// SimCostCenter is one profiler row in the BENCH_sim.json record.
+type SimCostCenter struct {
+	Component string  `json:"component"`
+	Kind      string  `json:"kind"`
+	Events    uint64  `json:"events"`
+	WallMS    float64 `json:"wall_ms"`
+	SharePct  float64 `json:"share_pct"`
+}
+
+// SimScalePointRecord is one point's machine-readable result.
+type SimScalePointRecord struct {
+	Shards         int             `json:"shards"`
+	Clients        int             `json:"clients"`
+	Servers        int             `json:"servers"`
+	Events         uint64          `json:"events"`
+	Requests       int             `json:"requests"`
+	MapDeliveries  int             `json:"map_deliveries"`
+	WallMS         float64         `json:"wall_ms"`
+	EventsPerSec   float64         `json:"events_per_sec"`
+	AllocsPerEvent float64         `json:"allocs_per_event"`
+	MaxHeapDepth   int             `json:"max_heap_depth"`
+	AvgHeapDepth   float64         `json:"avg_heap_depth"`
+	Top            []SimCostCenter `json:"top_cost_centers"`
+}
+
+// SimScaleRecord is the BENCH_sim.json payload (Report.Extra).
+type SimScaleRecord struct {
+	SimTime string                `json:"sim_time"`
+	Points  []SimScalePointRecord `json:"points"`
+}
+
+// SimScale benchmarks the simulation kernel itself: a fig18-style trace —
+// diurnal client request load over the RPC fabric, shard-map republication
+// fanning out through discovery, per-server liveness ticks, and one load
+// report per shard — at increasing shard/client/server counts. It measures
+// raw kernel throughput (events/sec), run-phase allocations per event, and
+// event-heap depth, and attributes cost to (component, kind) with simprof.
+func SimScale(p SimScaleParams) *Report {
+	rep := &Report{
+		ID:    "simscale",
+		Title: "sim-kernel throughput and cost attribution",
+		Params: map[string]string{
+			"sim_time":        p.SimTime.String(),
+			"client_interval": p.ClientInterval.String(),
+			"points":          fmt.Sprintf("%d", len(p.Points)),
+			"seed":            fmt.Sprintf("%d", p.Seed),
+		},
+	}
+	rec := &SimScaleRecord{SimTime: p.SimTime.String()}
+	table := Table{
+		Title:   "kernel throughput by scale",
+		Columns: []string{"shards", "clients", "servers", "events", "wall ms", "events/sec", "allocs/ev", "heap max"},
+	}
+	for i, pt := range p.Points {
+		r := runSimScalePoint(p, pt, p.Seed+uint64(i))
+		rec.Points = append(rec.Points, r)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Clients),
+			fmt.Sprintf("%d", r.Servers),
+			fmt.Sprintf("%d", r.Events),
+			fmt.Sprintf("%.1f", r.WallMS),
+			fmt.Sprintf("%.0f", r.EventsPerSec),
+			fmt.Sprintf("%.2f", r.AllocsPerEvent),
+			fmt.Sprintf("%d", r.MaxHeapDepth),
+		})
+	}
+	rep.Tables = append(rep.Tables, table)
+	last := rec.Points[len(rec.Points)-1]
+	rep.AddValue("events_per_sec", last.EventsPerSec)
+	rep.AddValue("allocs_per_event", last.AllocsPerEvent)
+	rep.AddValue("max_heap_depth", float64(last.MaxHeapDepth))
+	rep.AddValue("events", float64(last.Events))
+	rep.AddNote("largest point (%d shards): %.0f events/sec, %.2f allocs/event, heap depth peaked at %d",
+		last.Shards, last.EventsPerSec, last.AllocsPerEvent, last.MaxHeapDepth)
+	if len(last.Top) > 0 {
+		t := last.Top[0]
+		rep.AddNote("top cost center at that point: %s/%s (%d events, %.1f%% of dispatches)",
+			t.Component, t.Kind, t.Events, t.SharePct)
+	}
+	rep.Extra = rec
+	return rep
+}
+
+// runSimScalePoint builds and drives one configuration, returning its record.
+func runSimScalePoint(p SimScaleParams, pt SimScalePoint, seed uint64) SimScalePointRecord {
+	loop := sim.NewLoop(seed)
+	prof := simprof.New(simprof.Options{})
+	loop.SetProfiler(prof)
+
+	regions := []topology.RegionID{"region-a", "region-b", "region-c"}
+	fleet := topology.Build(topology.Spec{
+		Regions:           regions,
+		MachinesPerRegion: 1,
+		Capacity:          topology.Capacity{topology.ResourceCPU: 100},
+	})
+	net := rpcnet.NewNetwork(loop, fleet)
+	disc := discovery.NewService(loop, discovery.DefaultDelay())
+
+	// Servers: registered fabric endpoints with liveness heartbeats,
+	// spread round-robin across regions. Heartbeat phases are staggered so
+	// the heap never sees a synchronized thundering herd.
+	endpoints := make([]rpcnet.Endpoint, pt.Servers)
+	rng := loop.RNG().Fork()
+	for i := range endpoints {
+		ep := rpcnet.Endpoint(fmt.Sprintf("srv-%05d", i))
+		endpoints[i] = ep
+		net.Register(ep, regions[i%len(regions)])
+		phase := time.Duration(rng.Int63() % int64(p.LivenessInterval))
+		loop.AfterL(phase, lbSimLiveness, func() {
+			loop.EveryL(p.LivenessInterval, lbSimLiveness, func() {})
+		})
+	}
+
+	// Shard map: every shard assigned to one server; republished with a
+	// version bump on a timer so discovery fans the (cloned) map out to all
+	// subscribed clients.
+	const app = shard.AppID("simscale")
+	m := shard.NewMap(app)
+	m.Version = 1
+	for i := 0; i < pt.Shards; i++ {
+		id := shard.ID(fmt.Sprintf("s%06d", i))
+		m.Entries[id] = []shard.Assignment{{
+			Server: shard.ServerID(endpoints[i%len(endpoints)]),
+			Role:   shard.RolePrimary,
+		}}
+	}
+	disc.Publish(m)
+	loop.EveryL(p.PublishInterval, lbSimPublish, func() {
+		m.Version++
+		disc.Publish(m)
+	})
+
+	// One load report per shard, uniformly spread over the horizon. These
+	// are all scheduled up front, so the event heap starts at a depth
+	// proportional to the shard count — the regime the ROADMAP's
+	// million-entity goal targets.
+	serverLoad := make([]int, pt.Servers)
+	for i := 0; i < pt.Shards; i++ {
+		srv := i % len(endpoints)
+		at := time.Duration(rng.Int63() % int64(p.SimTime))
+		loop.AtL(at, lbSimShard, func() { serverLoad[srv]++ })
+	}
+
+	// Clients: each runs a self-rescheduling request loop over the fabric
+	// with diurnal rate modulation, and subscribes to the shard map.
+	var served, failed, mapsApplied int
+	for c := 0; c < pt.Clients; c++ {
+		region := regions[c%len(regions)]
+		crng := loop.RNG().Fork()
+		disc.Subscribe(app, func(*shard.Map) { mapsApplied++ })
+		var step func()
+		step = func() {
+			target := endpoints[crng.Intn(len(endpoints))]
+			net.Call(region, target, nil,
+				func(time.Duration) { served++ },
+				func() { failed++ })
+			rate := workload.Diurnal(loop.Now(), 0.5)
+			gap := time.Duration(crng.ExpFloat64() * float64(p.ClientInterval) / rate)
+			if gap < time.Millisecond {
+				gap = time.Millisecond
+			}
+			loop.AfterL(gap, lbSimRequest, step)
+		}
+		loop.AfterL(time.Duration(crng.Int63()%int64(p.ClientInterval)), lbSimRequest, step)
+	}
+
+	// Measure the run phase only: setup allocations (map build, up-front
+	// shard timers) are excluded so allocs/event reflects steady-state
+	// kernel + callback cost.
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	loop.RunUntil(p.SimTime)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+
+	events := loop.Dispatched()
+	r := SimScalePointRecord{
+		Shards:        pt.Shards,
+		Clients:       pt.Clients,
+		Servers:       pt.Servers,
+		Events:        events,
+		Requests:      served + failed,
+		MapDeliveries: mapsApplied,
+		WallMS:        float64(wall) / 1e6,
+		MaxHeapDepth:  prof.MaxHeapDepth(),
+		AvgHeapDepth:  prof.AvgHeapDepth(),
+	}
+	if wall > 0 {
+		r.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	if events > 0 {
+		r.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(events)
+	}
+	for _, row := range prof.Top(5) {
+		share := 0.0
+		if events > 0 {
+			share = 100 * float64(row.Fired) / float64(events)
+		}
+		r.Top = append(r.Top, SimCostCenter{
+			Component: row.Component,
+			Kind:      row.Kind,
+			Events:    row.Fired,
+			WallMS:    float64(row.WallNS) / 1e6,
+			SharePct:  share,
+		})
+	}
+	return r
+}

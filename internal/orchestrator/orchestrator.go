@@ -34,6 +34,17 @@ import (
 	"shardmanager/internal/trace"
 )
 
+// Kernel-profiler attribution labels for the control plane's timers.
+var (
+	lbLoadCollect   = sim.LabelFor("orchestrator", "load_collect")
+	lbAllocate      = sim.LabelFor("orchestrator", "allocate")
+	lbFailoverGrace = sim.LabelFor("orchestrator", "failover_grace")
+	lbLoadApply     = sim.LabelFor("orchestrator", "load_apply")
+	lbMigrationLoad = sim.LabelFor("orchestrator", "migration_load")
+	lbPublishMargin = sim.LabelFor("orchestrator", "publish_margin")
+	lbDrainCheck    = sim.LabelFor("orchestrator", "drain_check")
+)
+
 // ShardConfig declares one shard of the application.
 type ShardConfig struct {
 	ID       shard.ID
@@ -255,10 +266,10 @@ func (o *Orchestrator) Start() {
 	o.watchMembership()
 	o.syncMembership()
 	o.tickers = append(o.tickers,
-		o.loop.Every(o.cfg.LoadInterval, o.collectLoads),
-		o.loop.Every(o.cfg.AllocInterval, func() { o.allocate(allocator.Periodic) }))
+		o.loop.EveryL(o.cfg.LoadInterval, lbLoadCollect, o.collectLoads),
+		o.loop.EveryL(o.cfg.AllocInterval, lbAllocate, func() { o.allocate(allocator.Periodic) }))
 	// Initial placement as soon as servers appear.
-	o.loop.After(time.Second, func() { o.allocate(allocator.Periodic) })
+	o.loop.AfterL(time.Second, lbAllocate, func() { o.allocate(allocator.Periodic) })
 }
 
 // Stop halts the control plane: no more load collection, allocations, or
@@ -375,7 +386,7 @@ func (o *Orchestrator) resolveMachine(st *serverState, payload string) {
 // scheduleFailover reassigns the dead server's shards if it is still dead
 // after the grace period; quick in-place restarts never trigger it.
 func (o *Orchestrator) scheduleFailover(id shard.ServerID, at time.Duration) {
-	o.loop.After(o.cfg.FailoverGrace, func() {
+	o.loop.AfterL(o.cfg.FailoverGrace, lbFailoverGrace, func() {
 		st := o.servers[id]
 		if st == nil || st.alive || st.deadSince != at {
 			return
@@ -423,7 +434,7 @@ func (o *Orchestrator) collectLoads() {
 				return
 			}
 			report := srv.LoadReport()
-			o.loop.After(0, func() {
+			o.loop.AfterL(0, lbLoadApply, func() {
 				for sid, load := range report {
 					st.load[sid] = load
 				}
@@ -799,7 +810,7 @@ func (o *Orchestrator) runMigration(m migration) {
 		o.callStep(m.span, "prepare_add_shard", m.to, func(srv *appserver.Server) {
 			srv.PrepareAddShard(m.shard, m.from, shard.RolePrimary)
 		}, func() {
-			o.loop.After(o.cfg.ShardLoadTime, func() { o.gracefulStep2(m, commit, fail) })
+			o.loop.AfterL(o.cfg.ShardLoadTime, lbMigrationLoad, func() { o.gracefulStep2(m, commit, fail) })
 		}, fail)
 	case role == shard.RoleSecondary:
 		// Make-before-break: add the new secondary, then drop the old.
@@ -807,7 +818,7 @@ func (o *Orchestrator) runMigration(m migration) {
 			srv.AddShard(m.shard, shard.RoleSecondary)
 		}, func() {
 			commit()
-			o.loop.After(o.cfg.PublishMargin, func() {
+			o.loop.AfterL(o.cfg.PublishMargin, lbPublishMargin, func() {
 				o.callStep(m.span, "drop_shard", m.from, func(srv *appserver.Server) {
 					srv.DropShard(m.shard)
 				}, func() { o.finishMigration(m, true) },
@@ -854,7 +865,7 @@ func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
 			commit()
 			// Step 5: drop the old replica once clients have
 			// learned the new map.
-			o.loop.After(o.cfg.PublishMargin, func() {
+			o.loop.AfterL(o.cfg.PublishMargin, lbPublishMargin, func() {
 				o.callStep(m.span, "drop_shard", m.from, func(srv *appserver.Server) {
 					srv.DropShard(m.shard)
 				}, func() {
@@ -1171,7 +1182,7 @@ func (o *Orchestrator) checkDrainsDone() {
 	}
 	if len(o.draining) > 0 && !o.drainCheckArmed {
 		o.drainCheckArmed = true
-		o.loop.After(o.cfg.AllocInterval, func() {
+		o.loop.AfterL(o.cfg.AllocInterval, lbDrainCheck, func() {
 			o.drainCheckArmed = false
 			o.checkDrainsDone()
 		})

@@ -26,6 +26,9 @@ import (
 	"shardmanager/internal/trace"
 )
 
+// lbRetry attributes request-retry timers in the kernel profiler.
+var lbRetry = sim.LabelFor("routing", "retry")
+
 // Options configure a client.
 type Options struct {
 	// MaxAttempts bounds total tries per request (default 4).
@@ -252,7 +255,7 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 			})
 			return
 		}
-		c.loop.After(c.retryDelay(attempt), func() {
+		c.loop.AfterL(c.retryDelay(attempt), lbRetry, func() {
 			c.attempt(req, start, attempt+1, tried, done)
 		})
 	}

@@ -28,6 +28,14 @@ type Endpoint string
 // was lost (down endpoint, partition, or packet loss).
 const DefaultSendTimeout = 1 * time.Second
 
+// Kernel-profiler attribution labels, interned once so the per-message path
+// never touches the label table.
+var (
+	lbDeliver = sim.LabelFor("rpcnet", "deliver")
+	lbReply   = sim.LabelFor("rpcnet", "reply")
+	lbTimeout = sim.LabelFor("rpcnet", "timeout")
+)
+
 // LinkFault describes an injected impairment of one directed region link.
 // The zero value is a healthy link.
 type LinkFault struct {
@@ -69,6 +77,12 @@ type Network struct {
 	regions map[Endpoint]topology.RegionID
 	down    map[Endpoint]bool
 	faults  map[linkKey]LinkFault
+
+	// inflight counts messages currently riding the fabric (scheduled but
+	// not yet delivered), exported as the rpcnet_inflight_messages gauge —
+	// the delivery-queue depth the kernel profiler pairs with its
+	// event-heap gauges.
+	inflight int
 
 	// Messages counts deliveries, Dropped counts messages lost to link
 	// faults, for tests and smctl.
@@ -161,6 +175,18 @@ func (n *Network) sendTimeout() time.Duration {
 	return DefaultSendTimeout
 }
 
+// trackInflight adjusts the fabric's in-flight message count and mirrors it
+// into the metrics registry when one is attached.
+func (n *Network) trackInflight(delta int) {
+	n.inflight += delta
+	if mr := n.loop.Metrics(); mr != nil {
+		mr.Gauge("rpcnet_inflight_messages").Set(float64(n.inflight))
+	}
+}
+
+// InFlight returns the number of messages scheduled but not yet delivered.
+func (n *Network) InFlight() int { return n.inflight }
+
 // lost decides whether a message on from -> to is lost to an injected
 // link fault. It consumes randomness only on lossy (0 < p < 1) links so that
 // installing and removing faults perturbs the RNG stream minimally.
@@ -209,19 +235,21 @@ func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onF
 	}
 	if known && n.lost(fromRegion, toRegion) {
 		n.Dropped++
-		n.loop.After(timeout, func() { fail("dropped") })
+		n.loop.AfterL(timeout, lbTimeout, func() { fail("dropped") })
 		return
 	}
 	sentAt := n.loop.Now()
-	n.loop.After(d, func() {
+	n.trackInflight(1)
+	n.loop.AfterL(d, lbDeliver, func() {
 		n.Messages++
+		n.trackInflight(-1)
 		if !n.Reachable(to) {
 			// Failure detection is by timeout from the send instant; if
 			// the (possibly inflated) delivery delay already exceeds the
 			// timeout the sender has been waiting long enough.
 			wait := sentAt + timeout - n.loop.Now()
 			if wait > 0 {
-				n.loop.After(wait, func() { fail("unreachable") })
+				n.loop.AfterL(wait, lbTimeout, func() { fail("unreachable") })
 			} else {
 				fail("unreachable")
 			}
@@ -245,11 +273,17 @@ func (n *Network) Reply(from, to topology.RegionID, fn func(), onFail func()) {
 	if n.lost(from, to) {
 		n.Dropped++
 		if onFail != nil {
-			n.loop.After(n.sendTimeout(), onFail)
+			n.loop.AfterL(n.sendTimeout(), lbTimeout, onFail)
 		}
 		return
 	}
-	n.loop.After(n.Delay(from, to), fn)
+	n.trackInflight(1)
+	n.loop.AfterL(n.Delay(from, to), lbReply, func() {
+		n.trackInflight(-1)
+		if fn != nil {
+			fn()
+		}
+	})
 }
 
 // Call performs a round trip: deliver the request, run handle at the

@@ -44,8 +44,10 @@ func TestCancelledEventsDrainFromQueue(t *testing.T) {
 	for _, tm := range timers {
 		tm.Stop()
 	}
-	if l.Pending() != 10 {
-		t.Fatalf("Pending = %d before drain, want 10", l.Pending())
+	// Cancelled entries still sit in the heap awaiting lazy removal, but
+	// Pending counts only callbacks that will actually fire.
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancelling all, want 0", l.Pending())
 	}
 	l.RunUntil(time.Minute)
 	if l.Pending() != 0 {
@@ -53,6 +55,48 @@ func TestCancelledEventsDrainFromQueue(t *testing.T) {
 	}
 	if l.Now() != time.Minute {
 		t.Fatalf("Now = %v, want 1m", l.Now())
+	}
+}
+
+func TestPendingExcludesCancelledButUndrainedEvents(t *testing.T) {
+	l := NewLoop(1)
+	fired := 0
+	keepA := l.After(time.Second, func() { fired++ })
+	victim := l.After(2*time.Second, func() { t.Error("cancelled timer fired") })
+	keepB := l.After(3*time.Second, func() { fired++ })
+	if l.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", l.Pending())
+	}
+	// Cancel the middle event: it stays in the heap (lazy removal) but must
+	// leave the pending count immediately.
+	if !victim.Stop() {
+		t.Fatal("Stop reported not-pending for a live timer")
+	}
+	if l.Pending() != 2 {
+		t.Fatalf("Pending = %d after one cancel, want 2 (raw heap still holds 3)", l.Pending())
+	}
+	if got := l.events.Len(); got != 3 {
+		t.Fatalf("heap length = %d, want 3 (cancelled entry awaits lazy drain)", got)
+	}
+	// Double-stop and stop-after-fire must not decrement again.
+	victim.Stop()
+	if l.Pending() != 2 {
+		t.Fatalf("Pending = %d after double stop, want 2", l.Pending())
+	}
+	l.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", l.Pending())
+	}
+	keepA.Stop()
+	keepB.Stop()
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after stopping fired timers, want 0", l.Pending())
+	}
+	if got := l.Dispatched(); got != 2 {
+		t.Fatalf("Dispatched = %d, want 2 (cancelled events never count)", got)
 	}
 }
 

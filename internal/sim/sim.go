@@ -38,7 +38,8 @@ type Scheduler interface {
 
 // Timer is a handle to a scheduled callback.
 type Timer struct {
-	ev *event
+	ev   *event
+	loop *Loop
 }
 
 // Stop cancels the timer. It reports whether the callback was still pending.
@@ -48,6 +49,14 @@ func (t *Timer) Stop() bool {
 	}
 	pending := !t.ev.fired
 	t.ev.fn = nil
+	if pending {
+		// The event stays in the heap until popped, but it no longer
+		// counts as pending work.
+		t.loop.live--
+		if p := t.loop.prof; p != nil {
+			p.OnCancel(t.ev.label)
+		}
+	}
 	return pending
 }
 
@@ -55,6 +64,7 @@ type event struct {
 	at    time.Duration
 	seq   uint64
 	fn    func()
+	label Label
 	fired bool
 	index int
 }
@@ -94,12 +104,15 @@ func (h *eventHeap) Pop() any {
 // Loop is a single-threaded discrete-event loop. The zero value is not
 // usable; create one with NewLoop.
 type Loop struct {
-	now     time.Duration
-	seq     uint64
-	events  eventHeap
-	rng     *RNG
-	tracer  *trace.Tracer
-	metrics *metrics.Registry
+	now        time.Duration
+	seq        uint64
+	events     eventHeap
+	live       int    // scheduled events not yet fired or cancelled
+	dispatched uint64 // total events fired over the loop's lifetime
+	rng        *RNG
+	tracer     *trace.Tracer
+	metrics    *metrics.Registry
+	prof       Profiler
 }
 
 // NewLoop returns an event loop starting at time zero with a deterministic
@@ -139,35 +152,77 @@ func (l *Loop) SetMetrics(r *metrics.Registry) { l.metrics = r }
 // may use the result without checking.
 func (l *Loop) Metrics() *metrics.Registry { return l.metrics }
 
+// SetProfiler attaches a kernel profiler to the loop (internal/simprof
+// provides one). Pass nil to disable; disabled profiling costs one pointer
+// test per schedule and dispatch. The profiler must be attached before the
+// events it should attribute are scheduled, and must not be shared between
+// concurrently running loops.
+func (l *Loop) SetProfiler(p Profiler) { l.prof = p }
+
+// Profiler returns the loop's profiler, or nil when profiling is disabled.
+func (l *Loop) Profiler() Profiler { return l.prof }
+
+// Dispatched returns the total number of events the loop has fired. It is
+// maintained unconditionally (the counter is one increment per event), so
+// throughput benchmarks need no profiler.
+func (l *Loop) Dispatched() uint64 { return l.dispatched }
+
 // After schedules fn to run d after the current time.
 func (l *Loop) After(d time.Duration, fn func()) *Timer {
+	return l.AfterL(d, 0, fn)
+}
+
+// AfterL schedules fn to run d after the current time, attributing its
+// dispatch cost to lb when a profiler is attached.
+func (l *Loop) AfterL(d time.Duration, lb Label, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	return l.At(l.now+d, fn)
+	return l.AtL(l.now+d, lb, fn)
 }
 
 // At schedules fn at absolute time t (clamped to the present).
 func (l *Loop) At(t time.Duration, fn func()) *Timer {
+	return l.AtL(t, 0, fn)
+}
+
+// AtL schedules fn at absolute time t (clamped to the present) under an
+// attribution label.
+func (l *Loop) AtL(t time.Duration, lb Label, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
 	if t < l.now {
 		t = l.now
 	}
-	ev := &event{at: t, seq: l.seq, fn: fn}
+	ev := &event{at: t, seq: l.seq, fn: fn, label: lb}
 	l.seq++
+	l.live++
 	heap.Push(&l.events, ev)
-	return &Timer{ev: ev}
+	if p := l.prof; p != nil {
+		p.OnSchedule(lb)
+	}
+	return &Timer{ev: ev, loop: l}
+}
+
+// Schedule schedules a labeled callback built with Labeled to run d after
+// the current time.
+func (l *Loop) Schedule(d time.Duration, lf LabeledFunc) *Timer {
+	return l.AfterL(d, lf.Label, lf.Fn)
 }
 
 // Every schedules fn to run every interval, starting one interval from now,
 // until the returned Ticker is stopped.
 func (l *Loop) Every(interval time.Duration, fn func()) *Ticker {
+	return l.EveryL(interval, 0, fn)
+}
+
+// EveryL is Every with an attribution label applied to every tick.
+func (l *Loop) EveryL(interval time.Duration, lb Label, fn func()) *Ticker {
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: Every with non-positive interval %v", interval))
 	}
-	tk := &Ticker{loop: l, interval: interval, fn: fn}
+	tk := &Ticker{loop: l, interval: interval, label: lb, fn: fn}
 	tk.schedule()
 	return tk
 }
@@ -176,13 +231,14 @@ func (l *Loop) Every(interval time.Duration, fn func()) *Ticker {
 type Ticker struct {
 	loop     *Loop
 	interval time.Duration
+	label    Label
 	fn       func()
 	timer    *Timer
 	stopped  bool
 }
 
 func (t *Ticker) schedule() {
-	t.timer = t.loop.After(t.interval, func() {
+	t.timer = t.loop.AfterL(t.interval, t.label, func() {
 		if t.stopped {
 			return
 		}
@@ -213,18 +269,31 @@ func (l *Loop) Step() bool {
 		ev.fired = true
 		fn := ev.fn
 		ev.fn = nil
+		l.live--
+		l.dispatched++
 		if tr := l.tracer; tr != nil {
 			sp := tr.StartSpan("sim.loop", "dispatch", 0)
-			fn()
+			l.invoke(ev.label, fn)
 			tr.EndSpan(sp)
 			tr.Counter("sim.loop", "queue_depth", float64(l.events.Len()))
 			tr.Counter("sim.loop", "loop_lag_ms", float64(lag)/float64(time.Millisecond))
 		} else {
-			fn()
+			l.invoke(ev.label, fn)
 		}
 		return true
 	}
 	return false
+}
+
+// invoke runs one event callback, routing it through the profiler when one
+// is attached. The profiler wraps fn so the measured interval covers only
+// the callback, not heap maintenance or tracing.
+func (l *Loop) invoke(lb Label, fn func()) {
+	if p := l.prof; p != nil {
+		p.Dispatch(lb, l.now, l.events.Len(), l.live, fn)
+		return
+	}
+	fn()
 }
 
 // Run executes events until the queue drains.
@@ -256,8 +325,10 @@ func (l *Loop) RunUntil(deadline time.Duration) {
 // RunFor executes events for d of simulated time from the current instant.
 func (l *Loop) RunFor(d time.Duration) { l.RunUntil(l.now + d) }
 
-// Pending returns the number of scheduled (possibly cancelled) events.
-func (l *Loop) Pending() int { return l.events.Len() }
+// Pending returns the number of live scheduled events: callbacks that will
+// still fire. Cancelled timers stop counting immediately, even while their
+// heap entries await lazy removal.
+func (l *Loop) Pending() int { return l.live }
 
 // RNG is a splitmix64 pseudo-random generator. It is deliberately simple and
 // fully deterministic across platforms, unlike math/rand's global source.

@@ -24,4 +24,6 @@ echo "== go test ./internal/experiments"
 go test ./internal/experiments
 echo "== solver benchmark smoke (-benchtime=1x)"
 go test ./internal/solver -run '^$' -bench . -benchtime=1x
+echo "== sim-kernel benchmark smoke (-benchtime=1x)"
+go test . -run '^$' -bench 'ProfilerOverhead|SimScale' -benchtime=1x
 echo "check: OK"
