@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench bench-solver bench-sim vet build fmt
+.PHONY: check test bench bench-solver bench-sim audit-torture vet build fmt
 
 check: ## gofmt + vet + build + race-enabled tests (tier-1 verify)
 	sh scripts/check.sh
@@ -27,3 +27,6 @@ bench-solver: ## run the solver scale benchmarks and regenerate BENCH_solver.jso
 bench-sim: ## run the kernel benchmarks and regenerate BENCH_sim.json
 	$(GO) test . -run '^$$' -bench 'ProfilerOverhead|SimScale' -benchmem
 	$(GO) run ./cmd/smbench -fig simscale -bench-sim-out BENCH_sim.json
+
+audit-torture: ## full 500-seed migration-torture sweep -> FOUNDBUGS_audit.json
+	$(GO) run ./cmd/smbench -fig torture -foundbugs-out FOUNDBUGS_audit.json

@@ -43,6 +43,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the run's labeled metrics to this file (byte-stable for a given seed)")
 	expo := flag.String("expo", "prom", "metrics exposition format: 'prom' (Prometheus text), 'json', or 'csv'")
 	faultSpec := flag.String("faults", "", "fault-timeline DSL for the 'faults' experiment, e.g. \"t=60s partition(region-a|region-b) for 120s\" (see internal/faults); implies -fig faults unless -fig is set")
+	tortureSeeds := flag.Int("torture-seeds", 0, "override the 'torture' experiment's seed count (0 keeps the scale default)")
+	tortureStart := flag.Uint64("torture-start", 0, "override the 'torture' experiment's starting seed (0 keeps the default)")
+	foundBugsOut := flag.String("foundbugs-out", "FOUNDBUGS_audit.json", "where the torture experiment writes its found-bug log (seed-pinned audit violations)")
 	benchSimOut := flag.String("bench-sim-out", "BENCH_sim.json", "where the simscale experiment writes its machine-readable kernel benchmark record")
 	profOut := flag.String("prof-out", "", "write the kernel profiler's text report to this file (byte-stable for a given seed unless -prof-wall)")
 	profJSON := flag.String("prof-json", "", "write the kernel profiler's JSON report to this file")
@@ -69,6 +72,19 @@ func main() {
 		experiments.SetFaultSpec(*faultSpec)
 		if *fig == "all" {
 			*fig = "faults"
+		}
+	}
+	if *tortureSeeds > 0 || *tortureStart > 0 {
+		experiments.SetTortureOverride(func(p *experiments.TortureParams) {
+			if *tortureSeeds > 0 {
+				p.Seeds = *tortureSeeds
+			}
+			if *tortureStart > 0 {
+				p.StartSeed = *tortureStart
+			}
+		})
+		if *fig == "all" {
+			*fig = "torture"
 		}
 	}
 
@@ -139,6 +155,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if report.ID == "torture" && *foundBugsOut != "" {
+			if err := writeFoundBugs(report, *foundBugsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if err := writeTrace(tracer, *traceOut, *traceText); err != nil {
@@ -188,6 +210,25 @@ func writeBenchSim(r *experiments.Report, path string) error {
 		return err
 	}
 	fmt.Printf("kernel benchmark record written to %s\n", path)
+	return nil
+}
+
+// writeFoundBugs writes the torture sweep's found-bug log: every audit
+// violation discovered, pinned to the seed that reproduces it (committed
+// even when empty, so a sweep that finds nothing is distinguishable from a
+// sweep that never ran).
+func writeFoundBugs(r *experiments.Report, path string) error {
+	if r.Extra == nil {
+		return fmt.Errorf("torture report carries no artifacts")
+	}
+	data, err := json.MarshalIndent(r.Extra, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("found-bug log written to %s\n", path)
 	return nil
 }
 

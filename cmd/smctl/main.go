@@ -11,6 +11,8 @@
 //	smctl status -scenario geofailover
 //	smctl faults                  # compound fault-injection scenario
 //	smctl faults -spec "t=30s stall(coord) for 1m" -parse
+//	smctl audit -seed 5           # replay a torture seed, dump ownership timelines
+//	smctl audit -seed 5 -shard s00004
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"shardmanager/internal/routing"
 	"shardmanager/internal/rpcnet"
 	"shardmanager/internal/shard"
+	"shardmanager/internal/sim"
 	"shardmanager/internal/simprof"
 	"shardmanager/internal/taskcontroller"
 	"shardmanager/internal/topology"
@@ -44,6 +47,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "faults" {
 		runFaults(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "audit" {
+		runAudit(os.Args[2:])
 		return
 	}
 	servers := flag.Int("servers", 12, "servers per region")
@@ -241,6 +248,50 @@ func runFaults(argv []string) {
 	fmt.Println(report.Render())
 }
 
+// runAudit is the `smctl audit` subcommand: replay one torture seed under
+// the runtime auditor and print a shard's ownership timeline around any
+// violation — the same deterministic world the sweep ran, so a seed from
+// FOUNDBUGS_audit.json reproduces its finding exactly.
+func runAudit(argv []string) {
+	fs := flag.NewFlagSet("smctl audit", flag.ExitOnError)
+	seed := fs.Uint64("seed", 5, "torture seed to replay (e.g. one pinned in FOUNDBUGS_audit.json)")
+	shardID := fs.String("shard", "", "shard whose ownership timeline to print (default: the first violation's shard)")
+	full := fs.Bool("report", false, "also print the full audit report (every violation with its timeline)")
+	fs.Parse(argv)
+
+	run := experiments.RunTortureSeed(experiments.DefaultTortureParams(), *seed)
+	a := run.Auditor
+	checks := int64(0)
+	for _, n := range a.Checks() {
+		checks += n
+	}
+	fmt.Printf("torture seed %d: %d invariant checks, %d violations\n",
+		*seed, checks, a.ViolationCount())
+	fmt.Printf("fault timeline (%d events):\n%s\n", len(run.Scenario.Events), run.Scenario)
+	for _, b := range run.Bugs {
+		fmt.Printf("  first %-26s shard=%-8s at=%-14v %s\n", b.Invariant, b.Shard, b.At, b.Detail)
+	}
+
+	if *full {
+		fmt.Println()
+		a.WriteText(os.Stdout)
+	}
+
+	target := shard.ID(*shardID)
+	if target == "" {
+		if vs := a.Violations(); len(vs) > 0 {
+			target = vs[0].Shard
+		} else if ids := a.Shards(); len(ids) > 0 {
+			target = ids[0]
+		} else {
+			fmt.Println("\nno ownership events observed")
+			return
+		}
+	}
+	fmt.Printf("\nownership timeline for %s:\n", target)
+	a.TimelineText(target, os.Stdout)
+}
+
 // buildProfiled builds the deployment with the kernel profiler attached when
 // one was requested (spec.Profiler must stay unset for a nil *Profile — a
 // typed-nil sim.Profiler would make the loop call methods on nil).
@@ -263,7 +314,7 @@ func startTraffic(d *experiments.Deployment, shards int) {
 	ks := experiments.KeyspaceFor(shards)
 	client := d.NewClient("frc", ks, routing.DefaultOptions())
 	rng := d.Loop.RNG().Fork()
-	d.Loop.Every(250*time.Millisecond, func() {
+	d.Loop.EveryL(250*time.Millisecond, sim.LabelFor("smctl", "traffic"), func() {
 		key := experiments.KeyForShard(rng.Intn(shards))
 		client.Do(key, false, apps.KVOpScan, nil, func(routing.Result) {})
 	})

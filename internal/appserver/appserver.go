@@ -91,27 +91,48 @@ type Response struct {
 	Hops int
 }
 
-// replicaPhase is the runtime state of one shard replica on one server.
-type replicaPhase int
+// Phase is the runtime state of one shard replica on one server. It is
+// exported so observers (the runtime auditor) can reason about the §4.3
+// protocol steps a replica is in.
+type Phase int
 
+// Replica phases, in rough lifecycle order.
 const (
-	// phaseNone: zero value; a replica in the map never keeps it.
-	phaseNone replicaPhase = iota
-	// phaseLoading: the replica is loading shard state (LoadTime) and
+	// PhaseNone: zero value; a replica in the map never keeps it.
+	PhaseNone Phase = iota
+	// PhaseLoading: the replica is loading shard state (LoadTime) and
 	// cannot serve yet.
-	phaseLoading
-	// phasePreparingAdd: loaded and ready to take over; serves only
+	PhaseLoading
+	// PhasePreparingAdd: loaded and ready to take over; serves only
 	// forwarded requests.
-	phasePreparingAdd
-	// phaseActive: owns the shard; serves matching requests.
-	phaseActive
-	// phaseForwarding: handing off; forwards requests to the new owner.
-	phaseForwarding
+	PhasePreparingAdd
+	// PhaseActive: owns the shard; serves matching requests.
+	PhaseActive
+	// PhaseForwarding: handing off; forwards requests to the new owner.
+	PhaseForwarding
 )
+
+// String returns the phase name used in reports and timelines.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNone:
+		return "none"
+	case PhaseLoading:
+		return "loading"
+	case PhasePreparingAdd:
+		return "preparing"
+	case PhaseActive:
+		return "active"
+	case PhaseForwarding:
+		return "forwarding"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
 
 type replica struct {
 	role      shard.Role
-	phase     replicaPhase
+	phase     Phase
 	forwardTo shard.ServerID
 	// pendingActive marks a replica that must activate as soon as its
 	// state load completes (AddShard arrived during/starting the load).
@@ -189,16 +210,56 @@ func (s *Server) replicaMetric(delta float64) {
 }
 
 // reject counts and replies with one of the fixed rejection reasons.
-func (s *Server) reject(reply func(Response), errMsg string) {
+func (s *Server) reject(sid shard.ID, reply func(Response), errMsg string) {
 	s.Rejected.Inc()
 	s.requestMetric(errMsg)
+	for i := range s.dir.observers {
+		if fn := s.dir.observers[i].Rejected; fn != nil {
+			fn(s.ID, sid, errMsg)
+		}
+	}
 	reply(Response{Err: errMsg, Server: s.ID})
+}
+
+// Observer sees server-side ownership events across every server in a
+// Directory. All callbacks fire synchronously inside existing events and
+// must draw no randomness, so attaching one (the runtime auditor does)
+// cannot perturb a seeded run. Any field may be nil.
+type Observer struct {
+	// ReplicaChanged fires after any replica state transition (add, prepare
+	// add/drop, role change, load completion). peer is the forwarding target
+	// while the replica forwards, else "".
+	ReplicaChanged func(server shard.ServerID, s shard.ID, role shard.Role, phase Phase, peer shard.ServerID)
+	// ReplicaDropped fires when drop_shard removes a replica; tombstone
+	// reports whether a forwarding tombstone was left behind.
+	ReplicaDropped func(server shard.ServerID, s shard.ID, tombstone bool)
+	// Handled fires when a server executes a request locally, with the
+	// phase the replica was in at execution time.
+	Handled func(server shard.ServerID, s shard.ID, write, forwarded bool, phase Phase)
+	// Rejected fires when a server turns a request away with one of the
+	// fixed rejection reasons.
+	Rejected func(server shard.ServerID, s shard.ID, reason string)
 }
 
 // Directory resolves server IDs to live Server instances for the in-process
 // RPC layer. One Directory serves a whole simulation.
 type Directory struct {
-	servers map[shard.ServerID]*Server
+	servers   map[shard.ServerID]*Server
+	observers []Observer
+}
+
+// AddObserver registers an ownership-event observer with every server that
+// resolves through this directory (append-only; observers cannot be
+// removed).
+func (d *Directory) AddObserver(o Observer) { d.observers = append(d.observers, o) }
+
+// notifyReplica reports a replica's post-transition state to observers.
+func (s *Server) notifyReplica(id shard.ID, r *replica) {
+	for i := range s.dir.observers {
+		if fn := s.dir.observers[i].ReplicaChanged; fn != nil {
+			fn(s.ID, id, r.role, r.phase, r.forwardTo)
+		}
+	}
 }
 
 // NewDirectory returns an empty directory.
@@ -254,37 +315,39 @@ func (s *Server) AddShard(id shard.ID, role shard.Role) {
 	r.forwardTo = ""
 	delete(s.tombstones, id)
 	switch r.phase {
-	case phaseLoading:
+	case PhaseLoading:
 		r.pendingActive = true
-	case phaseNone:
+	case PhaseNone:
 		if s.LoadTime > 0 {
 			r.pendingActive = true
 			s.startLoad(id, r)
 		} else {
-			r.phase = phaseActive
+			r.phase = PhaseActive
 		}
 	default: // prepared, active, or forwarding: state already present
-		r.phase = phaseActive
+		r.phase = PhaseActive
 	}
+	s.notifyReplica(id, r)
 	s.app.AddShard(id, role)
 }
 
 // startLoad begins the replica's state load; on completion it becomes
 // active (if AddShard already arrived) or prepared.
 func (s *Server) startLoad(id shard.ID, r *replica) {
-	r.phase = phaseLoading
+	r.phase = PhaseLoading
 	r.loadGen++
 	gen := r.loadGen
 	s.loop.AfterL(s.LoadTime, lbShardLoad, func() {
-		if s.replicas[id] != r || r.loadGen != gen || r.phase != phaseLoading {
+		if s.replicas[id] != r || r.loadGen != gen || r.phase != PhaseLoading {
 			return
 		}
 		if r.pendingActive {
 			r.pendingActive = false
-			r.phase = phaseActive
+			r.phase = PhaseActive
 		} else {
-			r.phase = phasePreparingAdd
+			r.phase = PhasePreparingAdd
 		}
+		s.notifyReplica(id, r)
 	})
 }
 
@@ -295,7 +358,7 @@ func (s *Server) DropShard(id shard.ID) {
 	if r == nil {
 		return
 	}
-	if r.phase == phaseForwarding && r.forwardTo != "" {
+	if r.phase == PhaseForwarding && r.forwardTo != "" {
 		to := r.forwardTo
 		s.tombstones[id] = to
 		s.loop.AfterL(tombstoneTTL, lbTombstoneGC, func() {
@@ -307,6 +370,12 @@ func (s *Server) DropShard(id shard.ID) {
 	delete(s.replicas, id)
 	s.replicaMetric(-1)
 	s.opMetric("drop")
+	_, tomb := s.tombstones[id]
+	for i := range s.dir.observers {
+		if fn := s.dir.observers[i].ReplicaDropped; fn != nil {
+			fn(s.ID, id, tomb)
+		}
+	}
 	s.app.DropShard(id)
 }
 
@@ -322,6 +391,7 @@ func (s *Server) ChangeRole(id shard.ID, from, to shard.Role) error {
 	}
 	r.role = to
 	s.opMetric("change_role")
+	s.notifyReplica(id, r)
 	s.app.ChangeRole(id, from, to)
 	return nil
 }
@@ -339,11 +409,12 @@ func (s *Server) PrepareAddShard(id shard.ID, currentOwner shard.ServerID, role 
 	}
 	s.opMetric("prepare_add")
 	r.role = role
-	if r.phase == phaseNone && s.LoadTime > 0 {
+	if r.phase == PhaseNone && s.LoadTime > 0 {
 		s.startLoad(id, r)
-	} else if r.phase != phaseLoading {
-		r.phase = phasePreparingAdd
+	} else if r.phase != PhaseLoading {
+		r.phase = PhasePreparingAdd
 	}
+	s.notifyReplica(id, r)
 	if p, ok := s.app.(Preparer); ok {
 		p.PrepareAddShard(id, currentOwner, role)
 	}
@@ -357,8 +428,9 @@ func (s *Server) PrepareDropShard(id shard.ID, newOwner shard.ServerID, role sha
 		return
 	}
 	s.opMetric("prepare_drop")
-	r.phase = phaseForwarding
+	r.phase = PhaseForwarding
 	r.forwardTo = newOwner
+	s.notifyReplica(id, r)
 	if p, ok := s.app.(Preparer); ok {
 		p.PrepareDropShard(id, newOwner, role)
 	}
@@ -376,7 +448,7 @@ func (s *Server) Shards() map[shard.ID]shard.Role {
 // HoldsActive reports whether the server actively owns the shard.
 func (s *Server) HoldsActive(id shard.ID) bool {
 	r := s.replicas[id]
-	return r != nil && r.phase == phaseActive
+	return r != nil && r.phase == PhaseActive
 }
 
 // LoadReport returns per-shard load for the orchestrator's collection
@@ -419,32 +491,37 @@ func (s *Server) serve(req *Request, reply func(Response)) {
 			s.forward(req, to, reply)
 			return
 		}
-		s.reject(reply, "not-owner")
+		s.reject(req.Shard, reply, "not-owner")
 		return
 	}
 	switch r.phase {
-	case phaseActive:
+	case PhaseActive:
 		if req.Write && r.role != shard.RolePrimary {
-			s.reject(reply, "not-primary")
+			s.reject(req.Shard, reply, "not-primary")
 			return
 		}
-		s.handle(req, reply)
-	case phaseLoading:
-		s.reject(reply, "loading")
-	case phasePreparingAdd:
+		s.handle(req, r.phase, reply)
+	case PhaseLoading:
+		s.reject(req.Shard, reply, "loading")
+	case PhasePreparingAdd:
 		if req.Forwarded {
-			s.handle(req, reply)
+			s.handle(req, r.phase, reply)
 			return
 		}
-		s.reject(reply, "preparing")
-	case phaseForwarding:
+		s.reject(req.Shard, reply, "preparing")
+	case PhaseForwarding:
 		s.forward(req, r.forwardTo, reply)
 	default:
 		panic("appserver: unknown replica phase")
 	}
 }
 
-func (s *Server) handle(req *Request, reply func(Response)) {
+func (s *Server) handle(req *Request, phase Phase, reply func(Response)) {
+	for i := range s.dir.observers {
+		if fn := s.dir.observers[i].Handled; fn != nil {
+			fn(s.ID, req.Shard, req.Write, req.Forwarded, phase)
+		}
+	}
 	payload, err := s.app.HandleRequest(req)
 	if err != nil {
 		s.Rejected.Inc()
@@ -461,7 +538,7 @@ func (s *Server) handle(req *Request, reply func(Response)) {
 // response back (one extra hop each way).
 func (s *Server) forward(req *Request, to shard.ServerID, reply func(Response)) {
 	if to == "" || to == s.ID {
-		s.reject(reply, "forward-loop")
+		s.reject(req.Shard, reply, "forward-loop")
 		return
 	}
 	s.ForwardTx.Inc()

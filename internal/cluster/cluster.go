@@ -24,6 +24,15 @@ import (
 	"shardmanager/internal/topology"
 )
 
+// Scheduling labels for the kernel profiler (simprof): every timer the
+// manager arms is attributed to a cluster cost center.
+var (
+	lbContainerStart = sim.LabelFor("cluster", "container_start")
+	lbNegotiate      = sim.LabelFor("cluster", "negotiate")
+	lbOpExec         = sim.LabelFor("cluster", "op_exec")
+	lbMaintenance    = sim.LabelFor("cluster", "maintenance")
+)
+
 // JobID names a deployed application job within a region.
 type JobID string
 
@@ -340,7 +349,7 @@ func (m *Manager) pickMachine() topology.MachineID {
 }
 
 func (m *Manager) startContainer(c *Container, reason string) {
-	m.loop.After(m.opts.StartDuration, func() {
+	m.loop.AfterL(m.opts.StartDuration, lbContainerStart, func() {
 		if m.deadMachine[c.Machine] {
 			return // machine died while starting
 		}
@@ -448,7 +457,7 @@ func (m *Manager) scheduleNegotiation() {
 		return
 	}
 	m.negotiating = true
-	m.loop.After(m.opts.NegotiationDelay, func() {
+	m.loop.AfterL(m.opts.NegotiationDelay, lbNegotiate, func() {
 		m.negotiating = false
 		m.negotiate()
 	})
@@ -523,7 +532,7 @@ func (m *Manager) execute(op *Operation) {
 			return
 		}
 		m.stopContainer(c, op.Reason, true)
-		m.loop.After(m.opts.RestartDuration, func() {
+		m.loop.AfterL(m.opts.RestartDuration, lbOpExec, func() {
 			if !m.deadMachine[c.Machine] {
 				m.containerUp(c)
 			}
@@ -534,7 +543,7 @@ func (m *Manager) execute(op *Operation) {
 			m.stopContainer(c, op.Reason, true)
 			m.removeContainer(c)
 		}
-		m.loop.After(m.opts.StopDuration, done)
+		m.loop.AfterL(m.opts.StopDuration, lbOpExec, done)
 	case OpStart:
 		if c == nil {
 			// New container appended to the job.
@@ -555,7 +564,7 @@ func (m *Manager) execute(op *Operation) {
 			done()
 			return
 		}
-		m.loop.After(m.opts.StartDuration, func() {
+		m.loop.AfterL(m.opts.StartDuration, lbOpExec, func() {
 			if !m.deadMachine[c.Machine] && c.State == StateDown {
 				m.containerUp(c)
 			}
@@ -571,7 +580,7 @@ func (m *Manager) execute(op *Operation) {
 			target = m.pickMachine()
 		}
 		m.stopContainer(c, op.Reason, true)
-		m.loop.After(m.opts.StopDuration+m.opts.StartDuration, func() {
+		m.loop.AfterL(m.opts.StopDuration+m.opts.StartDuration, lbOpExec, func() {
 			if !m.deadMachine[target] {
 				m.perMachine[c.Machine]--
 				c.Machine = target
@@ -673,7 +682,7 @@ func (m *Manager) ScheduleMaintenance(machines []topology.MachineID, start, end 
 	for _, l := range m.maintaince {
 		l.MaintenanceScheduled(m.Region, ev)
 	}
-	m.loop.At(start, func() { m.beginMaintenance(ev) })
+	m.loop.AtL(start, lbMaintenance, func() { m.beginMaintenance(ev) })
 	return ev
 }
 
@@ -683,7 +692,7 @@ func (m *Manager) beginMaintenance(ev MaintenanceEvent) {
 		for _, mach := range ev.Machines {
 			m.killMachineInternal(mach, "maintenance", true)
 		}
-		m.loop.At(ev.End, func() {
+		m.loop.AtL(ev.End, lbMaintenance, func() {
 			for _, mach := range ev.Machines {
 				m.RestoreMachine(mach)
 			}
@@ -694,7 +703,7 @@ func (m *Manager) beginMaintenance(ev MaintenanceEvent) {
 				if c.Machine == mach && c.State == StateRunning {
 					c := c
 					m.stopContainer(c, "maintenance", true)
-					m.loop.After(m.opts.RestartDuration, func() {
+					m.loop.AfterL(m.opts.RestartDuration, lbMaintenance, func() {
 						if !m.deadMachine[c.Machine] && c.State == StateDown {
 							m.containerUp(c)
 						}

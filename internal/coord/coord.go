@@ -108,6 +108,32 @@ type Store struct {
 	// gated, matching a ZooKeeper ensemble that can still expire sessions
 	// while rejecting client writes.
 	writeGate func(op, path string) error
+	// writeObs observe every committed mutation (op "create", "set",
+	// "delete", or "session-expire") after it applied. They fire outside
+	// the store's lock and must draw no randomness; the runtime auditor
+	// uses them for ownership timelines.
+	writeObs []func(op, path string)
+}
+
+// AddWriteObserver registers an observer of committed mutations
+// (append-only; observers cannot be removed).
+func (s *Store) AddWriteObserver(fn func(op, path string)) {
+	if fn == nil {
+		panic("coord: AddWriteObserver(nil)")
+	}
+	s.mu.Lock()
+	s.writeObs = append(s.writeObs, fn)
+	s.mu.Unlock()
+}
+
+// notifyWrite reports one committed mutation to the write observers.
+func (s *Store) notifyWrite(op, path string) {
+	s.mu.Lock()
+	obs := s.writeObs
+	s.mu.Unlock()
+	for _, fn := range obs {
+		fn(op, path)
+	}
 }
 
 // SetWriteGate installs (or, with nil, removes) the write gate.
@@ -200,6 +226,9 @@ func (s *Store) expire(sess *Session) {
 	}
 	s.mu.Unlock()
 	s.dispatch(fire)
+	for _, p := range paths {
+		s.notifyWrite("session-expire", p)
+	}
 }
 
 type pendingEvent struct {
@@ -316,6 +345,7 @@ func (s *Store) Create(path string, data []byte, sess *Session) error {
 	}
 	s.mu.Unlock()
 	s.dispatch(fire)
+	s.notifyWrite("create", path)
 	return nil
 }
 
@@ -377,6 +407,7 @@ func (s *Store) Set(path string, data []byte, version int) (Stat, error) {
 	}
 	s.mu.Unlock()
 	s.dispatch(fire)
+	s.notifyWrite("set", path)
 	return st, nil
 }
 
@@ -403,6 +434,7 @@ func (s *Store) Delete(path string, version int) error {
 	fire := s.deleteLocked(path)
 	s.mu.Unlock()
 	s.dispatch(fire)
+	s.notifyWrite("delete", path)
 	return nil
 }
 

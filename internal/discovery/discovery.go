@@ -74,16 +74,30 @@ type Service struct {
 	// Publications counts Publish calls, for tests and smctl.
 	Publications int64
 
-	// observer, if set, sees every delivery outcome. Unlike Subscribe it
-	// consumes no RNG draws, so attaching one (healthmon does) cannot
+	// observers see every delivery outcome. Unlike Subscribe they consume
+	// no RNG draws, so attaching one (healthmon and the auditor do) cannot
 	// perturb a seeded run. lag is publish-to-delivery staleness; status is
 	// "delivered", "stale", or "cancelled".
-	observer func(app shard.AppID, version int64, lag time.Duration, status string)
+	observers []func(app shard.AppID, version int64, lag time.Duration, status string)
 }
 
-// SetObserver registers the delivery observer (nil to clear).
+// SetObserver registers the delivery observer, replacing any previously
+// attached observers (nil to clear).
 func (s *Service) SetObserver(fn func(app shard.AppID, version int64, lag time.Duration, status string)) {
-	s.observer = fn
+	if fn == nil {
+		s.observers = nil
+		return
+	}
+	s.observers = []func(shard.AppID, int64, time.Duration, string){fn}
+}
+
+// AddObserver registers an additional delivery observer without disturbing
+// ones already attached; observers fire in attachment order.
+func (s *Service) AddObserver(fn func(app shard.AppID, version int64, lag time.Duration, status string)) {
+	if fn == nil {
+		panic("discovery: AddObserver(nil)")
+	}
+	s.observers = append(s.observers, fn)
 }
 
 // NewService returns a discovery service using the given delay model (nil
@@ -165,8 +179,8 @@ func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) 
 					Observe(float64(lag) / float64(time.Millisecond))
 			}
 		}
-		if s.observer != nil {
-			s.observer(m.App, m.Version, lag, status)
+		for _, obs := range s.observers {
+			obs(m.App, m.Version, lag, status)
 		}
 		if status != "delivered" {
 			if tr.Enabled() {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"shardmanager/internal/appserver"
+	"shardmanager/internal/audit"
 	"shardmanager/internal/cluster"
 	"shardmanager/internal/coord"
 	"shardmanager/internal/discovery"
@@ -92,6 +93,13 @@ type DeploymentSpec struct {
 	// (falls back to the factory set by SetDefaultProfiler).
 	Profiler sim.Profiler
 
+	// Audit, if non-nil, attaches a runtime migration auditor to the whole
+	// deployment (orchestrator, servers, discovery, coordination store, and
+	// every client made with NewClient). The App field is filled from the
+	// deployment; auditing is RNG-free, so enabling it does not perturb the
+	// seeded run.
+	Audit *audit.Options
+
 	Seed uint64
 }
 
@@ -109,6 +117,7 @@ type Deployment struct {
 	Orch     *orchestrator.Orchestrator
 	Ctrl     *taskcontroller.Controller
 	Health   *healthmon.Monitor
+	Auditor  *audit.Auditor
 	App      shard.AppID
 }
 
@@ -192,6 +201,16 @@ func Build(spec DeploymentSpec) *Deployment {
 		mon.WatchDiscovery(d.Disc)
 		mon.WatchOrchestrator(d.Orch)
 	}
+	if spec.Audit != nil {
+		ao := *spec.Audit
+		ao.App = spec.Orch.App
+		a := audit.New(loop, ao)
+		a.WatchDirectory(d.Dir)
+		a.WatchCoord(d.Store)
+		a.WatchDiscovery(d.Disc)
+		a.WatchOrchestrator(d.Orch)
+		d.Auditor = a
+	}
 	d.Orch.Start()
 
 	if spec.TaskPolicy != nil {
@@ -254,6 +273,9 @@ func (d *Deployment) NewClient(region topology.RegionID, ks *shard.Keyspace, opt
 	c := routing.NewClient(d.Loop, d.Net, d.Dir, d.Disc, d.Fleet, d.App, ks, region, opts)
 	if d.Health != nil {
 		d.Health.WatchClient(c)
+	}
+	if d.Auditor != nil {
+		d.Auditor.WatchClient(c)
 	}
 	return c
 }

@@ -7,6 +7,7 @@ import (
 	"shardmanager/internal/allocator"
 	"shardmanager/internal/apps"
 	"shardmanager/internal/appserver"
+	"shardmanager/internal/audit"
 	"shardmanager/internal/faults"
 	"shardmanager/internal/healthmon"
 	"shardmanager/internal/metrics"
@@ -131,6 +132,7 @@ func CompoundFaults(p CompoundFaultParams) *Report {
 			return apps.NewKVStore(s, backing)
 		},
 		Health: mon,
+		Audit:  &audit.Options{},
 		Seed:   p.Seed,
 	})
 	if err := d.Settle(10 * time.Minute); err != nil {
@@ -146,7 +148,7 @@ func CompoundFaults(p CompoundFaultParams) *Report {
 	latency := metrics.NewSeries("latency")
 	failures := metrics.NewSeries("failures")
 	t0 := d.Loop.Now()
-	d.Loop.Every(time.Second/time.Duration(p.RequestRate), func() {
+	d.Loop.EveryL(time.Second/time.Duration(p.RequestRate), lbExpClient, func() {
 		key := KeyForShard(rng.Intn(p.Shards))
 		client.Do(key, false, apps.KVOpScan, nil, func(res routing.Result) {
 			if res.OK {
@@ -240,5 +242,19 @@ func CompoundFaults(p CompoundFaultParams) *Report {
 	r.AddNote("availability over final %s: %.6f (recovered: %v)",
 		90*time.Second, tailRate, tailRate >= snap.SLOTarget)
 	r.AddNote("mean latency: before %.1fms -> after recovery %.1fms", before, after)
+
+	// Runtime-audit verdict: on a clean seed the §4.3 invariants must hold
+	// through every injected fault. The full deterministic report rides in
+	// Extra so smbench can write it out and tests can compare two runs
+	// byte for byte.
+	art := NewAuditArtifacts(d.Auditor)
+	r.Extra = art
+	checks := int64(0)
+	for _, n := range d.Auditor.Checks() {
+		checks += n
+	}
+	r.AddValue("audit_checks", float64(checks))
+	r.AddValue("audit_violations", float64(d.Auditor.ViolationCount()))
+	r.AddNote("runtime audit: %d invariant checks, %d violations", checks, d.Auditor.ViolationCount())
 	return r
 }

@@ -169,7 +169,7 @@ func runAvailabilityVariant(p AvailabilityParams, v availabilityVariant) availab
 	rng := d.Loop.RNG().Fork()
 	ratio := metrics.NewSuccessRatio(30 * time.Second)
 	interval := time.Second / time.Duration(p.RequestRate)
-	d.Loop.Every(interval, func() {
+	d.Loop.EveryL(interval, lbExpClient, func() {
 		key := KeyForShard(rng.Intn(p.Shards))
 		client.Do(key, true, apps.QueueOpEnqueue, "msg", func(res routing.Result) {
 			ratio.Observe(d.Loop.Now(), res.OK)

@@ -113,7 +113,7 @@ func Fig18(p ProductionTraceParams) *Report {
 	moveCurve := Curve{Name: "shard moves", Unit: "moves/bucket"}
 	lastMoves := d.Orch.ShardMoves.Value()
 	var lastSent, lastFailed int64
-	d.Loop.Every(bucket, func() {
+	d.Loop.EveryL(bucket, lbExpSample, func() {
 		t := d.Loop.Now() - t0
 		rateCurve.Points = append(rateCurve.Points, point(t, float64(sent-lastSent)/bucket.Seconds()))
 		errCurve.Points = append(errCurve.Points, point(t, float64(failed-lastFailed)/bucket.Seconds()))
@@ -124,7 +124,7 @@ func Fig18(p ProductionTraceParams) *Report {
 
 	// Diurnal request generator: every second issue a Poisson-ish number
 	// of enqueues around BaseRate * diurnal(t).
-	d.Loop.Every(time.Second, func() {
+	d.Loop.EveryL(time.Second, lbExpClient, func() {
 		t := d.Loop.Now() - t0
 		rate := float64(p.BaseRate) * workload.Diurnal(t, 0.5)
 		n := int(rate)
@@ -153,7 +153,7 @@ func Fig18(p ProductionTraceParams) *Report {
 	}
 	for day := 0; day < p.Days; day++ {
 		dayStart := t0 + time.Duration(day)*24*time.Hour
-		d.Loop.At(dayStart+p.CanaryAt, func() {
+		d.Loop.AtL(dayStart+p.CanaryAt, lbExpAdmin, func() {
 			// Canary: restart the first canarySize containers.
 			ids := mgr.RunningContainers(job)
 			for i := 0; i < canarySize && i < len(ids); i++ {
@@ -163,7 +163,7 @@ func Fig18(p ProductionTraceParams) *Report {
 				})
 			}
 		})
-		d.Loop.At(dayStart+p.FullAt, func() {
+		d.Loop.AtL(dayStart+p.FullAt, lbExpAdmin, func() {
 			mgr.RollingUpgrade(job, canarySize, "full-upgrade", nil)
 		})
 	}

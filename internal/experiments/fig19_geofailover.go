@@ -128,7 +128,7 @@ func Fig19(p GeoFailoverParams) *Report {
 	latency := metrics.NewSeries("latency")
 	failures := metrics.NewSeries("failures")
 	t0 := d.Loop.Now()
-	d.Loop.Every(time.Second/time.Duration(p.RequestRate), func() {
+	d.Loop.EveryL(time.Second/time.Duration(p.RequestRate), lbExpClient, func() {
 		key := KeyForShard(rng.Intn(p.ECShards))
 		client.Do(key, false, apps.KVOpScan, nil, func(res routing.Result) {
 			if res.OK {
@@ -140,8 +140,8 @@ func Fig19(p GeoFailoverParams) *Report {
 	})
 
 	frc := d.Managers["frc"]
-	d.Loop.At(t0+p.FailAt, frc.FailRegion)
-	d.Loop.At(t0+p.RecoverAt, frc.RecoverRegion)
+	d.Loop.AtL(t0+p.FailAt, lbExpAdmin, frc.FailRegion)
+	d.Loop.AtL(t0+p.RecoverAt, lbExpAdmin, frc.RecoverRegion)
 	d.Loop.RunFor(p.Horizon)
 
 	// Bucket latency into 10s means for the plotted curve.

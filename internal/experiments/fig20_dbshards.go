@@ -138,7 +138,7 @@ func Fig20(p DBShardParams) *Report {
 	t0 := d.Loop.Now()
 	lastMoves := d.Orch.ShardMoves.Value()
 	dbMoved := 0
-	d.Loop.Every(time.Minute, func() {
+	d.Loop.EveryL(time.Minute, lbExpSample, func() {
 		t := d.Loop.Now() - t0
 		latCurve.Points = append(latCurve.Points, point(t, pairLatency()))
 		cur := d.Orch.ShardMoves.Value()
@@ -159,8 +159,8 @@ func Fig20(p DBShardParams) *Report {
 			d.Orch.SetRegionPreference(shards[i].ID, next, pol.AffinityWeight)
 		}
 	}
-	d.Loop.At(t0+p.Batch1At, func() { moveBatch(0) })
-	d.Loop.At(t0+p.Batch2At, func() { moveBatch(p.BatchSize) })
+	d.Loop.AtL(t0+p.Batch1At, lbExpAdmin, func() { moveBatch(0) })
+	d.Loop.AtL(t0+p.Batch2At, lbExpAdmin, func() { moveBatch(p.BatchSize) })
 	d.Loop.RunFor(p.Horizon)
 
 	r.Curves = append(r.Curves, latCurve, appMoves, dbMoves)

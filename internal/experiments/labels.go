@@ -1,0 +1,13 @@
+package experiments
+
+import "shardmanager/internal/sim"
+
+// Shared scheduling labels for experiment drivers, so simprof attributes
+// every driver timer to a cost center (keeping the unlabeled share at ~0):
+// client traffic tickers, curve/metric samplers, and scripted administrative
+// actions (upgrades, region failures, batch moves).
+var (
+	lbExpClient = sim.LabelFor("experiment", "client")
+	lbExpSample = sim.LabelFor("experiment", "sample")
+	lbExpAdmin  = sim.LabelFor("experiment", "admin")
+)

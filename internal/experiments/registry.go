@@ -38,6 +38,14 @@ var faultSpec string
 // (empty restores the built-in compound timeline).
 func SetFaultSpec(spec string) { faultSpec = spec }
 
+// tortureOverride, when non-nil, reshapes the "torture" experiment's sweep.
+// smbench sets it from the -torture-* flags.
+var tortureOverride func(*TortureParams)
+
+// SetTortureOverride installs a mutator applied to the torture params after
+// scale selection (nil to clear).
+func SetTortureOverride(fn func(*TortureParams)) { tortureOverride = fn }
+
 // runner builds one experiment report.
 type runner struct {
 	id    string
@@ -122,6 +130,16 @@ var registry = []runner{
 			p.Spec = faultSpec
 		}
 		return CompoundFaults(p)
+	}},
+	{"torture", "randomized migration torture under runtime audit", func(s Scale) *Report {
+		p := DefaultTortureParams()
+		if s == ScaleQuick {
+			p.Seeds = 40
+		}
+		if tortureOverride != nil {
+			tortureOverride(&p)
+		}
+		return Torture(p)
 	}},
 	{"simscale", "sim-kernel throughput benchmark -> BENCH_sim.json", func(s Scale) *Report {
 		p := DefaultSimScaleParams()

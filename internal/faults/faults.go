@@ -37,6 +37,12 @@ import (
 	"shardmanager/internal/trace"
 )
 
+// Kernel-profiler attribution labels for injector timers.
+var (
+	lbApply  = sim.LabelFor("faults", "apply")
+	lbRevert = sim.LabelFor("faults", "revert")
+)
+
 // Env holds the handles an injector needs into a simulated world. Any field
 // an action does not touch may be nil; applying an action against a missing
 // handle panics with the action's name, which is the desired loud failure
@@ -134,7 +140,7 @@ func NewInjector(env *Env) *Injector {
 func (in *Injector) Schedule(s *Scenario) {
 	for _, ev := range s.Events {
 		ev := ev
-		in.env.Loop.At(ev.At, func() { in.apply(ev) })
+		in.env.Loop.AtL(ev.At, lbApply, func() { in.apply(ev) })
 	}
 }
 
@@ -156,7 +162,7 @@ func (in *Injector) apply(ev Event) {
 		}
 		return
 	}
-	loop.After(ev.For, func() {
+	loop.AfterL(ev.For, lbRevert, func() {
 		ev.Action.Revert(in.env)
 		in.Reverted++
 		loop.Metrics().Counter("faults_reverted_total", "kind", ev.Action.Name()).Inc()

@@ -244,7 +244,7 @@ func (m *Monitor) WatchOrchestrator(o *orchestrator.Orchestrator) {
 	a := m.app(o.App())
 	app := string(o.App())
 	m.resolvers = append(m.resolvers, o.ServerDomains)
-	o.SetHooks(orchestrator.Hooks{
+	o.AddHooks(orchestrator.Hooks{
 		MigrationStarted: func(s shard.ID, from, to shard.ServerID, graceful bool) {
 			a.active[s] = migrationInfo{Shard: s, From: from, To: to, Graceful: graceful, Since: m.now()}
 			m.reg.Gauge("health_migrations_active", "app", app).Set(float64(len(a.active)))
@@ -271,7 +271,7 @@ func (m *Monitor) WatchOrchestrator(o *orchestrator.Orchestrator) {
 // WatchDiscovery observes map-delivery outcomes for propagation staleness.
 // It uses the RNG-free observer hook, never Subscribe.
 func (m *Monitor) WatchDiscovery(s *discovery.Service) {
-	s.SetObserver(func(app shard.AppID, version int64, lag time.Duration, status string) {
+	s.AddObserver(func(app shard.AppID, version int64, lag time.Duration, status string) {
 		a := m.app(app)
 		a.deliveries++
 		if status == "delivered" {

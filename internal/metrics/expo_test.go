@@ -28,6 +28,14 @@ func buildFixedRegistry() *Registry {
 		h.Observe(v)
 	}
 	r.Histogram("latency_ms", nil, "app", "queue").Observe(12)
+	// The runtime auditor's families: a zero-valued cell must still be
+	// exported (pre-registered invariants with no violations).
+	r.Describe("audit_checks_total", "Invariant evaluations performed by the runtime auditor.")
+	r.Counter("audit_checks_total", "invariant", "one-primary").Add(5120)
+	r.Counter("audit_checks_total", "invariant", "stale-routing").Add(480)
+	r.Describe("audit_violations_total", "Invariant violations detected by the runtime auditor.")
+	r.Counter("audit_violations_total", "invariant", "one-primary").Add(2)
+	r.Counter("audit_violations_total", "invariant", "stale-routing")
 	return r
 }
 

@@ -149,10 +149,18 @@ type Hooks struct {
 	MigrationStarted func(s shard.ID, from, to shard.ServerID, graceful bool)
 	// MigrationFinished fires when a migration completes or fails.
 	MigrationFinished func(s shard.ID, ok bool)
+	// MigrationStep fires when one shard-lifecycle RPC (prepare_add_shard,
+	// prepare_drop_shard, add_shard, drop_shard) completes, with status "ok"
+	// or "failed".
+	MigrationStep func(s shard.ID, step string, server shard.ServerID, status string)
 	// RoleChanged fires when the orchestrator issues a change_role RPC.
 	RoleChanged func(s shard.ID, server shard.ServerID, from, to shard.Role)
 	// MapPublished fires on every shard-map publication.
 	MapPublished func(version int64, entries int)
+	// MapSnapshot fires on every publication with the full map about to be
+	// handed to discovery. The callback must treat it as read-only and not
+	// retain it past the call (clone what it needs).
+	MapSnapshot func(m *shard.Map)
 }
 
 // Orchestrator is one mini-SM control-plane instance.
@@ -180,7 +188,7 @@ type Orchestrator struct {
 	drainCheckArmed bool
 	started         bool
 	tickers         []*sim.Ticker
-	hooks           Hooks
+	hooks           []Hooks
 
 	// Stats.
 	ShardMoves      metrics.Counter
@@ -238,8 +246,14 @@ func New(loop *sim.Loop, store *coord.Store, disc *discovery.Service,
 	return o
 }
 
-// SetHooks installs the observer hooks (zero value clears them).
-func (o *Orchestrator) SetHooks(h Hooks) { o.hooks = h }
+// SetHooks installs the observer hooks, replacing any previously attached
+// set (zero value clears them).
+func (o *Orchestrator) SetHooks(h Hooks) { o.hooks = []Hooks{h} }
+
+// AddHooks attaches an additional set of observer hooks without disturbing
+// ones already installed; all attached hooks fire in attachment order. The
+// runtime auditor uses this to coexist with healthmon.
+func (o *Orchestrator) AddHooks(h Hooks) { o.hooks = append(o.hooks, h) }
 
 // App returns the managed application ID.
 func (o *Orchestrator) App() shard.AppID { return o.cfg.App }
@@ -759,8 +773,10 @@ func (o *Orchestrator) finishMigration(m migration, ok bool) {
 		mr.Counter("orchestrator_migrations_total", "app", string(o.cfg.App), "outcome", outcome).Inc()
 		mr.Gauge("orchestrator_migrations_inflight", "app", string(o.cfg.App)).Set(float64(o.inFlight))
 	}
-	if o.hooks.MigrationFinished != nil {
-		o.hooks.MigrationFinished(m.shard, ok)
+	for _, h := range o.hooks {
+		if h.MigrationFinished != nil {
+			h.MigrationFinished(m.shard, ok)
+		}
 	}
 	ss := o.shards[m.shard]
 	ss.migrating = false
@@ -792,8 +808,10 @@ func (o *Orchestrator) runMigration(m migration) {
 	}
 	o.loop.Metrics().Gauge("orchestrator_migrations_inflight",
 		"app", string(o.cfg.App)).Set(float64(o.inFlight))
-	if o.hooks.MigrationStarted != nil {
-		o.hooks.MigrationStarted(m.shard, m.from, m.to, m.graceful)
+	for _, h := range o.hooks {
+		if h.MigrationStarted != nil {
+			h.MigrationStarted(m.shard, m.from, m.to, m.graceful)
+		}
 	}
 	fail := func() {
 		o.failedRPC()
@@ -807,19 +825,19 @@ func (o *Orchestrator) runMigration(m migration) {
 	case m.graceful && role == shard.RolePrimary:
 		// Step 1: prepare_add on the new primary, then give it time to
 		// load the shard's state; the old primary keeps serving.
-		o.callStep(m.span, "prepare_add_shard", m.to, func(srv *appserver.Server) {
+		o.callStep(m.span, "prepare_add_shard", m.shard, m.to, func(srv *appserver.Server) {
 			srv.PrepareAddShard(m.shard, m.from, shard.RolePrimary)
 		}, func() {
 			o.loop.AfterL(o.cfg.ShardLoadTime, lbMigrationLoad, func() { o.gracefulStep2(m, commit, fail) })
 		}, fail)
 	case role == shard.RoleSecondary:
 		// Make-before-break: add the new secondary, then drop the old.
-		o.callStep(m.span, "add_shard", m.to, func(srv *appserver.Server) {
+		o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
 			srv.AddShard(m.shard, shard.RoleSecondary)
 		}, func() {
 			commit()
 			o.loop.AfterL(o.cfg.PublishMargin, lbPublishMargin, func() {
-				o.callStep(m.span, "drop_shard", m.from, func(srv *appserver.Server) {
+				o.callStep(m.span, "drop_shard", m.shard, m.from, func(srv *appserver.Server) {
 					srv.DropShard(m.shard)
 				}, func() { o.finishMigration(m, true) },
 					func() { o.finishMigration(m, true) })
@@ -828,10 +846,10 @@ func (o *Orchestrator) runMigration(m migration) {
 	default:
 		// Non-graceful primary move: drop, then add. SM's guarantee
 		// that no two servers serve the same shard forces the gap.
-		o.callStep(m.span, "drop_shard", m.from, func(srv *appserver.Server) {
+		o.callStep(m.span, "drop_shard", m.shard, m.from, func(srv *appserver.Server) {
 			srv.DropShard(m.shard)
 		}, func() {
-			o.callStep(m.span, "add_shard", m.to, func(srv *appserver.Server) {
+			o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
 				srv.AddShard(m.shard, role)
 			}, func() {
 				commit()
@@ -839,7 +857,7 @@ func (o *Orchestrator) runMigration(m migration) {
 			}, fail)
 		}, func() {
 			// Old server is already dead; just add the new one.
-			o.callStep(m.span, "add_shard", m.to, func(srv *appserver.Server) {
+			o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
 				srv.AddShard(m.shard, role)
 			}, func() {
 				commit()
@@ -854,11 +872,11 @@ func (o *Orchestrator) runMigration(m migration) {
 // add_shard on the new, publish, and finally drop the old replica.
 func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
 	// Step 2: prepare_drop on the old; it starts forwarding.
-	o.callStep(m.span, "prepare_drop_shard", m.from, func(srv *appserver.Server) {
+	o.callStep(m.span, "prepare_drop_shard", m.shard, m.from, func(srv *appserver.Server) {
 		srv.PrepareDropShard(m.shard, m.to, shard.RolePrimary)
 	}, func() {
 		// Step 3: add_shard on the new primary.
-		o.callStep(m.span, "add_shard", m.to, func(srv *appserver.Server) {
+		o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
 			srv.AddShard(m.shard, shard.RolePrimary)
 		}, func() {
 			// Step 4: publish the new map.
@@ -866,7 +884,7 @@ func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
 			// Step 5: drop the old replica once clients have
 			// learned the new map.
 			o.loop.AfterL(o.cfg.PublishMargin, lbPublishMargin, func() {
-				o.callStep(m.span, "drop_shard", m.from, func(srv *appserver.Server) {
+				o.callStep(m.span, "drop_shard", m.shard, m.from, func(srv *appserver.Server) {
 					srv.DropShard(m.shard)
 				}, func() {
 					o.finishMigration(m, true)
@@ -909,17 +927,26 @@ func (o *Orchestrator) call(id shard.ServerID, handle func(*appserver.Server), d
 
 // callStep performs one shard-lifecycle RPC as a traced child span of
 // parent, so a migration reads as its protocol steps in the trace viewer.
-func (o *Orchestrator) callStep(parent trace.SpanID, step string, id shard.ServerID,
+// The step's completion (ok or failed) also fires the MigrationStep hook.
+func (o *Orchestrator) callStep(parent trace.SpanID, step string, s shard.ID, id shard.ServerID,
 	handle func(*appserver.Server), done func(), fail func()) {
 	tr := o.loop.Tracer()
 	var sp trace.SpanID
 	if tr.Enabled() {
 		sp = tr.StartSpan("orchestrator", step, parent, trace.String("server", string(id)))
 	}
+	stepDone := func(status string) {
+		for _, h := range o.hooks {
+			if h.MigrationStep != nil {
+				h.MigrationStep(s, step, id, status)
+			}
+		}
+	}
 	o.call(id, handle, func() {
 		if tr.Enabled() {
 			tr.EndSpan(sp, trace.String("status", "ok"))
 		}
+		stepDone("ok")
 		if done != nil {
 			done()
 		}
@@ -927,6 +954,7 @@ func (o *Orchestrator) callStep(parent trace.SpanID, step string, id shard.Serve
 		if tr.Enabled() {
 			tr.EndSpan(sp, trace.String("status", "failed"))
 		}
+		stepDone("failed")
 		if fail != nil {
 			fail()
 		}
@@ -934,12 +962,12 @@ func (o *Orchestrator) callStep(parent trace.SpanID, step string, id shard.Serve
 }
 
 func (o *Orchestrator) rpcAddShard(id shard.ServerID, s shard.ID, role shard.Role) {
-	o.callStep(o.curAlloc, "add_shard", id,
+	o.callStep(o.curAlloc, "add_shard", s, id,
 		func(srv *appserver.Server) { srv.AddShard(s, role) }, nil, func() { o.failedRPC() })
 }
 
 func (o *Orchestrator) rpcDropShard(id shard.ServerID, s shard.ID) {
-	o.callStep(o.curAlloc, "drop_shard", id,
+	o.callStep(o.curAlloc, "drop_shard", s, id,
 		func(srv *appserver.Server) { srv.DropShard(s) }, nil, func() { o.failedRPC() })
 }
 
@@ -955,8 +983,10 @@ func (o *Orchestrator) rpcChangeRole(id shard.ServerID, s shard.ID, from, to sha
 	}
 	o.loop.Metrics().Counter("orchestrator_role_changes_total",
 		"app", string(o.cfg.App), "to", to.String()).Inc()
-	if o.hooks.RoleChanged != nil {
-		o.hooks.RoleChanged(s, id, from, to)
+	for _, h := range o.hooks {
+		if h.RoleChanged != nil {
+			h.RoleChanged(s, id, from, to)
+		}
 	}
 	o.call(id, func(srv *appserver.Server) { _ = srv.ChangeRole(s, from, to) },
 		func() { tr.EndSpan(sp, trace.String("status", "ok")) },
@@ -1003,8 +1033,13 @@ func (o *Orchestrator) publish() {
 	}
 	o.loop.Metrics().Counter("orchestrator_publishes_total",
 		"app", string(o.cfg.App)).Inc()
-	if o.hooks.MapPublished != nil {
-		o.hooks.MapPublished(m.Version, len(m.Entries))
+	for _, h := range o.hooks {
+		if h.MapPublished != nil {
+			h.MapPublished(m.Version, len(m.Entries))
+		}
+		if h.MapSnapshot != nil {
+			h.MapSnapshot(m)
+		}
 	}
 	o.disc.Publish(m)
 

@@ -67,6 +67,16 @@ type Result struct {
 	// Server that handled the final attempt.
 	Server shard.ServerID
 	Shard  shard.ID
+	// Write reports whether the request was primary-routed.
+	Write bool
+	// RejectedBy is the server the final failed attempt was sent to (the
+	// rejecting server when the failure was a rejection; "" when no
+	// candidate existed at all). Success results leave it empty.
+	RejectedBy shard.ServerID
+	// MapVersion is the client's shard-map version when the request
+	// finished — the auditor uses it to distinguish transient staleness
+	// from permanently stale routing.
+	MapVersion int64
 }
 
 // Client is one application client instance located in a region.
@@ -242,16 +252,20 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 			trace.Int("attempt", attempt),
 			trace.Int64("map_version", c.MapVersion()))
 	}
+	var lastServer shard.ServerID
 	fail := func(errMsg string) {
 		if tr.Enabled() {
 			tr.EndSpan(asp, trace.String("err", errMsg))
 		}
 		if attempt >= c.opts.MaxAttempts {
 			done(Result{
-				Err:      errMsg,
-				Latency:  c.loop.Now() - start,
-				Attempts: attempt,
-				Shard:    req.Shard,
+				Err:        errMsg,
+				Latency:    c.loop.Now() - start,
+				Attempts:   attempt,
+				Shard:      req.Shard,
+				Write:      req.Write,
+				RejectedBy: lastServer,
+				MapVersion: c.MapVersion(),
 			})
 			return
 		}
@@ -271,6 +285,7 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 		return
 	}
 	tried[target] = true
+	lastServer = target
 
 	c.net.Send(c.Region, rpcnet.Endpoint(target), func() {
 		srv := c.dir.Lookup(target)
@@ -289,15 +304,22 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 							trace.Int("hops", resp.Hops))
 					}
 					done(Result{
-						OK:       true,
-						Payload:  resp.Payload,
-						Latency:  c.loop.Now() - start,
-						Attempts: attempt,
-						Hops:     resp.Hops,
-						Server:   resp.Server,
-						Shard:    req.Shard,
+						OK:         true,
+						Payload:    resp.Payload,
+						Latency:    c.loop.Now() - start,
+						Attempts:   attempt,
+						Hops:       resp.Hops,
+						Server:     resp.Server,
+						Shard:      req.Shard,
+						Write:      req.Write,
+						MapVersion: c.MapVersion(),
 					})
 					return
+				}
+				if resp.Server != "" {
+					// A forwarded request may be rejected deeper in the
+					// chain; attribute the failure to the actual rejecter.
+					lastServer = resp.Server
 				}
 				fail(resp.Err)
 			}, func() {

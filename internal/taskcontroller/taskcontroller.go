@@ -91,6 +91,12 @@ type trackedOp struct {
 	state  opState
 }
 
+// Scheduling labels for the kernel profiler (simprof).
+var (
+	lbMaintPrepare = sim.LabelFor("taskcontroller", "maint_prepare")
+	lbMaintRelease = sim.LabelFor("taskcontroller", "maint_release")
+)
+
 // Controller is one application's TaskController. Register it with every
 // regional cluster manager hosting the application (SetController +
 // AddMaintenanceListener).
@@ -260,7 +266,7 @@ func (c *Controller) MaintenanceScheduled(region topology.RegionID, ev cluster.M
 		return
 	}
 	prepareAt := ev.Start - c.policy.MaintenanceLead
-	c.loop.At(prepareAt, func() {
+	c.loop.AtL(prepareAt, lbMaintPrepare, func() {
 		for _, machine := range ev.Machines {
 			for _, container := range mgr.ContainersOnMachine(machine) {
 				server := shard.ServerID(container)
@@ -284,7 +290,7 @@ func (c *Controller) MaintenanceScheduled(region topology.RegionID, ev cluster.M
 		}
 	})
 	// When the event ends, let the machines take shards again.
-	c.loop.At(ev.End, func() {
+	c.loop.AtL(ev.End, lbMaintRelease, func() {
 		for _, machine := range ev.Machines {
 			for _, container := range mgr.ContainersOnMachine(machine) {
 				c.shards.CancelDrain(shard.ServerID(container))

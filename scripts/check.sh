@@ -20,8 +20,12 @@ echo "== go test -race (all packages except sim-heavy experiments)"
 # under the race detector for zero extra coverage; it runs un-instrumented
 # below instead.
 go test -race $(go list ./... | grep -v 'internal/experiments$')
+echo "== go test -race ./internal/audit/..."
+go test -race ./internal/audit/...
 echo "== go test ./internal/experiments"
 go test ./internal/experiments
+echo "== audit torture smoke (12 seeds)"
+go run ./cmd/smbench -fig torture -torture-seeds 12 -foundbugs-out ""
 echo "== solver benchmark smoke (-benchtime=1x)"
 go test ./internal/solver -run '^$' -bench . -benchtime=1x
 echo "== sim-kernel benchmark smoke (-benchtime=1x)"
