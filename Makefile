@@ -28,5 +28,7 @@ bench-sim: ## run the kernel benchmarks and regenerate BENCH_sim.json
 	$(GO) test . -run '^$$' -bench 'ProfilerOverhead|SimScale' -benchmem
 	$(GO) run ./cmd/smbench -fig simscale -bench-sim-out BENCH_sim.json
 
-audit-torture: ## full 500-seed migration-torture sweep -> FOUNDBUGS_audit.json
+audit-torture: ## full 500-seed migration-torture sweep -> FOUNDBUGS_audit.json (fails on drift vs the committed log)
 	$(GO) run ./cmd/smbench -fig torture -foundbugs-out FOUNDBUGS_audit.json
+	git diff --exit-code -- FOUNDBUGS_audit.json || { \
+		echo "audit-torture: FOUNDBUGS_audit.json drifted from the committed log (see diff above)"; exit 1; }

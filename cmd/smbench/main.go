@@ -46,6 +46,7 @@ func main() {
 	tortureSeeds := flag.Int("torture-seeds", 0, "override the 'torture' experiment's seed count (0 keeps the scale default)")
 	tortureStart := flag.Uint64("torture-start", 0, "override the 'torture' experiment's starting seed (0 keeps the default)")
 	foundBugsOut := flag.String("foundbugs-out", "FOUNDBUGS_audit.json", "where the torture experiment writes its found-bug log (seed-pinned audit violations)")
+	failOnBugs := flag.Bool("fail-on-bugs", false, "exit non-zero if the torture sweep records any audit violation or panic (CI gate)")
 	benchSimOut := flag.String("bench-sim-out", "BENCH_sim.json", "where the simscale experiment writes its machine-readable kernel benchmark record")
 	profOut := flag.String("prof-out", "", "write the kernel profiler's text report to this file (byte-stable for a given seed unless -prof-wall)")
 	profJSON := flag.String("prof-json", "", "write the kernel profiler's JSON report to this file")
@@ -134,6 +135,7 @@ func main() {
 	if *fig == "all" {
 		ids = experiments.IDs()
 	}
+	bugsFound := false
 	for _, id := range ids {
 		start := time.Now()
 		report, err := experiments.Run(id, sc)
@@ -159,6 +161,13 @@ func main() {
 			if err := writeFoundBugs(report, *foundBugsOut); err != nil {
 				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
 				os.Exit(1)
+			}
+		}
+		if report.ID == "torture" && *failOnBugs {
+			if art, ok := report.Extra.(*experiments.TortureArtifacts); ok && (art.Violations > 0 || art.Panics > 0) {
+				fmt.Fprintf(os.Stderr, "smbench: torture sweep recorded %d violations on %d seeds (%d panics); failing per -fail-on-bugs\n",
+					art.Violations, art.SeedsHit, art.Panics)
+				bugsFound = true
 			}
 		}
 	}
@@ -192,6 +201,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("heap profile written to %s\n", *memProfile)
+	}
+	if bugsFound {
+		os.Exit(1)
 	}
 }
 

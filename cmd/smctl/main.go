@@ -251,7 +251,8 @@ func runFaults(argv []string) {
 // runAudit is the `smctl audit` subcommand: replay one torture seed under
 // the runtime auditor and print a shard's ownership timeline around any
 // violation — the same deterministic world the sweep ran, so a seed from
-// FOUNDBUGS_audit.json reproduces its finding exactly.
+// FOUNDBUGS_audit.json reproduces its finding exactly. Exits 1 if the replay
+// hit any violation, so scripts and CI can gate on a seed staying clean.
 func runAudit(argv []string) {
 	fs := flag.NewFlagSet("smctl audit", flag.ExitOnError)
 	seed := fs.Uint64("seed", 5, "torture seed to replay (e.g. one pinned in FOUNDBUGS_audit.json)")
@@ -285,11 +286,17 @@ func runAudit(argv []string) {
 			target = ids[0]
 		} else {
 			fmt.Println("\nno ownership events observed")
+			if a.ViolationCount() > 0 {
+				os.Exit(1)
+			}
 			return
 		}
 	}
 	fmt.Printf("\nownership timeline for %s:\n", target)
 	a.TimelineText(target, os.Stdout)
+	if a.ViolationCount() > 0 {
+		os.Exit(1)
+	}
 }
 
 // buildProfiled builds the deployment with the kernel profiler attached when

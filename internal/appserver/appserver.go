@@ -139,6 +139,13 @@ type replica struct {
 	pendingActive bool
 	// loadGen guards stale load-completion timers.
 	loadGen int
+	// unconfirmed marks a primary restored from the persisted assignment
+	// at start-up: that snapshot may be stale (assignment writes are
+	// skipped while the coordination store is unavailable), so the replica
+	// rejects writes until an authoritative orchestrator grant or sync
+	// confirms the role. Reads still serve — the data is no worse than a
+	// secondary's.
+	unconfirmed bool
 }
 
 // tombstoneTTL is how long a server keeps forwarding requests for a shard
@@ -153,7 +160,15 @@ var (
 	lbServeDelay       = sim.LabelFor("appserver", "serve_delay")
 	lbLivenessRetry    = sim.LabelFor("appserver", "liveness_retry")
 	lbSessionReconnect = sim.LabelFor("appserver", "session_reconnect")
+	lbFence            = sim.LabelFor("appserver", "fence")
 )
+
+// DefaultFenceDelay is how long after losing its coordination session the SM
+// library takes to notice and self-fence (the client-side session-timeout
+// detection). It must stay well under any orchestrator FailoverGrace /
+// PromoteHold so a false-dead server stops serving its primaries before a
+// replacement can be promoted.
+const DefaultFenceDelay = 2 * time.Second
 
 // Server is one application server instance (the SM library + the app).
 type Server struct {
@@ -180,6 +195,17 @@ type Server struct {
 
 	replicas   map[shard.ID]*replica
 	tombstones map[shard.ID]shard.ServerID
+
+	// fenced marks lost-lease state: the server's coordination session
+	// expired and no newer-generation sync has arrived, so its primary
+	// replicas neither serve nor accept writes ("fenced" rejection). The
+	// fencing token is fenceGen — the lost session's generation; only a
+	// SyncAssignment with a strictly greater generation lifts the fence.
+	fenced   bool
+	fenceGen int64
+	// grantGen is the highest generation seen in any grant or sync, kept
+	// for observability and stale-grant rejection.
+	grantGen int64
 
 	// Stats.
 	Handled   metrics.Counter
@@ -239,6 +265,17 @@ type Observer struct {
 	// Rejected fires when a server turns a request away with one of the
 	// fixed rejection reasons.
 	Rejected func(server shard.ServerID, s shard.ID, reason string)
+	// Fenced fires when a server enters (fenced=true) or leaves
+	// (fenced=false) the lost-lease fenced state, with the generation the
+	// transition happened at.
+	Fenced func(server shard.ServerID, fenced bool, gen int64)
+	// ReplicaConfirmed fires when a replica's confirmed flag changes:
+	// false when start-up restores a primary from the (possibly stale)
+	// persisted assignment, true when an authoritative grant confirms it.
+	ReplicaConfirmed func(server shard.ServerID, s shard.ID, confirmed bool)
+	// ServerRemoved fires when a server leaves the directory (its container
+	// stopped): every replica it held died with the process.
+	ServerRemoved func(server shard.ServerID)
 }
 
 // Directory resolves server IDs to live Server instances for the in-process
@@ -262,6 +299,24 @@ func (s *Server) notifyReplica(id shard.ID, r *replica) {
 	}
 }
 
+// notifyFenced reports a fence transition to observers.
+func (s *Server) notifyFenced() {
+	for i := range s.dir.observers {
+		if fn := s.dir.observers[i].Fenced; fn != nil {
+			fn(s.ID, s.fenced, s.fenceGen)
+		}
+	}
+}
+
+// notifyConfirmed reports a replica's confirmed-flag change to observers.
+func (s *Server) notifyConfirmed(id shard.ID, confirmed bool) {
+	for i := range s.dir.observers {
+		if fn := s.dir.observers[i].ReplicaConfirmed; fn != nil {
+			fn(s.ID, id, confirmed)
+		}
+	}
+}
+
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
 	return &Directory{servers: make(map[shard.ServerID]*Server)}
@@ -274,8 +329,20 @@ func (d *Directory) Lookup(id shard.ServerID) *Server { return d.servers[id] }
 // exported for tests and hand-wired setups).
 func (d *Directory) Register(s *Server) { d.servers[s.ID] = s }
 
-// Remove deletes a server from the directory.
-func (d *Directory) Remove(id shard.ServerID) { delete(d.servers, id) }
+// Remove deletes a server from the directory. Observers are told the server
+// is gone: every replica it held died with the process, so ownership views
+// must not keep counting them as live.
+func (d *Directory) Remove(id shard.ServerID) {
+	if _, ok := d.servers[id]; !ok {
+		return
+	}
+	delete(d.servers, id)
+	for i := range d.observers {
+		if fn := d.observers[i].ServerRemoved; fn != nil {
+			fn(id)
+		}
+	}
+}
 
 // Servers returns the number of live servers.
 func (d *Directory) Servers() int { return len(d.servers) }
@@ -298,12 +365,63 @@ func NewServer(loop *sim.Loop, net *rpcnet.Network, dir *Directory, app Applicat
 
 // --- SM library API, invoked by the orchestrator (Fig 11) ---
 
+// applyGrantGen screens one grant's fencing token. Generation 0 grants (the
+// pre-epoch API, used directly by tests and hand-wired setups) always apply.
+// A positive generation at or below the fence generation belongs to a lease
+// the server already lost — the grant is stale and must be dropped.
+func (s *Server) applyGrantGen(gen int64) bool {
+	if gen > s.grantGen {
+		s.grantGen = gen
+	}
+	if gen > 0 && gen <= s.fenceGen {
+		s.loop.Metrics().Counter("appserver_stale_grants_total",
+			"app", string(s.App)).Inc()
+		return false
+	}
+	return true
+}
+
+// Fence puts the server into the fenced state at generation gen: primary
+// replicas stop serving and reject everything with "fenced" until a
+// SyncAssignment carrying a newer generation arrives. The SM library invokes
+// this when it detects its coordination session expired (lost lease).
+func (s *Server) Fence(gen int64) {
+	if s.fenced && gen <= s.fenceGen {
+		return
+	}
+	s.fenced = true
+	if gen > s.fenceGen {
+		s.fenceGen = gen
+	}
+	s.opMetric("fence")
+	s.notifyFenced()
+}
+
+// Fenced reports whether the server is currently fenced.
+func (s *Server) Fenced() bool { return s.fenced }
+
+// FenceGen returns the generation the server last fenced at (0 if never).
+func (s *Server) FenceGen() int64 { return s.fenceGen }
+
 // AddShard gives the server official ownership of the shard. A replica that
 // already prepared (or already served) activates immediately; a brand-new
 // replica first loads shard state for LoadTime and rejects requests until
 // done (step 3 of §4.3 when preceded by prepare_add_shard; a cold add
 // otherwise).
 func (s *Server) AddShard(id shard.ID, role shard.Role) {
+	s.AddShardGen(id, role, 0)
+}
+
+// AddShardGen is AddShard carrying the grant's fencing generation; stale
+// grants (gen at or below the fence generation) are dropped.
+func (s *Server) AddShardGen(id shard.ID, role shard.Role, gen int64) {
+	if !s.applyGrantGen(gen) {
+		return
+	}
+	s.addShard(id, role, true)
+}
+
+func (s *Server) addShard(id shard.ID, role shard.Role, confirmed bool) {
 	r := s.replicas[id]
 	if r == nil {
 		r = &replica{}
@@ -313,6 +431,8 @@ func (s *Server) AddShard(id shard.ID, role shard.Role) {
 	s.opMetric("add")
 	r.role = role
 	r.forwardTo = ""
+	wasUnconfirmed := r.unconfirmed
+	r.unconfirmed = !confirmed
 	delete(s.tombstones, id)
 	switch r.phase {
 	case PhaseLoading:
@@ -326,6 +446,9 @@ func (s *Server) AddShard(id shard.ID, role shard.Role) {
 		}
 	default: // prepared, active, or forwarding: state already present
 		r.phase = PhaseActive
+	}
+	if r.unconfirmed != wasUnconfirmed {
+		s.notifyConfirmed(id, !r.unconfirmed)
 	}
 	s.notifyReplica(id, r)
 	s.app.AddShard(id, role)
@@ -382,6 +505,15 @@ func (s *Server) DropShard(id shard.ID) {
 // ChangeRole changes the replica's role in place (§2.2.3; also used to
 // demote primaries ahead of non-negotiable maintenance, §4.2).
 func (s *Server) ChangeRole(id shard.ID, from, to shard.Role) error {
+	return s.ChangeRoleGen(id, from, to, 0)
+}
+
+// ChangeRoleGen is ChangeRole carrying the grant's fencing generation; stale
+// grants are dropped with an error.
+func (s *Server) ChangeRoleGen(id shard.ID, from, to shard.Role, gen int64) error {
+	if !s.applyGrantGen(gen) {
+		return fmt.Errorf("appserver: stale role grant for %s (gen %d <= fence %d)", id, gen, s.fenceGen)
+	}
 	r := s.replicas[id]
 	if r == nil {
 		return fmt.Errorf("appserver: %s does not hold shard %s", s.ID, id)
@@ -390,6 +522,10 @@ func (s *Server) ChangeRole(id shard.ID, from, to shard.Role) error {
 		return fmt.Errorf("appserver: shard %s role is %v, not %v", id, r.role, from)
 	}
 	r.role = to
+	if r.unconfirmed && gen > 0 {
+		r.unconfirmed = false
+		s.notifyConfirmed(id, true)
+	}
 	s.opMetric("change_role")
 	s.notifyReplica(id, r)
 	s.app.ChangeRole(id, from, to)
@@ -401,6 +537,15 @@ func (s *Server) ChangeRole(id shard.ID, from, to shard.Role) error {
 // current owner (step 1 of §4.3). The old primary keeps serving clients
 // throughout, which is why the load is invisible to them.
 func (s *Server) PrepareAddShard(id shard.ID, currentOwner shard.ServerID, role shard.Role) {
+	s.PrepareAddShardGen(id, currentOwner, role, 0)
+}
+
+// PrepareAddShardGen is PrepareAddShard carrying the grant's fencing
+// generation; stale grants are dropped.
+func (s *Server) PrepareAddShardGen(id shard.ID, currentOwner shard.ServerID, role shard.Role, gen int64) {
+	if !s.applyGrantGen(gen) {
+		return
+	}
 	r := s.replicas[id]
 	if r == nil {
 		r = &replica{}
@@ -433,6 +578,108 @@ func (s *Server) PrepareDropShard(id shard.ID, newOwner shard.ServerID, role sha
 	s.notifyReplica(id, r)
 	if p, ok := s.app.(Preparer); ok {
 		p.PrepareDropShard(id, newOwner, role)
+	}
+}
+
+// ResumeShard cancels a hand-off: a forwarding replica returns to active
+// serving. The orchestrator issues it when a graceful migration aborts after
+// its prepare_drop already executed on the old primary — without it the old
+// primary would forward to a target that no longer holds the shard. No-op
+// unless the replica is forwarding.
+func (s *Server) ResumeShard(id shard.ID) { s.ResumeShardGen(id, 0) }
+
+// ResumeShardGen is ResumeShard carrying the grant's fencing generation;
+// stale grants are dropped.
+func (s *Server) ResumeShardGen(id shard.ID, gen int64) {
+	if !s.applyGrantGen(gen) {
+		return
+	}
+	r := s.replicas[id]
+	if r == nil || r.phase != PhaseForwarding {
+		return
+	}
+	s.opMetric("resume")
+	r.phase = PhaseActive
+	r.forwardTo = ""
+	s.notifyReplica(id, r)
+}
+
+// SyncAssignment reconciles this server's replica set against the
+// orchestrator's authoritative view at generation gen — the anti-entropy
+// step the orchestrator runs when a server rejoins (its liveness node
+// reappeared after expiry or restart). A generation newer than the fence
+// generation lifts the fence; an older one means the sync itself is stale
+// and is ignored. Only settled (active-phase) replicas are corrected —
+// replicas mid-migration (loading/preparing/forwarding) belong to the §4.3
+// protocol and are left alone. Corrections: roles fixed in place,
+// unconfirmed restores confirmed, active replicas absent from want dropped,
+// and shards the orchestrator assigns that the server lost added cold.
+//
+// protect lists shards that an in-flight migration is handing to this server:
+// the authoritative slots still name the old owner until the migration
+// commits, so such replicas are neither dropped nor cold-added here — the
+// migration's own add_shard grant settles them.
+func (s *Server) SyncAssignment(want map[shard.ID]shard.Role, protect map[shard.ID]bool, gen int64) {
+	if gen > 0 && gen <= s.fenceGen {
+		s.loop.Metrics().Counter("appserver_stale_grants_total",
+			"app", string(s.App)).Inc()
+		return
+	}
+	if gen > s.grantGen {
+		s.grantGen = gen
+	}
+	s.opMetric("sync")
+	ids := make([]string, 0, len(s.replicas))
+	for id := range s.replicas {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, sid := range ids {
+		id := shard.ID(sid)
+		r := s.replicas[id]
+		if r.phase != PhaseActive {
+			continue
+		}
+		role, ok := want[id]
+		if !ok {
+			if !protect[id] {
+				s.DropShard(id)
+			}
+			continue
+		}
+		if r.role != role {
+			old := r.role
+			r.role = role
+			if r.unconfirmed {
+				r.unconfirmed = false
+				s.notifyConfirmed(id, true)
+			}
+			s.notifyReplica(id, r)
+			s.app.ChangeRole(id, old, role)
+		} else if r.unconfirmed {
+			r.unconfirmed = false
+			s.notifyConfirmed(id, true)
+			s.notifyReplica(id, r)
+		}
+	}
+	missing := make([]string, 0, len(want))
+	for id := range want {
+		if s.replicas[id] == nil {
+			missing = append(missing, string(id))
+		}
+	}
+	sort.Strings(missing)
+	for _, sid := range missing {
+		id := shard.ID(sid)
+		s.addShard(id, want[id], true)
+	}
+	// Unfence last: the fence may only lift once the replica set matches the
+	// authoritative assignment — lifting it first would momentarily revive
+	// stale primaries the reconcile above is about to drop or demote.
+	if s.fenced {
+		s.fenced = false
+		s.opMetric("unfence")
+		s.notifyFenced()
 	}
 }
 
@@ -496,6 +743,15 @@ func (s *Server) serve(req *Request, reply func(Response)) {
 	}
 	switch r.phase {
 	case PhaseActive:
+		// Lost lease: a fenced primary serves nothing — the orchestrator
+		// may already have promoted a replacement, and any response from
+		// here could contradict it. An unconfirmed (restored-from-store)
+		// primary only blocks writes: its data is no staler than a
+		// secondary's, but write ownership needs an authoritative grant.
+		if r.role == shard.RolePrimary && (s.fenced || (req.Write && r.unconfirmed)) {
+			s.reject(req.Shard, reply, "fenced")
+			return
+		}
 		if req.Write && r.role != shard.RolePrimary {
 			s.reject(req.Shard, reply, "not-primary")
 			return
@@ -626,6 +882,12 @@ type Host struct {
 	factory func(*Server) Application
 	paths   CoordPaths
 
+	// FenceDelay is how long after losing its coordination session a server
+	// waits before self-fencing (§4.3 safety: it must elapse before the
+	// orchestrator's failover grace so a false-dead server stops serving as
+	// primary strictly before a replacement can be promoted).
+	FenceDelay time.Duration
+
 	servers  map[shard.ServerID]*Server
 	sessions map[shard.ServerID]*coord.Session
 	machines map[shard.ServerID]topology.MachineID
@@ -640,18 +902,19 @@ func NewHost(loop *sim.Loop, net *rpcnet.Network, dir *Directory, store *coord.S
 	mustCreateAll(store, paths.ServersPath)
 	mustCreateAll(store, paths.AssignPath)
 	return &Host{
-		loop:     loop,
-		net:      net,
-		dir:      dir,
-		store:    store,
-		fleet:    fleet,
-		appID:    appID,
-		job:      job,
-		factory:  factory,
-		paths:    paths,
-		servers:  make(map[shard.ServerID]*Server),
-		sessions: make(map[shard.ServerID]*coord.Session),
-		machines: make(map[shard.ServerID]topology.MachineID),
+		loop:       loop,
+		net:        net,
+		dir:        dir,
+		store:      store,
+		fleet:      fleet,
+		appID:      appID,
+		job:        job,
+		factory:    factory,
+		paths:      paths,
+		FenceDelay: DefaultFenceDelay,
+		servers:    make(map[shard.ServerID]*Server),
+		sessions:   make(map[shard.ServerID]*coord.Session),
+		machines:   make(map[shard.ServerID]topology.MachineID),
 	}
 }
 
@@ -701,6 +964,7 @@ func (h *Host) ContainerStarted(c cluster.Container) {
 	// Liveness: ephemeral node, as the SM library does with ZooKeeper.
 	sess := h.store.NewSession()
 	h.sessions[id] = sess
+	h.armFence(id, sess)
 	path := h.paths.ServerNode(id)
 	if h.store.Exists(path) {
 		// Leftover from an earlier incarnation; replace it.
@@ -765,20 +1029,47 @@ func (h *Host) ExpireSession(id shard.ServerID, reconnectAfter time.Duration) bo
 			}
 			fresh := h.store.NewSession()
 			h.sessions[id] = fresh
+			h.armFence(id, fresh)
 			h.createLiveness(id, fresh, []byte(h.machines[id]))
 		})
 	}
 	return true
 }
 
+// armFence schedules self-fencing for a server when its coordination session
+// expires: FenceDelay after the loss, the server stops serving primaries and
+// rejects writes with a "fenced" error. The skip check consults the server's
+// *current* session generation, not the grant stream — a false-dead server
+// may legitimately receive new grants while the orchestrator still believes
+// it alive, and those must not suppress the fence. Only a fresh session
+// (reconnect) or an authoritative SyncAssignment lifts it.
+func (h *Host) armFence(id shard.ServerID, sess *coord.Session) {
+	gen := sess.Generation()
+	sess.OnExpire(func() {
+		h.loop.AfterL(h.FenceDelay, lbFence, func() {
+			srv := h.servers[id]
+			if srv == nil {
+				return // container died; nothing to fence
+			}
+			if cur := h.sessions[id]; cur != nil && !cur.Closed() && cur.Generation() > gen {
+				return // already reconnected with a fresh session
+			}
+			srv.Fence(gen)
+		})
+	})
+}
+
 // restoreAssignment loads the server's persisted shard list, if any.
+// Restored primaries start unconfirmed: the persisted snapshot may be stale
+// (assignment writes are skipped while the coordination store is
+// unavailable), so write ownership waits for the orchestrator's rejoin sync.
 func (h *Host) restoreAssignment(srv *Server) {
 	data, _, err := h.store.Get(h.paths.AssignNode(srv.ID))
 	if err != nil {
 		return
 	}
 	for _, entry := range splitAssign(string(data)) {
-		srv.AddShard(entry.id, entry.role)
+		srv.addShard(entry.id, entry.role, entry.role != shard.RolePrimary)
 	}
 }
 

@@ -117,11 +117,15 @@ type CoordWrite struct {
 const maxCoordWrites = 32
 
 // replicaView is the auditor's picture of one replica, rebuilt purely from
-// ReplicaChanged events.
+// ReplicaChanged / ReplicaConfirmed events.
 type replicaView struct {
 	role  shard.Role
 	phase appserver.Phase
 	peer  shard.ServerID
+	// unconfirmed mirrors the server's restored-from-store flag: the replica
+	// claims the primary role but rejects writes until an authoritative
+	// grant confirms it, so it cannot conflict with the real owner.
+	unconfirmed bool
 }
 
 // shardState is the auditor's per-shard bookkeeping.
@@ -150,6 +154,11 @@ type Auditor struct {
 	opts Options
 
 	shards map[shard.ID]*shardState
+	// fencedSrv tracks servers currently in the self-fenced (lost-lease)
+	// state: their active primaries neither serve nor accept writes, so
+	// "two active primaries" is judged per generation — a fenced primary
+	// cannot conflict with the one that superseded it.
+	fencedSrv map[shard.ServerID]bool
 
 	checks     map[string]int64
 	violCounts map[string]int64
@@ -177,6 +186,7 @@ func New(loop *sim.Loop, opts Options) *Auditor {
 		loop:       loop,
 		opts:       opts.withDefaults(),
 		shards:     make(map[shard.ID]*shardState),
+		fencedSrv:  make(map[shard.ServerID]bool),
 		checks:     make(map[string]int64),
 		violCounts: make(map[string]int64),
 		checkCtr:   make(map[string]*metrics.Counter),
@@ -257,11 +267,16 @@ func (a *Auditor) violate(inv string, s shard.ID, st *shardState, servers []shar
 }
 
 // activePrimaries returns the sorted servers whose replica of this shard is
-// an active primary — the set §4.3 requires to never exceed one.
-func (st *shardState) activePrimaries() []shard.ServerID {
+// an active, serving primary — the set §4.3 requires to never exceed one.
+// Fenced servers (lost lease, self-fenced, rejecting everything) and
+// unconfirmed primaries (restored from a possibly-stale snapshot, rejecting
+// writes) are excluded: they hold the primary role in name only and cannot
+// conflict with the generation's true owner.
+func (a *Auditor) activePrimaries(st *shardState) []shard.ServerID {
 	var out []shard.ServerID
 	for srv, v := range st.replicas {
-		if v.role == shard.RolePrimary && v.phase == appserver.PhaseActive {
+		if v.role == shard.RolePrimary && v.phase == appserver.PhaseActive &&
+			!v.unconfirmed && !a.fencedSrv[srv] {
 			out = append(out, srv)
 		}
 	}
@@ -281,7 +296,7 @@ func joinServers(ids []shard.ServerID) string {
 // transition, firing at most one violation per dual-primary episode.
 func (a *Auditor) checkOnePrimary(s shard.ID, st *shardState) {
 	a.check(InvOnePrimary)
-	prims := st.activePrimaries()
+	prims := a.activePrimaries(st)
 	if len(prims) >= 2 {
 		if !st.dualPrimary {
 			st.dualPrimary = true
@@ -357,7 +372,7 @@ func (a *Auditor) onMap(m *shard.Map) {
 		st.mapDesc = desc
 		st.mapSeen = true
 		st.staleMap = false
-		ev := fmt.Sprintf("v%d %s", m.Version, desc)
+		ev := fmt.Sprintf("v%d g%d %s", m.Version, m.Gen, desc)
 		if len(removed) > 0 {
 			ev += " removed=" + strings.Join(removed, ",")
 		}
@@ -392,6 +407,13 @@ func (a *Auditor) directoryObserver() appserver.Observer {
 			}
 			v.role, v.phase, v.peer = role, phase, peer
 			delete(st.servedFwd, server)
+			// A replica transition is the server acting on a control-plane
+			// grant: §4.3 re-engages a server (prepare_add, add_shard) before
+			// the map re-including it is published, and forwarded traffic
+			// legitimately reaches it in that window. Reset the staleness
+			// clock so the grant isn't misread as a stale route.
+			delete(st.removedAt, server)
+			delete(st.staleSrv, server)
 			detail := fmt.Sprintf("%s %s/%s", server, role, phase)
 			if peer != "" {
 				detail += " fwd->" + string(peer)
@@ -420,7 +442,7 @@ func (a *Auditor) directoryObserver() appserver.Observer {
 			}
 			if write && !forwarded {
 				a.check(InvWriteOwner)
-				prims := st.activePrimaries()
+				prims := a.activePrimaries(st)
 				if len(prims) >= 2 && !st.dualWrite {
 					st.dualWrite = true
 					a.violate(InvWriteOwner, s, st, prims,
@@ -431,6 +453,70 @@ func (a *Auditor) directoryObserver() appserver.Observer {
 		},
 		Rejected: func(server shard.ServerID, s shard.ID, reason string) {
 			a.rejects[reason]++
+		},
+		Fenced: func(server shard.ServerID, fenced bool, gen int64) {
+			if fenced {
+				a.fencedSrv[server] = true
+			} else {
+				delete(a.fencedSrv, server)
+			}
+			// The transition changes which primaries count as active, so
+			// re-judge every shard with a replica on this server (sorted
+			// for deterministic timelines).
+			state := "fenced"
+			if !fenced {
+				state = "unfenced"
+			}
+			ids := make([]string, 0, len(a.shards))
+			for s, st := range a.shards {
+				if st.replicas[server] != nil {
+					ids = append(ids, string(s))
+				}
+			}
+			sort.Strings(ids)
+			for _, sid := range ids {
+				s := shard.ID(sid)
+				st := a.shards[s]
+				a.event(st, "fence", fmt.Sprintf("%s %s g%d", server, state, gen))
+				a.checkOnePrimary(s, st)
+			}
+		},
+		ServerRemoved: func(server shard.ServerID) {
+			// The container is gone; every replica it held died with the
+			// process. Without this the view keeps a crashed server's primary
+			// "active" forever and falsely flags its successor as a dual
+			// primary. Sorted for deterministic timelines.
+			delete(a.fencedSrv, server)
+			ids := make([]string, 0, len(a.shards))
+			for s, st := range a.shards {
+				if st.replicas[server] != nil {
+					ids = append(ids, string(s))
+				}
+			}
+			sort.Strings(ids)
+			for _, sid := range ids {
+				s := shard.ID(sid)
+				st := a.shards[s]
+				delete(st.replicas, server)
+				delete(st.servedFwd, server)
+				a.event(st, "replica", string(server)+" removed (server gone)")
+				a.checkOnePrimary(s, st)
+			}
+		},
+		ReplicaConfirmed: func(server shard.ServerID, s shard.ID, confirmed bool) {
+			st := a.shard(s)
+			v := st.replicas[server]
+			if v == nil {
+				v = &replicaView{}
+				st.replicas[server] = v
+			}
+			v.unconfirmed = !confirmed
+			if confirmed {
+				a.event(st, "replica", fmt.Sprintf("%s confirmed", server))
+				a.checkOnePrimary(s, st)
+			} else {
+				a.event(st, "replica", fmt.Sprintf("%s unconfirmed (restored)", server))
+			}
 		},
 	}
 }

@@ -100,7 +100,13 @@ type Store struct {
 	root     *node
 	sessions map[int64]*Session
 	nextSess int64
-	tracer   *trace.Tracer
+	// epoch is the store-wide fencing counter. Every session and every
+	// orchestrator publish draws a fresh value, so "newer" is totally
+	// ordered across sessions, role grants, and shard-map generations —
+	// the fencing-token construction from the MIT 6.824 Spanner lecture's
+	// "two servers both believe they own a shard" discussion.
+	epoch  int64
+	tracer *trace.Tracer
 	// writeGate, if set, is consulted before every mutating client
 	// operation (Create/Set/Delete) and may veto it, typically with
 	// ErrUnavailable. Fault injection uses it to model znode-write stalls;
@@ -168,13 +174,31 @@ func NewStore() *Store {
 	return &Store{root: newNode(), sessions: make(map[int64]*Session)}
 }
 
+// NextEpoch atomically increments and returns the store's fencing epoch.
+// Values are strictly positive and never reused.
+func (s *Store) NextEpoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	return s.epoch
+}
+
+// Epoch returns the last epoch handed out by NextEpoch (0 before any).
+func (s *Store) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
 // Session groups ephemeral nodes; closing or expiring the session deletes
 // them, which is how the orchestrator detects server failures.
 type Session struct {
-	store  *Store
-	id     int64
-	closed bool
-	ephem  map[string]struct{}
+	store    *Store
+	id       int64
+	gen      int64
+	closed   bool
+	ephem    map[string]struct{}
+	onExpire []func()
 }
 
 // NewSession opens a session.
@@ -182,13 +206,39 @@ func (s *Store) NewSession() *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextSess++
-	sess := &Session{store: s, id: s.nextSess, ephem: make(map[string]struct{})}
+	s.epoch++
+	sess := &Session{store: s, id: s.nextSess, gen: s.epoch, ephem: make(map[string]struct{})}
 	s.sessions[sess.id] = sess
 	return sess
 }
 
 // ID returns the session's unique id.
 func (sess *Session) ID() int64 { return sess.id }
+
+// Generation returns the fencing epoch assigned when the session was
+// created. Any epoch drawn after this session opened — in particular the
+// generation of any shard-map publish or role grant issued after the
+// session expired — is strictly greater, so a server that fences itself at
+// its session generation can never outrank a post-expiry grant.
+func (sess *Session) Generation() int64 { return sess.gen }
+
+// OnExpire registers fn to run when the session closes or expires. Hooks
+// fire outside the store's lock, after the session's ephemeral nodes are
+// deleted and their watches dispatched; they must draw no randomness. The
+// SM library uses this as the lease-loss signal that triggers self-fencing.
+func (sess *Session) OnExpire(fn func()) {
+	if fn == nil {
+		panic("coord: OnExpire(nil)")
+	}
+	sess.store.mu.Lock()
+	if sess.closed {
+		sess.store.mu.Unlock()
+		fn()
+		return
+	}
+	sess.onExpire = append(sess.onExpire, fn)
+	sess.store.mu.Unlock()
+}
 
 // Closed reports whether the session has been closed or expired.
 func (sess *Session) Closed() bool {
@@ -224,10 +274,15 @@ func (s *Store) expire(sess *Session) {
 	for _, p := range paths {
 		fire = append(fire, s.deleteLocked(p)...)
 	}
+	hooks := sess.onExpire
+	sess.onExpire = nil
 	s.mu.Unlock()
 	s.dispatch(fire)
 	for _, p := range paths {
 		s.notifyWrite("session-expire", p)
+	}
+	for _, fn := range hooks {
+		fn()
 	}
 }
 

@@ -124,16 +124,28 @@ func (s *Service) state(app shard.AppID) *appState {
 }
 
 // Publish stores the map as the app's current version and schedules delivery
-// to every subscriber after an independent propagation delay. Maps with a
-// version not newer than the current one are ignored (idempotent
-// re-publication). The map is cloned; the caller may keep mutating its copy.
+// to every subscriber after an independent propagation delay. Maps are
+// applied in generation order when stamped (Gen > 0) — a publish whose
+// fencing generation is behind the current map's is stale (e.g. reordered in
+// flight from a superseded control-plane incarnation) and dropped, counted in
+// discovery_stale_publishes_total; unstamped maps fall back to version order.
+// The map is cloned; the caller may keep mutating its copy.
 func (s *Service) Publish(m *shard.Map) {
 	if m == nil {
 		panic("discovery: Publish(nil)")
 	}
 	st := s.state(m.App)
-	if st.current != nil && m.Version <= st.current.Version {
-		return
+	if st.current != nil {
+		stale := m.Version <= st.current.Version
+		if m.Gen > 0 && st.current.Gen > 0 {
+			stale = m.Gen <= st.current.Gen
+		}
+		if stale {
+			if mr := s.loop.Metrics(); mr != nil {
+				mr.Counter("discovery_stale_publishes_total", "app", string(m.App)).Inc()
+			}
+			return
+		}
 	}
 	snap := m.Clone()
 	st.current = snap

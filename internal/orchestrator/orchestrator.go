@@ -43,6 +43,8 @@ var (
 	lbMigrationLoad = sim.LabelFor("orchestrator", "migration_load")
 	lbPublishMargin = sim.LabelFor("orchestrator", "publish_margin")
 	lbDrainCheck    = sim.LabelFor("orchestrator", "drain_check")
+	lbPromoteHold   = sim.LabelFor("orchestrator", "promote_hold")
+	lbOrphanGC      = sim.LabelFor("orchestrator", "orphan_gc")
 )
 
 // ShardConfig declares one shard of the application.
@@ -82,6 +84,14 @@ type Config struct {
 	// PublishMargin is the wait between publishing a new map and
 	// dropping the old primary, covering map propagation (default 3s).
 	PublishMargin time.Duration
+	// PromoteHold is how long after a primary's server dies (liveness
+	// node lost) the orchestrator waits before promoting a replacement
+	// primary (default 5s). It must exceed the SM library's self-fence
+	// delay (appserver.DefaultFenceDelay) so a false-dead server — healthy
+	// process, expired session — has provably stopped serving as primary
+	// before a second primary can appear anywhere (the MIT 6.824 "two
+	// servers both believe they own a shard" race).
+	PromoteHold time.Duration
 	// MaxConcurrentMigrations caps in-flight replica migrations (§5.1
 	// hard constraint "system stability"; default 20).
 	MaxConcurrentMigrations int
@@ -90,6 +100,13 @@ type Config struct {
 	// before telling the old one to forward. Should be >= the servers'
 	// LoadTime; the old primary serves clients throughout.
 	ShardLoadTime time.Duration
+	// OrphanRetry is the retry interval for cleanup RPCs that failed —
+	// dropping a replica a migration left behind, or resuming a forwarding
+	// primary whose migration aborted (default 5s). An RPC can execute on
+	// the server yet report failure (reply lost), so cleanup must be
+	// retried until acknowledged: an unacknowledged orphan is a live
+	// primary the control plane no longer knows about.
+	OrphanRetry time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -105,8 +122,14 @@ func (c *Config) fillDefaults() {
 	if c.PublishMargin <= 0 {
 		c.PublishMargin = 3 * time.Second
 	}
+	if c.PromoteHold <= 0 {
+		c.PromoteHold = 5 * time.Second
+	}
 	if c.MaxConcurrentMigrations <= 0 {
 		c.MaxConcurrentMigrations = 20
+	}
+	if c.OrphanRetry <= 0 {
+		c.OrphanRetry = 5 * time.Second
 	}
 }
 
@@ -133,6 +156,19 @@ type shardState struct {
 	slots []replicaSlot
 	// migrating marks an in-flight migration touching this shard.
 	migrating bool
+	// mig is the in-flight migration itself (nil unless migrating); rejoin
+	// syncs consult it so they never drop a half-handed-over replica.
+	mig *migration
+	// holdUntil blocks primary promotion for this shard until the given
+	// sim time: set when a dead server's primary is demoted in place, it
+	// gives the possibly-false-dead old primary time to self-fence.
+	holdUntil time.Duration
+	// orphans names servers that may still hold an unacknowledged replica
+	// of this shard (a cleanup drop failed and is being retried). While any
+	// orphan is pending, the shard's old primary must not resume serving:
+	// the orphan could be an active primary whose add executed even though
+	// the reply was lost.
+	orphans map[shard.ServerID]bool
 }
 
 type drainRequest struct {
@@ -203,6 +239,7 @@ type migration struct {
 	shard    shard.ID
 	slot     int
 	from, to shard.ServerID
+	role     shard.Role
 	graceful bool
 	// span covers the whole migration from enqueue to finish; the per-step
 	// RPCs (prepare_add_shard, add_shard, drop_shard, ...) are its children.
@@ -339,13 +376,24 @@ func (o *Orchestrator) syncMembership() {
 		id := unescapeID(kid)
 		seen[id] = true
 		st := o.servers[id]
+		rejoined := false
 		if st == nil {
 			st = &serverState{id: id, load: make(map[shard.ID]topology.Capacity)}
 			o.servers[id] = st
+		} else if !st.alive {
+			rejoined = true
 		}
 		if !st.alive {
 			st.alive = true
 			o.resolveMachine(st, string(data))
+		}
+		if rejoined && o.started {
+			// A server coming back from the dead (false-dead reconnect or
+			// in-place restart) may hold a stale — possibly fenced —
+			// replica set; push the authoritative assignment at a fresh
+			// generation so it unfences into the current world, not the
+			// one it left.
+			o.syncServer(id)
 		}
 	}
 	anyDied := false
@@ -358,9 +406,12 @@ func (o *Orchestrator) syncMembership() {
 		}
 	}
 	if anyDied && o.started {
-		// Fail the primary role over immediately; replica placement
-		// itself waits for the failover grace.
+		// Demote the dead servers' primaries immediately, but promotion of
+		// replacements waits out PromoteHold (reconcileRoles gates on
+		// holdUntil); re-reconcile once the hold has elapsed so failover
+		// does not wait for the next periodic allocation.
 		o.reconcileAllRoles()
+		o.loop.AfterL(o.cfg.PromoteHold, lbPromoteHold, o.reconcileAllRoles)
 	}
 }
 
@@ -409,6 +460,34 @@ func (o *Orchestrator) scheduleFailover(id shard.ServerID, at time.Duration) {
 			o.allocate(allocator.Emergency)
 		}
 	})
+}
+
+// syncServer pushes the authoritative assignment for one server at a fresh
+// generation — the anti-entropy step for rejoining servers. It lifts the
+// server's self-fence (the new generation supersedes the lost lease), fixes
+// roles the server demoted or restored stale, drops replicas the world moved
+// away while it was gone, and confirms restored-unconfirmed primaries.
+func (o *Orchestrator) syncServer(id shard.ServerID) {
+	want := make(map[shard.ID]shard.Role)
+	var protect map[shard.ID]bool
+	for _, sid := range o.order {
+		ss := o.shards[sid]
+		if slot := o.findSlot(ss, id); slot != -1 {
+			want[sid] = ss.slots[slot].role
+		}
+		if ss.mig != nil && ss.mig.to == id {
+			if protect == nil {
+				protect = make(map[shard.ID]bool)
+			}
+			protect[sid] = true
+		}
+	}
+	gen := o.store.NextEpoch()
+	o.loop.Metrics().Counter("orchestrator_server_syncs_total",
+		"app", string(o.cfg.App)).Inc()
+	o.call(id, func(srv *appserver.Server) {
+		srv.SyncAssignment(want, protect, gen)
+	}, nil, func() { o.failedRPC() })
 }
 
 func (o *Orchestrator) hasReplicasOn(id shard.ServerID) bool {
@@ -570,8 +649,23 @@ func (o *Orchestrator) executeDiff(res *allocator.Result) {
 		if ss == nil || ss.migrating {
 			continue
 		}
+		if len(ss.orphans) > 0 {
+			// An unresolved orphan may be an active primary whose cleanup
+			// drop hasn't been acknowledged yet; starting a new move could
+			// activate a second primary next to it. The next allocation
+			// replans once the orphan resolves.
+			o.publishRejected("orphan_pending")
+			continue
+		}
 		switch mv.Kind() {
 		case "add":
+			if o.findSlot(ss, mv.To) != -1 {
+				// The target already holds a replica of this shard (e.g.
+				// a churn-deferred move raced a sibling add); honoring the
+				// plan would publish a duplicate-replica map.
+				o.publishRejected("duplicate_add")
+				continue
+			}
 			// Reuse an empty slot or one whose server is dead (the
 			// replica this add replaces); append only for genuine
 			// replica-count growth.
@@ -602,12 +696,19 @@ func (o *Orchestrator) executeDiff(res *allocator.Result) {
 			if slot == -1 {
 				continue
 			}
+			if o.findSlot(ss, mv.To) != -1 {
+				// Destination already holds a replica; moving there would
+				// collapse two replicas onto one server.
+				o.publishRejected("duplicate_move")
+				continue
+			}
 			graceful := o.cfg.GracefulMigration && ss.slots[slot].role == shard.RolePrimary
 			o.enqueueMigration(migration{
 				shard:    mv.Shard,
 				slot:     slot,
 				from:     mv.From,
 				to:       mv.To,
+				role:     ss.slots[slot].role,
 				graceful: graceful,
 			})
 		}
@@ -665,6 +766,12 @@ func (o *Orchestrator) roleForNewReplica(ss *shardState) shard.Role {
 				}
 			}
 		}
+		if o.loop.Now() < ss.holdUntil {
+			// The shard just lost its primary; don't mint a new one
+			// before the old server's self-fence deadline — join as a
+			// secondary and let reconcileRoles promote after the hold.
+			return shard.RoleSecondary
+		}
 		return shard.RolePrimary
 	}
 }
@@ -688,7 +795,11 @@ func (o *Orchestrator) reconcileRoles(ss *shardState) bool {
 		}
 		st := o.servers[slot.server]
 		if st == nil || !st.alive {
+			// Demote in place (no RPC — the server is gone), and hold
+			// promotion of a successor until the possibly-false-dead old
+			// primary has had time to self-fence.
 			slot.role = shard.RoleSecondary
+			ss.holdUntil = o.loop.Now() + o.cfg.PromoteHold
 			changed = true
 			continue
 		}
@@ -700,7 +811,10 @@ func (o *Orchestrator) reconcileRoles(ss *shardState) bool {
 			changed = true
 		}
 	}
-	if alivePrimary == -1 {
+	// Promotion additionally waits for pending orphans: an orphan may be an
+	// active primary whose cleanup drop wasn't acknowledged, and promoting a
+	// secondary next to it would put two primaries up at once.
+	if alivePrimary == -1 && o.loop.Now() >= ss.holdUntil && len(ss.orphans) == 0 {
 		for i := range ss.slots {
 			slot := &ss.slots[i]
 			if slot.server == "" || slot.role != shard.RoleSecondary {
@@ -780,6 +894,7 @@ func (o *Orchestrator) finishMigration(m migration, ok bool) {
 	}
 	ss := o.shards[m.shard]
 	ss.migrating = false
+	ss.mig = nil
 	if ok {
 		o.ShardMoves.Inc()
 	}
@@ -801,6 +916,8 @@ func (o *Orchestrator) runMigration(m migration) {
 	ss := o.shards[m.shard]
 	slot := &ss.slots[m.slot]
 	role := slot.role
+	m.role = role
+	ss.mig = &m
 	if tr := o.loop.Tracer(); tr.Enabled() {
 		tr.Event("orchestrator", "migration_start", m.span,
 			trace.String("shard", string(m.shard)),
@@ -821,63 +938,95 @@ func (o *Orchestrator) runMigration(m migration) {
 		slot.server = m.to
 		o.publish()
 	}
+	// abort rolls back a half-added replica on the target before declaring
+	// the migration failed, so a later plan can reuse the server without
+	// tripping the duplicate-replica guards or leaving a stuck forwarder.
+	// Any step's RPC can have executed on the server even though the reply
+	// was lost, so the rollback can never be fire-and-forget: the target
+	// drop retries until acknowledged (an unacknowledged "failed" add may
+	// be a live orphan primary), and only once the target is provably gone
+	// does the old primary resume serving — resuming earlier could put two
+	// active primaries up at once.
+	abort := func() {
+		o.callStep(m.span, "drop_shard", m.shard, m.to, func(srv *appserver.Server) {
+			srv.DropShard(m.shard)
+		}, func() {
+			fail()
+			o.resumeSource(m.shard, m.from)
+		}, func() {
+			fail()
+			o.scheduleOrphanDrop(m.shard, m.to, func() { o.resumeSource(m.shard, m.from) })
+		})
+	}
 	switch {
 	case m.graceful && role == shard.RolePrimary:
 		// Step 1: prepare_add on the new primary, then give it time to
-		// load the shard's state; the old primary keeps serving.
+		// load the shard's state; the old primary keeps serving. A failed
+		// prepare_add still aborts (not plain fail): the RPC may have
+		// executed, leaving a half-prepared replica to clean up.
+		gen := o.store.NextEpoch()
 		o.callStep(m.span, "prepare_add_shard", m.shard, m.to, func(srv *appserver.Server) {
-			srv.PrepareAddShard(m.shard, m.from, shard.RolePrimary)
+			srv.PrepareAddShardGen(m.shard, m.from, shard.RolePrimary, gen)
 		}, func() {
-			o.loop.AfterL(o.cfg.ShardLoadTime, lbMigrationLoad, func() { o.gracefulStep2(m, commit, fail) })
-		}, fail)
+			o.loop.AfterL(o.cfg.ShardLoadTime, lbMigrationLoad, func() { o.gracefulStep2(m, commit, abort) })
+		}, abort)
 	case role == shard.RoleSecondary:
 		// Make-before-break: add the new secondary, then drop the old.
+		gen := o.store.NextEpoch()
 		o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
-			srv.AddShard(m.shard, shard.RoleSecondary)
+			srv.AddShardGen(m.shard, shard.RoleSecondary, gen)
 		}, func() {
 			commit()
 			o.loop.AfterL(o.cfg.PublishMargin, lbPublishMargin, func() {
 				o.callStep(m.span, "drop_shard", m.shard, m.from, func(srv *appserver.Server) {
 					srv.DropShard(m.shard)
 				}, func() { o.finishMigration(m, true) },
-					func() { o.finishMigration(m, true) })
+					func() {
+						o.scheduleOrphanDrop(m.shard, m.from, nil)
+						o.finishMigration(m, true)
+					})
 			})
-		}, fail)
+		}, func() {
+			o.scheduleOrphanDrop(m.shard, m.to, nil)
+			fail()
+		})
 	default:
 		// Non-graceful primary move: drop, then add. SM's guarantee
 		// that no two servers serve the same shard forces the gap.
+		addNew := func() {
+			gen := o.store.NextEpoch()
+			o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
+				srv.AddShardGen(m.shard, role, gen)
+			}, func() {
+				commit()
+				o.finishMigration(m, true)
+			}, func() {
+				o.scheduleOrphanDrop(m.shard, m.to, nil)
+				fail()
+			})
+		}
 		o.callStep(m.span, "drop_shard", m.shard, m.from, func(srv *appserver.Server) {
 			srv.DropShard(m.shard)
-		}, func() {
-			o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
-				srv.AddShard(m.shard, role)
-			}, func() {
-				commit()
-				o.finishMigration(m, true)
-			}, fail)
-		}, func() {
+		}, addNew, func() {
 			// Old server is already dead; just add the new one.
-			o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
-				srv.AddShard(m.shard, role)
-			}, func() {
-				commit()
-				o.finishMigration(m, true)
-			}, fail)
+			addNew()
 		})
 	}
 }
 
 // gracefulStep2 continues a graceful primary migration after the new
 // primary finished loading: prepare_drop on the old (it starts forwarding),
-// add_shard on the new, publish, and finally drop the old replica.
+// add_shard on the new, publish, and finally drop the old replica. fail is
+// the caller's rollback path (drops the half-added target replica).
 func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
 	// Step 2: prepare_drop on the old; it starts forwarding.
 	o.callStep(m.span, "prepare_drop_shard", m.shard, m.from, func(srv *appserver.Server) {
 		srv.PrepareDropShard(m.shard, m.to, shard.RolePrimary)
 	}, func() {
 		// Step 3: add_shard on the new primary.
+		gen := o.store.NextEpoch()
 		o.callStep(m.span, "add_shard", m.shard, m.to, func(srv *appserver.Server) {
-			srv.AddShard(m.shard, shard.RolePrimary)
+			srv.AddShardGen(m.shard, shard.RolePrimary, gen)
 		}, func() {
 			// Step 4: publish the new map.
 			commit()
@@ -889,13 +1038,104 @@ func (o *Orchestrator) gracefulStep2(m migration, commit func(), fail func()) {
 				}, func() {
 					o.finishMigration(m, true)
 				}, func() {
-					// Old server died after handoff: the
-					// migration still succeeded.
+					// The migration still succeeded, but the old
+					// replica may survive an unacknowledged drop
+					// (e.g. the reply was lost): keep retrying so
+					// it cannot forward — or serve — forever.
+					o.scheduleOrphanDrop(m.shard, m.from, nil)
 					o.finishMigration(m, true)
 				})
 			})
 		}, fail)
 	}, fail)
+}
+
+// scheduleOrphanDrop arms a retry for a cleanup drop that failed: the
+// replica on id may still exist (an RPC can execute yet report failure when
+// the reply is lost), and an orphaned active primary is invisible to the
+// slots, so nothing else would ever reclaim it. The server is registered as
+// a pending orphan of the shard — resumeSource refuses to resume an old
+// primary while any orphan is pending. then (optional) runs once the orphan
+// is resolved (drop acknowledged, server died, or a newer migration took the
+// server over).
+func (o *Orchestrator) scheduleOrphanDrop(s shard.ID, id shard.ServerID, then func()) {
+	if ss := o.shards[s]; ss != nil {
+		if ss.orphans == nil {
+			ss.orphans = make(map[shard.ServerID]bool)
+		}
+		ss.orphans[id] = true
+	}
+	o.loop.AfterL(o.cfg.OrphanRetry, lbOrphanGC, func() { o.dropOrphan(s, id, then) })
+}
+
+// dropOrphan retries a drop_shard until the server acknowledges it, dies
+// (its replicas die with the process; a rejoin runs SyncAssignment), or
+// legitimately re-engages with the shard. Every exit path clears the
+// shard's pending-orphan mark and fires then.
+func (o *Orchestrator) dropOrphan(s shard.ID, id shard.ServerID, then func()) {
+	ss := o.shards[s]
+	if ss == nil {
+		return
+	}
+	resolved := func() {
+		delete(ss.orphans, id)
+		if then != nil {
+			then()
+		}
+	}
+	if ss.mig != nil && (ss.mig.to == id || ss.mig.from == id) {
+		resolved() // a live migration owns this server's replica state now
+		return
+	}
+	if o.findSlot(ss, id) != -1 {
+		resolved() // the server legitimately holds the shard again
+		return
+	}
+	st := o.servers[id]
+	if st == nil || !st.alive {
+		resolved() // death or the rejoin sync cleans up
+		return
+	}
+	o.callStep(o.curAlloc, "drop_orphan", s, id, func(srv *appserver.Server) {
+		srv.DropShard(s)
+	}, func() {
+		o.loop.Metrics().Counter("orchestrator_orphan_drops_total",
+			"app", string(o.cfg.App)).Inc()
+		resolved()
+	}, func() {
+		o.failedRPC()
+		o.loop.AfterL(o.cfg.OrphanRetry, lbOrphanGC, func() { o.dropOrphan(s, id, then) })
+	})
+}
+
+// resumeSource returns an aborted graceful migration's old primary to active
+// serving: its prepare_drop may have executed (leaving it forwarding to a
+// target that no longer holds the shard) even though the reply was lost.
+// Safe to issue blindly — ResumeShardGen no-ops unless the replica is
+// forwarding. It waits out any pending orphan of the shard first: an orphan
+// may be an active primary, and resuming next to it would put two primaries
+// up at once. Retries until acknowledged: a stuck forwarder bounces every
+// client of the shard.
+func (o *Orchestrator) resumeSource(s shard.ID, id shard.ServerID) {
+	ss := o.shards[s]
+	if ss == nil || ss.mig != nil || o.findSlot(ss, id) == -1 {
+		return // superseded: a newer migration or assignment owns the shard
+	}
+	st := o.servers[id]
+	if st == nil || !st.alive {
+		return
+	}
+	if len(ss.orphans) > 0 {
+		o.loop.AfterL(o.cfg.OrphanRetry, lbOrphanGC, func() { o.resumeSource(s, id) })
+		return
+	}
+	gen := o.store.NextEpoch()
+	o.callStep(o.curAlloc, "resume_shard", s, id, func(srv *appserver.Server) {
+		srv.ResumeShardGen(s, gen)
+	}, nil, func() {
+		o.failedRPC()
+		o.loop.AfterL(o.cfg.OrphanRetry, lbOrphanGC, func() { o.resumeSource(s, id) })
+	})
 }
 
 // failedRPC counts one failed orchestrator->server RPC in both the legacy
@@ -962,16 +1202,58 @@ func (o *Orchestrator) callStep(parent trace.SpanID, step string, s shard.ID, id
 }
 
 func (o *Orchestrator) rpcAddShard(id shard.ServerID, s shard.ID, role shard.Role) {
+	gen := o.store.NextEpoch()
 	o.callStep(o.curAlloc, "add_shard", s, id,
-		func(srv *appserver.Server) { srv.AddShard(s, role) }, nil, func() { o.failedRPC() })
+		func(srv *appserver.Server) { srv.AddShardGen(s, role, gen) }, nil, func() {
+			o.failedRPC()
+			o.loop.AfterL(o.cfg.OrphanRetry, lbOrphanGC, func() { o.retryAdd(s, id) })
+		})
+}
+
+// retryAdd re-issues an add_shard whose RPC failed while the authoritative
+// slots still name the server: the published map already promises the
+// replica there, so clients route to it — an unrepaired slot bounces them
+// with not-owner until something else happens to move the shard. Retries
+// stop once the slot is reassigned or the server dies; an add that executed
+// even though its reply was lost makes the retry an idempotent no-op.
+func (o *Orchestrator) retryAdd(s shard.ID, id shard.ServerID) {
+	ss := o.shards[s]
+	if ss == nil {
+		return
+	}
+	if ss.migrating {
+		// A migration owns this shard's transitions; re-check after it.
+		o.loop.AfterL(o.cfg.OrphanRetry, lbOrphanGC, func() { o.retryAdd(s, id) })
+		return
+	}
+	slot := o.findSlot(ss, id)
+	if slot == -1 {
+		return // slot reassigned; the map no longer promises this replica
+	}
+	st := o.servers[id]
+	if st == nil || !st.alive {
+		return // death or the rejoin sync reconciles
+	}
+	o.rpcAddShard(id, s, ss.slots[slot].role)
 }
 
 func (o *Orchestrator) rpcDropShard(id shard.ServerID, s shard.ID) {
 	o.callStep(o.curAlloc, "drop_shard", s, id,
-		func(srv *appserver.Server) { srv.DropShard(s) }, nil, func() { o.failedRPC() })
+		func(srv *appserver.Server) { srv.DropShard(s) }, nil, func() {
+			o.failedRPC()
+			o.scheduleOrphanDrop(s, id, nil)
+		})
 }
 
 func (o *Orchestrator) rpcChangeRole(id shard.ServerID, s shard.ID, from, to shard.Role) {
+	o.rpcChangeRoleThen(id, s, from, to, nil)
+}
+
+// rpcChangeRoleThen is rpcChangeRole with a completion callback: done(true)
+// after the server acknowledged the role change, done(false) if it was
+// unreachable. DemotePrimaries chains demote→promote through it so the two
+// primaries can never be active simultaneously server-side.
+func (o *Orchestrator) rpcChangeRoleThen(id shard.ServerID, s shard.ID, from, to shard.Role, done func(ok bool)) {
 	tr := o.loop.Tracer()
 	var sp trace.SpanID
 	if tr.Enabled() {
@@ -988,22 +1270,76 @@ func (o *Orchestrator) rpcChangeRole(id shard.ServerID, s shard.ID, from, to sha
 			h.RoleChanged(s, id, from, to)
 		}
 	}
-	o.call(id, func(srv *appserver.Server) { _ = srv.ChangeRole(s, from, to) },
-		func() { tr.EndSpan(sp, trace.String("status", "ok")) },
+	gen := o.store.NextEpoch()
+	o.call(id, func(srv *appserver.Server) { _ = srv.ChangeRoleGen(s, from, to, gen) },
+		func() {
+			tr.EndSpan(sp, trace.String("status", "ok"))
+			if done != nil {
+				done(true)
+			}
+		},
 		func() {
 			tr.EndSpan(sp, trace.String("status", "failed"))
 			o.failedRPC()
+			if done != nil {
+				done(false)
+			}
 		})
 }
 
 // --- publication ---
 
-// publish pushes a new shard-map version to service discovery and persists
-// per-server assignments to the coordination store.
-func (o *Orchestrator) publish() {
-	o.version++
+// publishRejected counts one refused-to-publish-garbage event: a planned
+// change or map entry that would have violated map invariants (duplicate
+// replica, two primaries) was dropped instead of published.
+func (o *Orchestrator) publishRejected(reason string) {
+	o.loop.Metrics().Counter("orchestrator_publish_rejected_total",
+		"app", string(o.cfg.App), "reason", reason).Inc()
+}
+
+// sanitizeSlots repairs a shard's slot list in place so the published map
+// always satisfies Validate: duplicate servers collapse to the first
+// occurrence (preferring the primary) and surplus primaries demote. Repairs
+// are counted via orchestrator_publish_rejected_total; they indicate a
+// planning bug upstream but must not take the control plane down.
+func (o *Orchestrator) sanitizeSlots(ss *shardState) {
+	seen := make(map[shard.ServerID]int, len(ss.slots))
+	out := ss.slots[:0]
+	for _, slot := range ss.slots {
+		if slot.server == "" {
+			out = append(out, slot)
+			continue
+		}
+		if j, dup := seen[slot.server]; dup {
+			if slot.role == shard.RolePrimary && out[j].role != shard.RolePrimary {
+				out[j].role = shard.RolePrimary
+			}
+			o.publishRejected("duplicate_replica")
+			continue
+		}
+		seen[slot.server] = len(out)
+		out = append(out, slot)
+	}
+	primaries := 0
+	for i := range out {
+		if out[i].server == "" || out[i].role != shard.RolePrimary {
+			continue
+		}
+		primaries++
+		if primaries > 1 {
+			out[i].role = shard.RoleSecondary
+			o.publishRejected("surplus_primary")
+		}
+	}
+	ss.slots = out
+}
+
+// buildMap assembles the shard map (and per-server assignment index) from
+// the current slots, stamped with the given version and a fresh epoch.
+func (o *Orchestrator) buildMap(version int64) (*shard.Map, map[shard.ServerID]map[shard.ID]shard.Role) {
 	m := shard.NewMap(o.cfg.App)
-	m.Version = o.version
+	m.Version = version
+	m.Gen = o.store.NextEpoch()
 	perServer := make(map[shard.ServerID]map[shard.ID]shard.Role)
 	for _, id := range o.order {
 		ss := o.shards[id]
@@ -1022,8 +1358,26 @@ func (o *Orchestrator) publish() {
 			m.Entries[id] = as
 		}
 	}
+	return m, perServer
+}
+
+// publish pushes a new shard-map version to service discovery and persists
+// per-server assignments to the coordination store. Every publication is
+// stamped with a fresh coordination epoch so consumers apply maps in
+// generation order and drop stale ones.
+func (o *Orchestrator) publish() {
+	o.version++
+	m, perServer := o.buildMap(o.version)
 	if err := m.Validate(); err != nil {
-		panic(fmt.Sprintf("orchestrator: invalid map: %v", err))
+		// Never publish (or panic on) an invariant-violating map: repair
+		// the offending slots, count the rejection, and rebuild.
+		for _, id := range o.order {
+			o.sanitizeSlots(o.shards[id])
+		}
+		m, perServer = o.buildMap(o.version)
+		if err := m.Validate(); err != nil {
+			panic(fmt.Sprintf("orchestrator: invalid map after sanitize: %v", err))
+		}
 	}
 	if tr := o.loop.Tracer(); tr.Enabled() {
 		tr.Event("orchestrator", "publish", o.curAlloc,
@@ -1263,8 +1617,28 @@ func (o *Orchestrator) DemotePrimaries(id shard.ServerID) {
 			}
 			ss.slots[i].role = shard.RoleSecondary
 			ss.slots[promote].role = shard.RolePrimary
-			o.rpcChangeRole(id, sid, shard.RolePrimary, shard.RoleSecondary)
-			o.rpcChangeRole(ss.slots[promote].server, sid, shard.RoleSecondary, shard.RolePrimary)
+			// Chain the RPCs: promote only after the demote is
+			// acknowledged, so the two servers never both hold the active
+			// primary role (concurrent RPCs could land promote-first).
+			promoteSrv := ss.slots[promote].server
+			o.rpcChangeRoleThen(id, sid, shard.RolePrimary, shard.RoleSecondary, func(ok bool) {
+				if !ok {
+					// The old primary never heard the demotion (it may
+					// still be serving); revert the book-keeping rather
+					// than promote a second primary next to it. Slots may
+					// have shifted while the RPC was in flight, so find
+					// the servers again instead of trusting the indices.
+					if j := o.findSlot(ss, id); j != -1 && ss.slots[j].role == shard.RoleSecondary {
+						ss.slots[j].role = shard.RolePrimary
+					}
+					if j := o.findSlot(ss, promoteSrv); j != -1 && ss.slots[j].role == shard.RolePrimary {
+						ss.slots[j].role = shard.RoleSecondary
+					}
+					o.publish()
+					return
+				}
+				o.rpcChangeRole(promoteSrv, sid, shard.RoleSecondary, shard.RolePrimary)
+			})
 			changed = true
 		}
 	}

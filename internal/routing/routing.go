@@ -87,6 +87,7 @@ type Client struct {
 	loop     *sim.Loop
 	net      *rpcnet.Network
 	dir      *appserver.Directory
+	disc     *discovery.Service
 	fleet    *topology.Fleet
 	keyspace *shard.Keyspace
 	opts     Options
@@ -126,6 +127,7 @@ func NewClient(loop *sim.Loop, net *rpcnet.Network, dir *appserver.Directory,
 		loop:     loop,
 		net:      net,
 		dir:      dir,
+		disc:     disc,
 		fleet:    fleet,
 		keyspace: keyspace,
 		opts:     opts,
@@ -136,10 +138,47 @@ func NewClient(loop *sim.Loop, net *rpcnet.Network, dir *appserver.Directory,
 	// whenever a request happens to retry.
 	c.retryRNG = c.rng.Fork()
 	disc.Subscribe(app, func(m *shard.Map) {
+		// An on-demand refresh may already have installed a newer map than
+		// this delivery carries; never regress.
+		if !newerMap(m, c.current) {
+			return
+		}
 		c.current = m
 		c.MapUpdates++
 	})
 	return c
+}
+
+// newerMap reports whether m supersedes cur: by fencing generation when both
+// maps carry one (the total order shared with sessions and grants), by
+// version otherwise.
+func newerMap(m, cur *shard.Map) bool {
+	if m == nil {
+		return false
+	}
+	if cur == nil {
+		return true
+	}
+	if m.Gen > 0 && cur.Gen > 0 {
+		return m.Gen > cur.Gen
+	}
+	return m.Version > cur.Version
+}
+
+// refreshMap pulls the discovery system's current map immediately, without
+// waiting for tree propagation. The SR library does this when a server's
+// rejection implies the client's map is generation-behind ("fenced",
+// "not-owner", "not-primary"): the map that fixes the routing already exists,
+// so fetching it now closes the staleness window instead of retrying blind.
+func (c *Client) refreshMap() {
+	m := c.disc.Current(c.App)
+	if !newerMap(m, c.current) {
+		return
+	}
+	c.current = m
+	c.MapUpdates++
+	c.loop.Metrics().Counter("routing_map_refreshes_total",
+		"app", string(c.App)).Inc()
 }
 
 // OnResult registers fn to run on every final request Result.
@@ -256,6 +295,13 @@ func (c *Client) attempt(req *appserver.Request, start time.Duration, attempt in
 	fail := func(errMsg string) {
 		if tr.Enabled() {
 			tr.EndSpan(asp, trace.String("err", errMsg))
+		}
+		switch errMsg {
+		case "fenced", "not-owner", "not-primary":
+			// Ownership rejections mean the routing map is behind the
+			// server's view; refresh before the retry (and even on the
+			// final attempt, for the next request's benefit).
+			c.refreshMap()
 		}
 		if attempt >= c.opts.MaxAttempts {
 			done(Result{

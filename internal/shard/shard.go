@@ -88,6 +88,13 @@ type Assignment struct {
 type Map struct {
 	App     AppID
 	Version int64
+	// Gen is the coordination epoch (fencing token) stamped at publish
+	// time. Generations are drawn from the coord store's global epoch
+	// counter, so they are totally ordered with session generations and
+	// role grants: a consumer may safely discard any map whose Gen is
+	// behind one it has already applied, and a server fenced at session
+	// generation g trusts only grants with Gen > g.
+	Gen     int64
 	Entries map[ID][]Assignment
 }
 
@@ -98,7 +105,7 @@ func NewMap(app AppID) *Map {
 
 // Clone returns a deep copy.
 func (m *Map) Clone() *Map {
-	out := &Map{App: m.App, Version: m.Version, Entries: make(map[ID][]Assignment, len(m.Entries))}
+	out := &Map{App: m.App, Version: m.Version, Gen: m.Gen, Entries: make(map[ID][]Assignment, len(m.Entries))}
 	for s, as := range m.Entries {
 		out.Entries[s] = append([]Assignment(nil), as...)
 	}

@@ -24,8 +24,8 @@ echo "== go test -race ./internal/audit/..."
 go test -race ./internal/audit/...
 echo "== go test ./internal/experiments"
 go test ./internal/experiments
-echo "== audit torture smoke (12 seeds)"
-go run ./cmd/smbench -fig torture -torture-seeds 12 -foundbugs-out ""
+echo "== audit torture smoke (12 seeds, must be violation-free)"
+go run ./cmd/smbench -fig torture -torture-seeds 12 -foundbugs-out "" -fail-on-bugs
 echo "== solver benchmark smoke (-benchtime=1x)"
 go test ./internal/solver -run '^$' -bench . -benchtime=1x
 echo "== sim-kernel benchmark smoke (-benchtime=1x)"
