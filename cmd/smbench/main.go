@@ -48,6 +48,8 @@ func main() {
 	foundBugsOut := flag.String("foundbugs-out", "FOUNDBUGS_audit.json", "where the torture experiment writes its found-bug log (seed-pinned audit violations)")
 	failOnBugs := flag.Bool("fail-on-bugs", false, "exit non-zero if the torture sweep records any audit violation or panic (CI gate)")
 	benchSimOut := flag.String("bench-sim-out", "BENCH_sim.json", "where the simscale experiment writes its machine-readable kernel benchmark record")
+	simSmoke := flag.Bool("sim-smoke", false, "run only the largest minute-cadence simscale point (120k shards) as a fast kernel-throughput smoke; implies -fig simscale unless -fig is set")
+	simBaseline := flag.String("sim-baseline", "", "compare the simscale run's events/sec against this committed BENCH_sim.json (points matched by shard count); exit non-zero if any point regresses more than 20%")
 	profOut := flag.String("prof-out", "", "write the kernel profiler's text report to this file (byte-stable for a given seed unless -prof-wall)")
 	profJSON := flag.String("prof-json", "", "write the kernel profiler's JSON report to this file")
 	profFolded := flag.String("prof-folded", "", "write folded stacks (flamegraph.pl / inferno / speedscope input) to this file")
@@ -86,6 +88,23 @@ func main() {
 		})
 		if *fig == "all" {
 			*fig = "torture"
+		}
+	}
+
+	if *simSmoke {
+		experiments.SetSimScaleOverride(func(p *experiments.SimScaleParams) {
+			for _, pt := range p.Points {
+				if pt.Shards == 120000 {
+					p.Points = []experiments.SimScalePoint{pt}
+					return
+				}
+			}
+			if len(p.Points) > 0 { // fallback: keep the last point
+				p.Points = p.Points[len(p.Points)-1:]
+			}
+		})
+		if *fig == "all" {
+			*fig = "simscale"
 		}
 	}
 
@@ -157,6 +176,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if report.ID == "simscale" && *simBaseline != "" {
+			if err := checkSimBaseline(report, *simBaseline); err != nil {
+				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if report.ID == "torture" && *foundBugsOut != "" {
 			if err := writeFoundBugs(report, *foundBugsOut); err != nil {
 				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
@@ -222,6 +247,48 @@ func writeBenchSim(r *experiments.Report, path string) error {
 		return err
 	}
 	fmt.Printf("kernel benchmark record written to %s\n", path)
+	return nil
+}
+
+// checkSimBaseline guards kernel throughput: every point in the run that has
+// a same-shard-count point in the committed BENCH_sim.json must reach at
+// least 80% of its recorded events/sec. Wall-clock noise on shared machines
+// is real, so the margin is deliberately loose — the gate exists to catch
+// structural kernel regressions, not single-digit drift.
+func checkSimBaseline(r *experiments.Report, path string) error {
+	rec, ok := r.Extra.(*experiments.SimScaleRecord)
+	if !ok || rec == nil {
+		return fmt.Errorf("simscale report carries no benchmark record")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base experiments.SimScaleRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %v", path, err)
+	}
+	basePts := make(map[int]experiments.SimScalePointRecord, len(base.Points))
+	for _, pt := range base.Points {
+		basePts[pt.Shards] = pt
+	}
+	checked := 0
+	for _, pt := range rec.Points {
+		b, ok := basePts[pt.Shards]
+		if !ok || b.EventsPerSec <= 0 {
+			continue
+		}
+		checked++
+		if pt.EventsPerSec < 0.8*b.EventsPerSec {
+			return fmt.Errorf("kernel throughput regression at %d shards: %.0f events/sec vs committed %.0f (more than 20%% below %s)",
+				pt.Shards, pt.EventsPerSec, b.EventsPerSec, path)
+		}
+		fmt.Printf("kernel-bench smoke: %d shards at %.0f events/sec vs committed %.0f (ok)\n",
+			pt.Shards, pt.EventsPerSec, b.EventsPerSec)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no point in this run matches any committed point in %s", path)
+	}
 	return nil
 }
 

@@ -58,10 +58,19 @@ type Subscription struct {
 // Cancel stops future deliveries.
 func (s *Subscription) Cancel() { s.cancelled = true }
 
+// subBatch groups consecutive subscribers that share one delivery event per
+// publication. Each batch owns a forked RNG for its propagation delays, so
+// batch membership changes never perturb other batches' delay streams.
+type subBatch struct {
+	rng  *sim.RNG
+	subs []*Subscription
+}
+
 type appState struct {
 	current *shard.Map
 	pubAt   time.Duration // simulated time current was published
 	subs    []*Subscription
+	batches []*subBatch // populated only when fanoutBatch > 1
 }
 
 // Service is the discovery system. One instance serves all applications.
@@ -70,6 +79,18 @@ type Service struct {
 	rng   *sim.RNG
 	delay DelayFunc
 	apps  map[shard.AppID]*appState
+
+	// fanoutBatch is the number of subscribers sharing one delivery event
+	// (and one sampled propagation delay) per publication. The default of 1
+	// is the exact legacy behavior: every subscriber draws its own delay
+	// from its own RNG stream. Large-scale experiments raise it so a
+	// publish schedules O(subs/batch) events instead of O(subs).
+	fanoutBatch int
+
+	// freeDeliveries / freeBatchDeliveries recycle the per-delivery records
+	// that ride the event loop's arg slot, keeping fan-out allocation-free.
+	freeDeliveries      *delivery
+	freeBatchDeliveries *batchDelivery
 
 	// Publications counts Publish calls, for tests and smctl.
 	Publications int64
@@ -107,11 +128,28 @@ func NewService(loop *sim.Loop, delay DelayFunc) *Service {
 		delay = DefaultDelay()
 	}
 	return &Service{
-		loop:  loop,
-		rng:   loop.RNG().Fork(),
-		delay: delay,
-		apps:  make(map[shard.AppID]*appState),
+		loop:        loop,
+		rng:         loop.RNG().Fork(),
+		delay:       delay,
+		apps:        make(map[shard.AppID]*appState),
+		fanoutBatch: 1,
 	}
+}
+
+// SetFanoutBatch sets how many subscribers share one delivery event per
+// publication (n <= 1 restores the exact per-subscriber legacy behavior).
+// Batch membership is fixed at Subscribe time, so the batch size must be
+// chosen before any subscriber registers.
+func (s *Service) SetFanoutBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for _, st := range s.apps {
+		if len(st.subs) > 0 {
+			panic("discovery: SetFanoutBatch after Subscribe")
+		}
+	}
+	s.fanoutBatch = n
 }
 
 func (s *Service) state(app shard.AppID) *appState {
@@ -131,6 +169,22 @@ func (s *Service) state(app shard.AppID) *appState {
 // discovery_stale_publishes_total; unstamped maps fall back to version order.
 // The map is cloned; the caller may keep mutating its copy.
 func (s *Service) Publish(m *shard.Map) {
+	s.publish(m, nil)
+}
+
+// PublishScratch is Publish for callers that recycle map storage: the
+// snapshot is cloned into scratch (reusing its entry map and assignment
+// slices) instead of deep-allocating, and the app's previous current map is
+// returned to serve as the caller's next scratch buffer. It is only safe
+// when no subscriber retains a delivered map beyond its callback and every
+// delivery of the previous map has completed (propagation delay shorter
+// than the publish interval); otherwise retained maps would be mutated in
+// place. Returns scratch unchanged when the publish is dropped as stale.
+func (s *Service) PublishScratch(m, scratch *shard.Map) *shard.Map {
+	return s.publish(m, scratch)
+}
+
+func (s *Service) publish(m, scratch *shard.Map) *shard.Map {
 	if m == nil {
 		panic("discovery: Publish(nil)")
 	}
@@ -144,10 +198,16 @@ func (s *Service) Publish(m *shard.Map) {
 			if mr := s.loop.Metrics(); mr != nil {
 				mr.Counter("discovery_stale_publishes_total", "app", string(m.App)).Inc()
 			}
-			return
+			return scratch
 		}
 	}
-	snap := m.Clone()
+	var prev, snap *shard.Map
+	if scratch != nil {
+		prev = st.current
+		snap = m.CloneInto(scratch)
+	} else {
+		snap = m.Clone()
+	}
 	st.current = snap
 	st.pubAt = s.loop.Now()
 	s.Publications++
@@ -155,9 +215,37 @@ func (s *Service) Publish(m *shard.Map) {
 		mr.Counter("discovery_publications_total", "app", string(m.App)).Inc()
 		mr.Gauge("discovery_map_version", "app", string(m.App)).Set(float64(snap.Version))
 	}
-	for _, sub := range st.subs {
-		s.deliver(sub, snap, st.pubAt)
+	if s.fanoutBatch > 1 {
+		for _, b := range st.batches {
+			s.deliverBatch(b, snap, st.pubAt)
+		}
+	} else {
+		for _, sub := range st.subs {
+			s.deliver(sub, snap, st.pubAt)
+		}
 	}
+	return prev
+}
+
+// delivery is the pooled state of one scheduled per-subscriber delivery —
+// what the old per-delivery closure captured, recycled when it fires.
+type delivery struct {
+	s     *Service
+	sub   *Subscription
+	m     *shard.Map
+	pubAt time.Duration
+	sp    trace.SpanID
+	next  *delivery
+}
+
+// batchDelivery is the pooled state of one scheduled batch fan-out event.
+type batchDelivery struct {
+	s     *Service
+	batch *subBatch
+	m     *shard.Map
+	pubAt time.Duration
+	sp    trace.SpanID
+	next  *batchDelivery
 }
 
 // deliver schedules one map delivery; its span stretches from publication to
@@ -174,7 +262,91 @@ func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) 
 			trace.Int64("version", m.Version),
 			trace.Int("sub", sub.id))
 	}
-	s.loop.AfterL(d, lbDeliver, func() {
+	dv := s.freeDeliveries
+	if dv == nil {
+		dv = &delivery{s: s}
+	} else {
+		s.freeDeliveries = dv.next
+		dv.next = nil
+	}
+	dv.sub, dv.m, dv.pubAt, dv.sp = sub, m, pubAt, sp
+	s.loop.PostArgL(d, lbDeliver, deliverOne, dv)
+}
+
+// deliverOne runs one per-subscriber delivery at its propagation instant.
+func deliverOne(a any) {
+	dv := a.(*delivery)
+	s, sub, m, pubAt, sp := dv.s, dv.sub, dv.m, dv.pubAt, dv.sp
+	*dv = delivery{s: s, next: s.freeDeliveries}
+	s.freeDeliveries = dv
+
+	status := "delivered"
+	if sub.cancelled || m.Version <= sub.lastSeen {
+		status = "stale"
+		if sub.cancelled {
+			status = "cancelled"
+		}
+	}
+	lag := s.loop.Now() - pubAt
+	if mr := s.loop.Metrics(); mr != nil {
+		mr.Counter("discovery_deliveries_total",
+			"app", string(m.App), "status", status).Inc()
+		if status == "delivered" {
+			mr.Histogram("discovery_propagation_ms", nil, "app", string(m.App)).
+				Observe(float64(lag) / float64(time.Millisecond))
+		}
+	}
+	for _, obs := range s.observers {
+		obs(m.App, m.Version, lag, status)
+	}
+	tr := s.loop.Tracer()
+	if status != "delivered" {
+		if tr.Enabled() {
+			tr.EndSpan(sp, trace.String("status", status))
+		}
+		return // stale delivery overtaken by a newer one
+	}
+	sub.lastSeen = m.Version
+	if tr.Enabled() {
+		tr.EndSpan(sp, trace.String("status", "delivered"))
+	}
+	sub.fn(m)
+}
+
+// deliverBatch schedules one delivery event for a whole subscriber batch:
+// one sampled delay from the batch's RNG, one event, one span.
+func (s *Service) deliverBatch(b *subBatch, m *shard.Map, pubAt time.Duration) {
+	d := s.delay(b.rng)
+	tr := s.loop.Tracer()
+	var sp trace.SpanID
+	if tr.Enabled() {
+		sp = tr.StartSpan("discovery", "propagate", 0,
+			trace.String("app", string(m.App)),
+			trace.Int64("version", m.Version),
+			trace.Int("subs", len(b.subs)))
+	}
+	bd := s.freeBatchDeliveries
+	if bd == nil {
+		bd = &batchDelivery{s: s}
+	} else {
+		s.freeBatchDeliveries = bd.next
+		bd.next = nil
+	}
+	bd.batch, bd.m, bd.pubAt, bd.sp = b, m, pubAt, sp
+	s.loop.PostArgL(d, lbDeliver, deliverToBatch, bd)
+}
+
+// deliverToBatch applies one published map to every subscriber in a batch.
+func deliverToBatch(a any) {
+	bd := a.(*batchDelivery)
+	s, batch, m, pubAt, sp := bd.s, bd.batch, bd.m, bd.pubAt, bd.sp
+	*bd = batchDelivery{s: s, next: s.freeBatchDeliveries}
+	s.freeBatchDeliveries = bd
+
+	lag := s.loop.Now() - pubAt
+	mr := s.loop.Metrics()
+	delivered := 0
+	for _, sub := range batch.subs {
 		status := "delivered"
 		if sub.cancelled || m.Version <= sub.lastSeen {
 			status = "stale"
@@ -182,8 +354,7 @@ func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) 
 				status = "cancelled"
 			}
 		}
-		lag := s.loop.Now() - pubAt
-		if mr := s.loop.Metrics(); mr != nil {
+		if mr != nil {
 			mr.Counter("discovery_deliveries_total",
 				"app", string(m.App), "status", status).Inc()
 			if status == "delivered" {
@@ -195,17 +366,16 @@ func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) 
 			obs(m.App, m.Version, lag, status)
 		}
 		if status != "delivered" {
-			if tr.Enabled() {
-				tr.EndSpan(sp, trace.String("status", status))
-			}
-			return // stale delivery overtaken by a newer one
+			continue
 		}
+		delivered++
 		sub.lastSeen = m.Version
-		if tr.Enabled() {
-			tr.EndSpan(sp, trace.String("status", "delivered"))
-		}
 		sub.fn(m)
-	})
+	}
+	if tr := s.loop.Tracer(); tr.Enabled() {
+		tr.EndSpan(sp, trace.String("status", "delivered"),
+			trace.Int("delivered", delivered))
+	}
 }
 
 // Subscribe registers fn to receive the app's shard maps. If a map already
@@ -218,7 +388,16 @@ func (s *Service) Subscribe(app shard.AppID, fn func(*shard.Map)) *Subscription 
 	st := s.state(app)
 	sub := &Subscription{app: app, id: len(st.subs), fn: fn, rng: s.rng.Fork()}
 	st.subs = append(st.subs, sub)
+	if s.fanoutBatch > 1 {
+		if nb := len(st.batches); nb == 0 || len(st.batches[nb-1].subs) == s.fanoutBatch {
+			st.batches = append(st.batches, &subBatch{rng: s.rng.Fork()})
+		}
+		b := st.batches[len(st.batches)-1]
+		b.subs = append(b.subs, sub)
+	}
 	if st.current != nil {
+		// Start-up catch-up is per-subscriber even in batch mode: the new
+		// subscriber fetches the current map on its own stream.
 		s.deliver(sub, st.current, st.pubAt)
 	}
 	return sub

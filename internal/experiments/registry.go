@@ -46,6 +46,14 @@ var tortureOverride func(*TortureParams)
 // scale selection (nil to clear).
 func SetTortureOverride(fn func(*TortureParams)) { tortureOverride = fn }
 
+// simScaleOverride, when non-nil, reshapes the "simscale" experiment's point
+// sweep. smbench sets it from the -sim-smoke flag.
+var simScaleOverride func(*SimScaleParams)
+
+// SetSimScaleOverride installs a mutator applied to the simscale params after
+// scale selection (nil to clear).
+func SetSimScaleOverride(fn func(*SimScaleParams)) { simScaleOverride = fn }
+
 // runner builds one experiment report.
 type runner struct {
 	id    string
@@ -150,6 +158,9 @@ var registry = []runner{
 				{Shards: 10000, Clients: 1000, Servers: 200},
 			}
 			p.SimTime = 2 * time.Minute
+		}
+		if simScaleOverride != nil {
+			simScaleOverride(&p)
 		}
 		return SimScale(p)
 	}},

@@ -88,7 +88,83 @@ type Network struct {
 	// faults, for tests and smctl.
 	Messages int64
 	Dropped  int64
+
+	// freeEnvs / freeCalls are deterministic freelists for the per-message
+	// and per-RPC bookkeeping records. Pooling them (instead of capturing
+	// the same state in closures) makes the send -> deliver -> reply path
+	// allocation-free: the records are recycled the moment their terminal
+	// callback runs, and peak in-flight traffic bounds the arena.
+	freeEnvs  *envelope
+	freeCalls *callState
 }
+
+// envelope is the pooled per-message state a Send or Reply carries through
+// the fabric: everything the old closure captured, now recycled per message.
+// Callbacks take the (func(any), any) shape so the event loop can dispatch
+// them without allocating.
+type envelope struct {
+	n       *Network
+	to      Endpoint
+	sp      trace.SpanID
+	sentAt  time.Duration
+	timeout time.Duration
+	status  string
+	fn      func(any)
+	arg     any
+	onFail  func(any)
+	failArg any
+	next    *envelope
+}
+
+func (n *Network) allocEnv() *envelope {
+	e := n.freeEnvs
+	if e == nil {
+		e = &envelope{n: n}
+		return e
+	}
+	n.freeEnvs = e.next
+	e.next = nil
+	return e
+}
+
+func (n *Network) freeEnv(e *envelope) {
+	*e = envelope{n: n, next: n.freeEnvs}
+	n.freeEnvs = e
+}
+
+// callState is the pooled per-RPC state for Call: request leg, handler,
+// reply leg, and completion callbacks.
+type callState struct {
+	n      *Network
+	from   topology.RegionID
+	to     Endpoint
+	start  time.Duration
+	sp     trace.SpanID
+	handle func()
+	done   func(time.Duration)
+	fail   func()
+	next   *callState
+}
+
+func (n *Network) allocCall() *callState {
+	c := n.freeCalls
+	if c == nil {
+		c = &callState{n: n}
+		return c
+	}
+	n.freeCalls = c.next
+	c.next = nil
+	return c
+}
+
+func (n *Network) freeCall(c *callState) {
+	*c = callState{n: n, next: n.freeCalls}
+	n.freeCalls = c
+}
+
+// invoke0 adapts a plain func() callback to the arg-carrying shape. Func
+// values are pointer-shaped, so boxing one into the arg slot is free.
+func invoke0(a any) { a.(func())() }
 
 // NewNetwork returns a network over the fleet's latency model.
 func NewNetwork(loop *sim.Loop, fleet *topology.Fleet) *Network {
@@ -208,6 +284,21 @@ func (n *Network) lost(from, to topology.RegionID) bool {
 // learns of the failure only by timeout, never faster than a slow success
 // could arrive. Either callback may be nil.
 func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onFail func()) {
+	var fnA, failA func(any)
+	var fnArg, failArg any
+	if fn != nil {
+		fnA, fnArg = invoke0, fn
+	}
+	if onFail != nil {
+		failA, failArg = invoke0, onFail
+	}
+	n.SendArg(fromRegion, to, fnA, fnArg, failA, failArg)
+}
+
+// SendArg is Send with arg-carrying callbacks: fn(arg) on delivery,
+// onFail(failArg) on loss. Static callbacks plus pooled envelopes keep the
+// per-message path free of closure allocations; either callback may be nil.
+func (n *Network) SendArg(fromRegion topology.RegionID, to Endpoint, fn func(any), arg any, onFail func(any), failArg any) {
 	toRegion, known := n.regions[to]
 	var d time.Duration
 	if known {
@@ -224,45 +315,68 @@ func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onF
 		tr.Event("rpcnet", "tx", sp)
 	}
 	timeout := n.sendTimeout()
-	fail := func(status string) {
-		if tr.Enabled() {
-			tr.Event("rpcnet", "timeout", sp, trace.String("to", string(to)))
-			tr.EndSpan(sp, trace.String("status", status))
-		}
-		if onFail != nil {
-			onFail()
-		}
-	}
 	if known && n.lost(fromRegion, toRegion) {
 		n.Dropped++
-		n.loop.AfterL(timeout, lbTimeout, func() { fail("dropped") })
+		e := n.allocEnv()
+		e.to, e.sp, e.status = to, sp, "dropped"
+		e.onFail, e.failArg = onFail, failArg
+		n.loop.PostArgL(timeout, lbTimeout, envTimeout, e)
 		return
 	}
-	sentAt := n.loop.Now()
+	e := n.allocEnv()
+	e.to, e.sp = to, sp
+	e.sentAt, e.timeout = n.loop.Now(), timeout
+	e.fn, e.arg = fn, arg
+	e.onFail, e.failArg = onFail, failArg
 	n.trackInflight(1)
-	n.loop.AfterL(d, lbDeliver, func() {
-		n.Messages++
-		n.trackInflight(-1)
-		if !n.Reachable(to) {
-			// Failure detection is by timeout from the send instant; if
-			// the (possibly inflated) delivery delay already exceeds the
-			// timeout the sender has been waiting long enough.
-			wait := sentAt + timeout - n.loop.Now()
-			if wait > 0 {
-				n.loop.AfterL(wait, lbTimeout, func() { fail("unreachable") })
-			} else {
-				fail("unreachable")
-			}
+	n.loop.PostArgL(d, lbDeliver, envDeliver, e)
+}
+
+// envDeliver runs at the delivery instant of a sent message.
+func envDeliver(a any) {
+	e := a.(*envelope)
+	n := e.n
+	n.Messages++
+	n.trackInflight(-1)
+	if !n.Reachable(e.to) {
+		// Failure detection is by timeout from the send instant; if
+		// the (possibly inflated) delivery delay already exceeds the
+		// timeout the sender has been waiting long enough.
+		e.status = "unreachable"
+		wait := e.sentAt + e.timeout - n.loop.Now()
+		if wait > 0 {
+			n.loop.PostArgL(wait, lbTimeout, envTimeout, e)
 			return
 		}
-		if tr.Enabled() {
-			tr.Event("rpcnet", "rx", sp)
-			tr.EndSpan(sp, trace.String("status", "delivered"))
-		}
-		if fn != nil {
-			fn()
-		}
-	})
+		envTimeout(e)
+		return
+	}
+	tr := n.loop.Tracer()
+	if tr.Enabled() {
+		tr.Event("rpcnet", "rx", e.sp)
+		tr.EndSpan(e.sp, trace.String("status", "delivered"))
+	}
+	fn, arg := e.fn, e.arg
+	n.freeEnv(e)
+	if fn != nil {
+		fn(arg)
+	}
+}
+
+// envTimeout reports a lost message to the sender at its detection instant.
+func envTimeout(a any) {
+	e := a.(*envelope)
+	n := e.n
+	tr := n.loop.Tracer()
+	if tr.Enabled() {
+		tr.Event("rpcnet", "timeout", e.sp, trace.String("to", string(e.to)))
+		tr.EndSpan(e.sp, trace.String("status", e.status))
+	}
+	onFail, failArg := e.onFail, e.failArg
+	n.freeEnv(e)
+	if onFail != nil {
+		onFail(failArg)
+	}
 }
 
 // Reply schedules fn after the one-way latency from region from to region to
@@ -270,20 +384,52 @@ func (n *Network) Send(fromRegion topology.RegionID, to Endpoint, fn func(), onF
 // endpoint. It honors injected link faults: a lost reply invokes onFail at
 // send time + SendTimeout.
 func (n *Network) Reply(from, to topology.RegionID, fn func(), onFail func()) {
+	var fnA, failA func(any)
+	var fnArg, failArg any
+	if fn != nil {
+		fnA, fnArg = invoke0, fn
+	}
+	if onFail != nil {
+		failA, failArg = invoke0, onFail
+	}
+	n.ReplyArg(from, to, fnA, fnArg, failA, failArg)
+}
+
+// ReplyArg is Reply with arg-carrying callbacks, the allocation-free form.
+func (n *Network) ReplyArg(from, to topology.RegionID, fn func(any), arg any, onFail func(any), failArg any) {
 	if n.lost(from, to) {
 		n.Dropped++
 		if onFail != nil {
-			n.loop.AfterL(n.sendTimeout(), lbTimeout, onFail)
+			e := n.allocEnv()
+			e.fn, e.arg = onFail, failArg
+			n.loop.PostArgL(n.sendTimeout(), lbTimeout, envInvoke, e)
 		}
 		return
 	}
 	n.trackInflight(1)
-	n.loop.AfterL(n.Delay(from, to), lbReply, func() {
-		n.trackInflight(-1)
-		if fn != nil {
-			fn()
-		}
-	})
+	e := n.allocEnv()
+	e.fn, e.arg = fn, arg
+	n.loop.PostArgL(n.Delay(from, to), lbReply, envReply, e)
+}
+
+// envReply runs at the delivery instant of a reply leg.
+func envReply(a any) {
+	e := a.(*envelope)
+	n := e.n
+	n.trackInflight(-1)
+	fn, arg := e.fn, e.arg
+	n.freeEnv(e)
+	if fn != nil {
+		fn(arg)
+	}
+}
+
+// envInvoke runs a bare deferred callback (lost-reply timeout).
+func envInvoke(a any) {
+	e := a.(*envelope)
+	fn, arg := e.fn, e.arg
+	e.n.freeEnv(e)
+	fn(arg)
 }
 
 // Call performs a round trip: deliver the request, run handle at the
@@ -292,40 +438,50 @@ func (n *Network) Reply(from, to topology.RegionID, fn func(), onFail func()) {
 // fail runs after the sender's timeout for that leg. handle runs only if the
 // destination is reachable.
 func (n *Network) Call(fromRegion topology.RegionID, to Endpoint, handle func(), done func(rtt time.Duration), fail func()) {
-	start := n.loop.Now()
+	c := n.allocCall()
+	c.from, c.to, c.start = fromRegion, to, n.loop.Now()
+	c.handle, c.done, c.fail = handle, done, fail
 	tr := n.loop.Tracer()
-	var sp trace.SpanID
 	if tr.Enabled() {
-		sp = tr.StartSpan("rpcnet", "rpc", 0,
+		c.sp = tr.StartSpan("rpcnet", "rpc", 0,
 			trace.String("from", string(fromRegion)),
 			trace.String("to", string(to)))
 	}
-	n.Send(fromRegion, to, func() {
-		if handle != nil {
-			handle()
+	n.SendArg(fromRegion, to, callDelivered, c, callSendFailed, c)
+}
+
+// callDelivered runs the handler at the destination, then launches the
+// reply leg: destination region back to caller region.
+func callDelivered(a any) {
+	c := a.(*callState)
+	if c.handle != nil {
+		c.handle()
+	}
+	n := c.n
+	n.ReplyArg(n.regions[c.to], c.from, callReplied, c, callReplyLost, c)
+}
+
+func callDone(c *callState, status string, ok bool) {
+	n := c.n
+	tr := n.loop.Tracer()
+	if tr.Enabled() {
+		tr.EndSpan(c.sp, trace.String("status", status))
+	}
+	done, fail, rtt := c.done, c.fail, n.loop.Now()-c.start
+	n.freeCall(c)
+	if ok {
+		if done != nil {
+			done(rtt)
 		}
-		// Reply path: destination region back to caller region.
-		n.Reply(n.regions[to], fromRegion, func() {
-			if tr.Enabled() {
-				tr.EndSpan(sp, trace.String("status", "ok"))
-			}
-			if done != nil {
-				done(n.loop.Now() - start)
-			}
-		}, func() {
-			if tr.Enabled() {
-				tr.EndSpan(sp, trace.String("status", "reply-lost"))
-			}
-			if fail != nil {
-				fail()
-			}
-		})
-	}, func() {
-		if tr.Enabled() {
-			tr.EndSpan(sp, trace.String("status", "failed"))
-		}
-		if fail != nil {
-			fail()
-		}
-	})
+		return
+	}
+	if fail != nil {
+		fail()
+	}
+}
+
+func callReplied(a any)   { callDone(a.(*callState), "ok", true) }
+func callReplyLost(a any) { callDone(a.(*callState), "reply-lost", false) }
+func callSendFailed(a any) {
+	callDone(a.(*callState), "failed", false)
 }

@@ -215,3 +215,59 @@ func TestCallFailsWhenReplyLost(t *testing.T) {
 		t.Fatalf("handled=%v done=%v failed=%v; want request delivered, reply lost", handled, done, failed)
 	}
 }
+
+func TestSendDeliverReplyAllocationFree(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	served := 0
+	handle := func() {}
+	done := func(time.Duration) { served++ }
+	fail := func() { t.Error("call failed on a healthy link") }
+	// Warm the event, envelope, and callState freelists.
+	for i := 0; i < 100; i++ {
+		n.Call("a", "dst", handle, done, fail)
+	}
+	loop.Run()
+	// Steady state: a full RPC round trip — send, deliver, reply — must not
+	// allocate. The pooled envelopes/callStates and the kernel's event
+	// freelist are the whole story; no closures, no per-message garbage.
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 10; i++ {
+			n.Call("a", "dst", handle, done, fail)
+		}
+		loop.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("send->deliver->reply allocated %.2f allocs/run, want 0", allocs)
+	}
+	if served == 0 {
+		t.Fatal("no calls completed")
+	}
+}
+
+func TestSendArgDeliversArg(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	type msg struct{ payload int }
+	var got *msg
+	m := &msg{payload: 42}
+	n.SendArg("a", "dst", func(a any) { got = a.(*msg) }, m, nil, nil)
+	loop.Run()
+	if got != m {
+		t.Fatalf("SendArg delivered %v, want the original message pointer", got)
+	}
+}
+
+func TestSendArgFailArgOnUnreachable(t *testing.T) {
+	loop, n := testNet(t)
+	n.Register("dst", "b")
+	n.Unregister("dst")
+	var failedWith any
+	n.SendArg("a", "dst",
+		func(any) { t.Error("delivered to a down endpoint") }, nil,
+		func(a any) { failedWith = a }, "req-7")
+	loop.Run()
+	if failedWith != "req-7" {
+		t.Fatalf("onFail got %v, want req-7", failedWith)
+	}
+}

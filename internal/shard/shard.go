@@ -112,6 +112,32 @@ func (m *Map) Clone() *Map {
 	return out
 }
 
+// CloneInto deep-copies m into dst, reusing dst's entry map and per-shard
+// assignment slices instead of allocating fresh ones. At steady state —
+// same shard set publish over publish — a clone into a previously used
+// buffer allocates nothing, which is what makes periodic full-map
+// republishes affordable at large shard counts. A nil dst behaves like
+// Clone. Returns dst.
+func (m *Map) CloneInto(dst *Map) *Map {
+	if dst == nil {
+		return m.Clone()
+	}
+	dst.App, dst.Version, dst.Gen = m.App, m.Version, m.Gen
+	if dst.Entries == nil {
+		dst.Entries = make(map[ID][]Assignment, len(m.Entries))
+	} else {
+		for s := range dst.Entries {
+			if _, ok := m.Entries[s]; !ok {
+				delete(dst.Entries, s)
+			}
+		}
+	}
+	for s, as := range m.Entries {
+		dst.Entries[s] = append(dst.Entries[s][:0], as...)
+	}
+	return dst
+}
+
 // Primary returns the server holding the shard's primary replica, if any.
 func (m *Map) Primary(s ID) (ServerID, bool) {
 	for _, a := range m.Entries[s] {

@@ -75,8 +75,8 @@ func TestPendingExcludesCancelledButUndrainedEvents(t *testing.T) {
 	if l.Pending() != 2 {
 		t.Fatalf("Pending = %d after one cancel, want 2 (raw heap still holds 3)", l.Pending())
 	}
-	if got := l.events.Len(); got != 3 {
-		t.Fatalf("heap length = %d, want 3 (cancelled entry awaits lazy drain)", got)
+	if got := l.queueLen(); got != 3 {
+		t.Fatalf("queue length = %d, want 3 (cancelled entry awaits lazy drain)", got)
 	}
 	// Double-stop and stop-after-fire must not decrement again.
 	victim.Stop()

@@ -6,10 +6,14 @@
 // single-threaded event queue: callbacks scheduled with At or After run in
 // timestamp order, ties broken by scheduling order, which makes every
 // experiment reproducible from its seed.
+//
+// Pending events live in a hierarchical timing wheel (see wheel.go) rather
+// than one global binary heap, and event objects are recycled through a
+// per-loop freelist, so the schedule/dispatch hot path is allocation-free
+// and O(1) for the short delays that dominate cluster simulations.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -36,89 +40,86 @@ type Scheduler interface {
 	At(t time.Duration, fn func()) *Timer
 }
 
-// Timer is a handle to a scheduled callback.
+// Timer is a handle to a scheduled callback. Event objects are recycled, so
+// the handle pins the generation it was issued for: once the event fires or
+// is compacted away and the object is reused, the stale handle goes inert.
 type Timer struct {
 	ev   *event
+	gen  uint32
 	loop *Loop
 }
 
 // Stop cancels the timer. It reports whether the callback was still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled() {
 		return false
 	}
-	pending := !t.ev.fired
-	t.ev.fn = nil
-	if pending {
-		// The event stays in the heap until popped, but it no longer
-		// counts as pending work.
-		t.loop.live--
-		if p := t.loop.prof; p != nil {
-			p.OnCancel(t.ev.label)
-		}
+	ev := t.ev
+	lb := ev.label
+	ev.fn, ev.fnA, ev.arg = nil, nil, nil
+	l := t.loop
+	// The event stays filed in the wheel until drained, but it no longer
+	// counts as pending work.
+	l.live--
+	l.w.cancelled++
+	if p := l.prof; p != nil {
+		p.OnCancel(lb)
 	}
-	return pending
+	l.maybeCompact()
+	return true
 }
 
+// event is a pooled scheduled callback. Exactly one of fn / fnA is set while
+// live; both nil means cancelled. fnA carries its argument in arg, which
+// avoids a closure allocation per schedule on arg-shaped hot paths (RPC
+// envelopes, map deliveries). next links freelist entries and wheel slot
+// lists; gen increments on every recycle to invalidate stale Timer handles.
 type event struct {
 	at    time.Duration
 	seq   uint64
 	fn    func()
+	fnA   func(any)
+	arg   any
 	label Label
-	fired bool
-	index int
+	gen   uint32
+	next  *event
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+func (ev *event) cancelled() bool { return ev.fn == nil && ev.fnA == nil }
 
 // Loop is a single-threaded discrete-event loop. The zero value is not
 // usable; create one with NewLoop.
 type Loop struct {
 	now        time.Duration
 	seq        uint64
-	events     eventHeap
+	w          wheel
 	live       int    // scheduled events not yet fired or cancelled
 	dispatched uint64 // total events fired over the loop's lifetime
 	rng        *RNG
 	tracer     *trace.Tracer
 	metrics    *metrics.Registry
 	prof       Profiler
+
+	free *event // recycled event objects
+
+	// tramp adapts a pending (fnA, arg) pair to the profiler's func()
+	// dispatch hook without allocating a closure per event: the pair is
+	// staged on the loop and consumed by the one prebuilt trampoline.
+	tramp func()
+	pfnA  func(any)
+	parg  any
 }
 
 // NewLoop returns an event loop starting at time zero with a deterministic
 // RNG seeded by seed.
 func NewLoop(seed uint64) *Loop {
-	return &Loop{rng: NewRNG(seed)}
+	l := &Loop{rng: NewRNG(seed)}
+	l.tramp = func() {
+		fnA, arg := l.pfnA, l.parg
+		l.pfnA, l.parg = nil, nil
+		fnA(arg)
+	}
+	return l
 }
 
 // Now returns the current simulated time.
@@ -167,6 +168,52 @@ func (l *Loop) Profiler() Profiler { return l.prof }
 // throughput benchmarks need no profiler.
 func (l *Loop) Dispatched() uint64 { return l.dispatched }
 
+// allocEvent takes an event object off the freelist, growing it by a batch
+// when empty. Objects are never returned to the runtime: peak live events
+// bound the arena, which keeps long sims allocation-free at steady state.
+func (l *Loop) allocEvent() *event {
+	ev := l.free
+	if ev == nil {
+		chunk := make([]event, 64)
+		for i := len(chunk) - 1; i > 0; i-- {
+			chunk[i].next = l.free
+			l.free = &chunk[i]
+		}
+		ev = &chunk[0]
+		return ev
+	}
+	l.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// recycle returns a drained event to the freelist, bumping its generation so
+// outstanding Timer handles go inert.
+func (l *Loop) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.fnA, ev.arg = nil, nil, nil
+	ev.label = 0
+	ev.next = l.free
+	l.free = ev
+}
+
+// schedule files a new event; the common core of every At/After variant.
+func (l *Loop) schedule(t time.Duration, lb Label, fn func(), fnA func(any), arg any) *event {
+	if t < l.now {
+		t = l.now
+	}
+	ev := l.allocEvent()
+	ev.at, ev.seq, ev.fn, ev.fnA, ev.arg, ev.label = t, l.seq, fn, fnA, arg, lb
+	l.seq++
+	l.live++
+	l.w.stored++
+	l.w.file(ev)
+	if p := l.prof; p != nil {
+		p.OnSchedule(lb)
+	}
+	return ev
+}
+
 // After schedules fn to run d after the current time.
 func (l *Loop) After(d time.Duration, fn func()) *Timer {
 	return l.AfterL(d, 0, fn)
@@ -187,22 +234,45 @@ func (l *Loop) At(t time.Duration, fn func()) *Timer {
 }
 
 // AtL schedules fn at absolute time t (clamped to the present) under an
-// attribution label.
+// attribution label. The body stays small enough to inline so that callers
+// which discard the returned handle keep it on the stack.
 func (l *Loop) AtL(t time.Duration, lb Label, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
-	if t < l.now {
-		t = l.now
+	ev := l.schedule(t, lb, fn, nil, nil)
+	return &Timer{ev: ev, gen: ev.gen, loop: l}
+}
+
+// AfterArgL schedules fn(arg) to run d after the current time. Passing the
+// argument through the event instead of capturing it keeps arg-shaped hot
+// paths (one pointer per RPC message or map delivery) closure-free; arg
+// should be a pointer type so boxing it into the event is allocation-free.
+func (l *Loop) AfterArgL(d time.Duration, lb Label, fn func(any), arg any) *Timer {
+	if d < 0 {
+		d = 0
 	}
-	ev := &event{at: t, seq: l.seq, fn: fn, label: lb}
-	l.seq++
-	l.live++
-	heap.Push(&l.events, ev)
-	if p := l.prof; p != nil {
-		p.OnSchedule(lb)
+	t := l.now + d
+	if fn == nil {
+		panic("sim: AfterArgL with nil callback")
 	}
-	return &Timer{ev: ev, loop: l}
+	ev := l.schedule(t, lb, nil, fn, arg)
+	return &Timer{ev: ev, gen: ev.gen, loop: l}
+}
+
+// PostArgL schedules fn(arg) to run d after the current time with no
+// cancellation handle at all. It is the allocation-free form for
+// fire-and-forget hot paths (message deliveries, replies) that never stop
+// their timers: no Timer is constructed, no closure is captured, and the
+// pooled event is the only storage the callback occupies.
+func (l *Loop) PostArgL(d time.Duration, lb Label, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: PostArgL with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	l.schedule(l.now+d, lb, nil, fn, arg)
 }
 
 // Schedule schedules a labeled callback built with Labeled to run d after
@@ -227,73 +297,137 @@ func (l *Loop) EveryL(interval time.Duration, lb Label, fn func()) *Ticker {
 	return tk
 }
 
-// Ticker repeatedly schedules a callback at a fixed interval.
+// Ticker repeatedly schedules a callback at a fixed interval. The ticker
+// itself rides the event's arg slot, so steady-state ticking allocates
+// nothing: one pooled event per tick, no closures.
 type Ticker struct {
 	loop     *Loop
 	interval time.Duration
 	label    Label
 	fn       func()
-	timer    *Timer
+	ev       *event
+	gen      uint32
 	stopped  bool
 }
 
+func tickerFire(a any) {
+	t := a.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.schedule()
+	}
+}
+
 func (t *Ticker) schedule() {
-	t.timer = t.loop.AfterL(t.interval, t.label, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	ev := t.loop.schedule(t.loop.now+t.interval, t.label, nil, tickerFire, t)
+	t.ev, t.gen = ev, ev.gen
 }
 
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
+	if t.ev != nil {
+		tm := Timer{ev: t.ev, gen: t.gen, loop: t.loop}
+		tm.Stop()
 	}
 }
 
+// maybeCompact sweeps cancelled-but-undrained events out of the wheel once
+// they are both numerous (past a floor) and the majority of stored entries.
+// Cancel-heavy sims (routing retries, fencing timers) otherwise carry dead
+// weight for the full flight time of their longest cancelled timer.
+func (l *Loop) maybeCompact() {
+	if l.w.cancelled >= compactFloor && l.w.cancelled*2 > l.w.stored {
+		l.w.compact(l)
+	}
+}
+
+// queueLen reports events held in the pending structure, including
+// cancelled-but-undrained ones — the wheel's equivalent of the old global
+// heap length, used by drain tests and reported to tracer/profiler gauges.
+func (l *Loop) queueLen() int { return l.w.stored }
+
 // Step runs the next pending event. It reports whether an event ran.
 func (l *Loop) Step() bool {
-	for l.events.Len() > 0 {
-		ev := heap.Pop(&l.events).(*event)
-		if ev.fn == nil {
-			continue // cancelled
+	return l.stepBounded(0, false)
+}
+
+// stepBounded runs the next pending event whose timestamp is <= deadline
+// (any timestamp when limited is false). Cancelled events reaching the front
+// of the near heap are drained regardless of deadline, matching the old
+// heap's lazy-removal behavior.
+func (l *Loop) stepBounded(deadline time.Duration, limited bool) bool {
+	w := &l.w
+	for {
+		for len(w.near) > 0 && w.near[0].cancelled() {
+			ev := heapPop(&w.near)
+			w.stored--
+			w.cancelled--
+			l.recycle(ev)
 		}
+		if len(w.near) == 0 {
+			if w.stored == 0 {
+				return false
+			}
+			limitTick := uint64(math.MaxUint64)
+			if limited {
+				limitTick = tickOf(int64(deadline))
+				if limitTick <= w.curTick {
+					return false
+				}
+			}
+			w.advance(limitTick)
+			if len(w.near) == 0 {
+				return false
+			}
+			continue
+		}
+		ev := w.near[0]
+		if limited && ev.at > deadline {
+			return false
+		}
+		heapPop(&w.near)
+		w.stored--
 		lag := ev.at - l.now
 		l.now = ev.at
-		ev.fired = true
-		fn := ev.fn
-		ev.fn = nil
+		lb, fn, fnA, arg := ev.label, ev.fn, ev.fnA, ev.arg
+		l.recycle(ev)
 		l.live--
 		l.dispatched++
 		if tr := l.tracer; tr != nil {
 			sp := tr.StartSpan("sim.loop", "dispatch", 0)
-			l.invoke(ev.label, fn)
+			l.invoke(lb, fn, fnA, arg)
 			tr.EndSpan(sp)
-			tr.Counter("sim.loop", "queue_depth", float64(l.events.Len()))
+			tr.Counter("sim.loop", "queue_depth", float64(w.stored))
 			tr.Counter("sim.loop", "loop_lag_ms", float64(lag)/float64(time.Millisecond))
 		} else {
-			l.invoke(ev.label, fn)
+			l.invoke(lb, fn, fnA, arg)
 		}
 		return true
 	}
-	return false
 }
 
 // invoke runs one event callback, routing it through the profiler when one
-// is attached. The profiler wraps fn so the measured interval covers only
-// the callback, not heap maintenance or tracing.
-func (l *Loop) invoke(lb Label, fn func()) {
+// is attached. The profiler wraps a func() so the measured interval covers
+// only the callback; arg-carrying events go through the loop's trampoline
+// rather than a fresh closure.
+func (l *Loop) invoke(lb Label, fn func(), fnA func(any), arg any) {
 	if p := l.prof; p != nil {
-		p.Dispatch(lb, l.now, l.events.Len(), l.live, fn)
+		if fn == nil {
+			l.pfnA, l.parg = fnA, arg
+			fn = l.tramp
+		}
+		p.Dispatch(lb, l.now, l.w.stored, l.live, fn)
 		return
 	}
-	fn()
+	if fn != nil {
+		fn()
+		return
+	}
+	fnA(arg)
 }
 
 // Run executes events until the queue drains.
@@ -305,17 +439,7 @@ func (l *Loop) Run() {
 // RunUntil executes events with timestamps <= deadline and then advances the
 // clock to the deadline.
 func (l *Loop) RunUntil(deadline time.Duration) {
-	for l.events.Len() > 0 {
-		// Peek at the earliest event; stop before passing the deadline.
-		next := l.events[0]
-		if next.fn == nil {
-			heap.Pop(&l.events)
-			continue
-		}
-		if next.at > deadline {
-			break
-		}
-		l.Step()
+	for l.stepBounded(deadline, true) {
 	}
 	if l.now < deadline {
 		l.now = deadline
@@ -327,7 +451,7 @@ func (l *Loop) RunFor(d time.Duration) { l.RunUntil(l.now + d) }
 
 // Pending returns the number of live scheduled events: callbacks that will
 // still fire. Cancelled timers stop counting immediately, even while their
-// heap entries await lazy removal.
+// wheel entries await lazy removal.
 func (l *Loop) Pending() int { return l.live }
 
 // RNG is a splitmix64 pseudo-random generator. It is deliberately simple and

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// The loop's pending-event store is a hierarchical timing wheel. The old
+// implementation kept every scheduled event in one global binary heap, so
+// each schedule and dispatch paid O(log n) pointer-chasing sift operations
+// against an arbitrarily deep heap (~142k entries at 120k shards). The wheel
+// replaces that with O(1) slot filing for the dominant short-delay events
+// (RPC deliveries, retries, liveness timers) and defers ordering work until
+// a tick actually becomes due.
+//
+// Geometry. Simulated time is divided into ticks of 2^20 ns (~1.05 ms).
+// An event whose tick is delta ticks in the future is filed by delta:
+//
+//	delta <= 2^8      L0: 256 slots of one tick each, slot = tick & 255
+//	delta <= 2^14     L1: 64 slots of 2^8 ticks,  slot = (tick >> 8) & 63
+//	delta <= 2^20     L2: 64 slots of 2^14 ticks, slot = (tick >> 14) & 63
+//	delta <= 2^26     L3: 64 slots of 2^20 ticks, slot = (tick >> 20) & 63
+//	delta <= 2^32     L4: 64 slots of 2^26 ticks, slot = (tick >> 26) & 63
+//	beyond            overflow: a small binary min-heap (~52+ days out)
+//
+// Slots are intrusive singly-linked lists (event.next), so filing is
+// pointer-swap cheap and allocation-free. Occupancy bitmaps (four words for
+// L0, one word per upper level) let the cursor skip empty slots with
+// TrailingZeros64 instead of walking them.
+//
+// Ordering / determinism. Events due at or before the cursor live in
+// "near", a binary min-heap keyed (at, seq) exactly like the old global
+// heap. The loop dispatches only from near, and the cursor advances only
+// when near is empty, so the event popped from near is always the globally
+// minimal live (at, seq) — byte-for-byte the old dispatch order, including
+// FIFO ties by seq. When the cursor crosses a slot boundary the covering
+// upper-level slot cascades: its events re-file by their new delta, landing
+// in L0 (or near) before their tick can become due.
+type wheel struct {
+	curTick uint64 // all events at ticks <= curTick are in near (or gone)
+
+	near []*event // due events, min-heap on (at, seq)
+
+	l0    [l0Slots]*event
+	l0occ [l0Slots / 64]uint64
+
+	lv    [numLevels][lvlSlots]*event
+	lvocc [numLevels]uint64
+
+	overflow []*event // far-future events, min-heap on (at, seq)
+
+	stored    int // events held anywhere in the structure (incl. cancelled)
+	cancelled int // cancelled-but-undrained events among stored
+}
+
+const (
+	tickShift = 20 // tick = 2^20 ns ~= 1.05 ms of simulated time
+
+	l0Slots = 256
+	l0Mask  = l0Slots - 1
+
+	numLevels = 4
+	lvlSlots  = 64
+	lvlMask   = lvlSlots - 1
+
+	// compactFloor is the minimum number of cancelled-but-undrained events
+	// before compaction is considered; below it the dead weight is too small
+	// to matter and tiny unit-test workloads keep exact legacy occupancy.
+	compactFloor = 256
+)
+
+// lvlShift[k] is the slot-index shift for level k; maxDelta[k] its horizon.
+var (
+	lvlShift = [numLevels]uint{8, 14, 20, 26}
+	maxDelta = [numLevels]uint64{1 << 14, 1 << 20, 1 << 26, 1 << 32}
+)
+
+func tickOf(at int64) uint64 { return uint64(at) >> tickShift }
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// file places ev into near, a wheel slot, or overflow by its delta from the
+// cursor. It does not touch stored: callers account for entering/leaving the
+// structure; re-filing during a cascade is not a new entry.
+func (w *wheel) file(ev *event) {
+	t := tickOf(int64(ev.at))
+	if t <= w.curTick {
+		heapPush(&w.near, ev)
+		return
+	}
+	delta := t - w.curTick
+	if delta <= l0Slots {
+		s := t & l0Mask
+		ev.next = w.l0[s]
+		w.l0[s] = ev
+		w.l0occ[s>>6] |= 1 << (s & 63)
+		return
+	}
+	for k := 0; k < numLevels; k++ {
+		if delta <= maxDelta[k] {
+			s := (t >> lvlShift[k]) & lvlMask
+			ev.next = w.lv[k][s]
+			w.lv[k][s] = ev
+			w.lvocc[k] |= 1 << s
+			return
+		}
+	}
+	heapPush(&w.overflow, ev)
+}
+
+// advance moves the cursor forward until near is non-empty or the next
+// occupied tick would exceed limit (then the cursor stops at limit). The
+// caller must ensure near is empty. Work is bounded by occupancy: empty
+// stretches are skipped via nextBoundary rather than walked tick by tick.
+func (w *wheel) advance(limit uint64) {
+	for {
+		t := w.curTick + 1
+		if t > limit {
+			return
+		}
+		if t&l0Mask == 0 {
+			w.cascadeAt(t)
+		}
+		if s := w.scanL0(int(t & l0Mask)); s >= 0 {
+			tick := (t &^ uint64(l0Mask)) | uint64(s)
+			if tick > limit {
+				w.curTick = limit
+				return
+			}
+			w.curTick = tick
+			w.loadL0(s)
+			return
+		}
+		// Rest of this 256-tick block is empty: jump to the next boundary
+		// whose cascade can produce events (or to limit, whichever first).
+		// L0 slots below the cursor's block offset wrap into the next block
+		// (delta <= 256 spans the boundary), so any remaining L0 occupancy
+		// after a failed tail scan pins the jump to the very next block.
+		blockEnd := (t &^ uint64(l0Mask)) + l0Slots
+		nb := blockEnd
+		if w.l0occ[0]|w.l0occ[1]|w.l0occ[2]|w.l0occ[3] == 0 {
+			nb = w.nextBoundary(blockEnd)
+		}
+		if nb-1 >= limit {
+			w.curTick = limit
+			return
+		}
+		w.curTick = nb - 1
+	}
+}
+
+// cascadeAt re-files the upper-level slots that become current when the
+// cursor reaches boundary b (a multiple of 256 ticks; curTick == b-1).
+// Higher levels first, so events trickle down one filing per level at most.
+// At L3 horizons the overflow heap is drained of everything newly within
+// the wheel's reach.
+func (w *wheel) cascadeAt(b uint64) {
+	if b&(1<<26-1) == 0 {
+		w.drainOverflow(b + (1 << 32))
+		w.cascadeSlot(3, (b>>26)&lvlMask)
+	}
+	if b&(1<<20-1) == 0 {
+		w.cascadeSlot(2, (b>>20)&lvlMask)
+	}
+	if b&(1<<14-1) == 0 {
+		w.cascadeSlot(1, (b>>14)&lvlMask)
+	}
+	w.cascadeSlot(0, (b>>8)&lvlMask)
+}
+
+func (w *wheel) cascadeSlot(k int, s uint64) {
+	ev := w.lv[k][s]
+	if ev == nil {
+		return
+	}
+	w.lv[k][s] = nil
+	w.lvocc[k] &^= 1 << s
+	for ev != nil {
+		next := ev.next
+		ev.next = nil
+		w.file(ev)
+		ev = next
+	}
+}
+
+func (w *wheel) drainOverflow(horizon uint64) {
+	for len(w.overflow) > 0 && tickOf(int64(w.overflow[0].at)) < horizon {
+		w.file(heapPop(&w.overflow))
+	}
+}
+
+// scanL0 returns the first occupied L0 slot index >= from, or -1.
+func (w *wheel) scanL0(from int) int {
+	wi := from >> 6
+	word := w.l0occ[wi] & (^uint64(0) << uint(from&63))
+	for {
+		if word != 0 {
+			return wi<<6 + bits.TrailingZeros64(word)
+		}
+		wi++
+		if wi == len(w.l0occ) {
+			return -1
+		}
+		word = w.l0occ[wi]
+	}
+}
+
+// loadL0 moves slot s's events into near. Within one L0 slot all events
+// share a tick, but their sub-tick at values differ; the near heap restores
+// exact (at, seq) order regardless of list order.
+func (w *wheel) loadL0(s int) {
+	ev := w.l0[s]
+	w.l0[s] = nil
+	w.l0occ[s>>6] &^= 1 << uint(s&63)
+	for ev != nil {
+		next := ev.next
+		ev.next = nil
+		heapPush(&w.near, ev)
+		ev = next
+	}
+}
+
+// nextBoundary returns the earliest cascade boundary >= blockEnd at which
+// events can (re-)enter lower levels: the first occupied slot per upper
+// level, and the first L3 horizon that reaches the overflow head. Returns
+// MaxUint64 when the upper levels and overflow are all empty.
+func (w *wheel) nextBoundary(blockEnd uint64) uint64 {
+	best := uint64(math.MaxUint64)
+	for k := 0; k < numLevels; k++ {
+		occ := w.lvocc[k]
+		if occ == 0 {
+			continue
+		}
+		shift := lvlShift[k]
+		curU := w.curTick >> shift
+		s0 := (curU + 1) & lvlMask
+		// Rotate so bit j corresponds to slot (s0+j)&63: slots map to
+		// units curU+1 .. curU+64 in circular order.
+		rot := bits.RotateLeft64(occ, -int(s0))
+		u := curU + 1 + uint64(bits.TrailingZeros64(rot))
+		if b := u << shift; b < best {
+			best = b
+		}
+	}
+	if len(w.overflow) > 0 {
+		// First multiple of 2^26 whose drain horizon (+2^32) covers the
+		// overflow head. Overflow deltas exceed 2^32, so c never underflows
+		// and the boundary lands strictly before the head's own tick.
+		c := tickOf(int64(w.overflow[0].at)) - (1 << 32)
+		b := (c>>26 + 1) << 26
+		if b < blockEnd {
+			b = blockEnd
+		}
+		if b < best {
+			best = b
+		}
+	}
+	if best < blockEnd {
+		best = blockEnd
+	}
+	return best
+}
+
+// compact sweeps cancelled-but-undrained events out of every structure,
+// recycling them onto the loop's freelist. Survivor order is irrelevant to
+// correctness: near and overflow re-heapify on the (at, seq) total order,
+// and slot lists are unordered by design.
+func (w *wheel) compact(l *Loop) {
+	w.near = compactHeap(w.near, l)
+	for s := range w.l0 {
+		if w.l0[s] == nil {
+			continue
+		}
+		w.l0[s] = compactList(w.l0[s], l)
+		if w.l0[s] == nil {
+			w.l0occ[s>>6] &^= 1 << uint(s&63)
+		}
+	}
+	for k := range w.lv {
+		for s := range w.lv[k] {
+			if w.lv[k][s] == nil {
+				continue
+			}
+			w.lv[k][s] = compactList(w.lv[k][s], l)
+			if w.lv[k][s] == nil {
+				w.lvocc[k] &^= 1 << uint(s)
+			}
+		}
+	}
+	w.overflow = compactHeap(w.overflow, l)
+	w.cancelled = 0
+}
+
+func compactHeap(h []*event, l *Loop) []*event {
+	keep := h[:0]
+	for _, ev := range h {
+		if ev.cancelled() {
+			l.w.stored--
+			l.recycle(ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	// Zero the tail so dropped entries do not pin recycled events.
+	for i := len(keep); i < len(h); i++ {
+		h[i] = nil
+	}
+	heapify(keep)
+	return keep
+}
+
+func compactList(head *event, l *Loop) *event {
+	var out *event
+	for ev := head; ev != nil; {
+		next := ev.next
+		ev.next = nil
+		if ev.cancelled() {
+			l.w.stored--
+			l.recycle(ev)
+		} else {
+			ev.next = out
+			out = ev
+		}
+		ev = next
+	}
+	return out
+}
+
+// Binary min-heap helpers over (at, seq) — shared by near and overflow.
+
+func heapPush(h *[]*event, ev *event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func heapPop(h *[]*event) *event {
+	s := *h
+	ev := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	siftDown(s, 0)
+	return ev
+}
+
+func siftDown(s []*event, i int) {
+	n := len(s)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && eventLess(s[c+1], s[c]) {
+			c++
+		}
+		if !eventLess(s[c], s[i]) {
+			return
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+}
+
+func heapify(s []*event) {
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		siftDown(s, i)
+	}
+}

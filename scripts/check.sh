@@ -30,4 +30,6 @@ echo "== solver benchmark smoke (-benchtime=1x)"
 go test ./internal/solver -run '^$' -bench . -benchtime=1x
 echo "== sim-kernel benchmark smoke (-benchtime=1x)"
 go test . -run '^$' -bench 'ProfilerOverhead|SimScale' -benchtime=1x
+echo "== kernel-bench smoke (120k-shard point vs committed BENCH_sim.json, >20% regression fails)"
+go run ./cmd/smbench -fig simscale -sim-smoke -sim-baseline BENCH_sim.json -bench-sim-out ""
 echo "check: OK"
