@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench bench-solver bench-sim audit-torture vet build fmt
+.PHONY: check test bench bench-solver bench-sim bench-controlplane audit-torture vet build fmt
 
 check: ## gofmt + vet + build + race-enabled tests (tier-1 verify)
 	sh scripts/check.sh
@@ -27,6 +27,10 @@ bench-solver: ## run the solver scale benchmarks and regenerate BENCH_solver.jso
 bench-sim: ## run the kernel benchmarks and regenerate BENCH_sim.json
 	$(GO) test . -run '^$$' -bench 'ProfilerOverhead|SimScale' -benchmem
 	$(GO) run ./cmd/smbench -fig simscale -bench-sim-out BENCH_sim.json
+
+bench-controlplane: ## run the 10M-shard control-plane benchmark and regenerate BENCH_controlplane.json
+	$(GO) test ./internal/discovery -run '^$$' -bench 'Publish' -benchmem
+	$(GO) run ./cmd/smbench -fig controlscale -bench-controlplane-out BENCH_controlplane.json
 
 audit-torture: ## full 500-seed migration-torture sweep -> FOUNDBUGS_audit.json (fails on drift vs the committed log)
 	$(GO) run ./cmd/smbench -fig torture -foundbugs-out FOUNDBUGS_audit.json

@@ -9,6 +9,9 @@
 //	smbench -list                 # show available experiment ids
 //	smbench -faults "t=60s partition(region-a|region-b) for 120s"
 //	                              # compound-fault experiment, custom timeline
+//	smbench -fig controlscale     # 10M-shard control plane -> BENCH_controlplane.json
+//	smbench -controlscale -controlplane-baseline BENCH_controlplane.json
+//	                              # fast publish-cost smoke vs committed record
 //
 // Each experiment prints its parameters, result tables, downsampled curves,
 // and headline findings; EXPERIMENTS.md records the paper-vs-measured
@@ -50,6 +53,9 @@ func main() {
 	benchSimOut := flag.String("bench-sim-out", "BENCH_sim.json", "where the simscale experiment writes its machine-readable kernel benchmark record")
 	simSmoke := flag.Bool("sim-smoke", false, "run only the largest minute-cadence simscale point (120k shards) as a fast kernel-throughput smoke; implies -fig simscale unless -fig is set")
 	simBaseline := flag.String("sim-baseline", "", "compare the simscale run's events/sec against this committed BENCH_sim.json (points matched by shard count); exit non-zero if any point regresses more than 20%")
+	benchControlOut := flag.String("bench-controlplane-out", "BENCH_controlplane.json", "where the controlscale experiment writes its machine-readable control-plane benchmark record")
+	controlSmoke := flag.Bool("controlscale", false, "run only the smallest controlscale point as a fast control-plane publish-cost smoke; implies -fig controlscale unless -fig is set")
+	controlBaseline := flag.String("controlplane-baseline", "", "compare the controlscale run's delta entries/sec against this committed BENCH_controlplane.json (points matched by shard count); exit non-zero if any point regresses more than 20%")
 	profOut := flag.String("prof-out", "", "write the kernel profiler's text report to this file (byte-stable for a given seed unless -prof-wall)")
 	profJSON := flag.String("prof-json", "", "write the kernel profiler's JSON report to this file")
 	profFolded := flag.String("prof-folded", "", "write folded stacks (flamegraph.pl / inferno / speedscope input) to this file")
@@ -105,6 +111,17 @@ func main() {
 		})
 		if *fig == "all" {
 			*fig = "simscale"
+		}
+	}
+
+	if *controlSmoke {
+		experiments.SetControlScaleOverride(func(p *experiments.ControlScaleParams) {
+			if len(p.Points) > 1 {
+				p.Points = p.Points[:1]
+			}
+		})
+		if *fig == "all" {
+			*fig = "controlscale"
 		}
 	}
 
@@ -178,6 +195,18 @@ func main() {
 		}
 		if report.ID == "simscale" && *simBaseline != "" {
 			if err := checkSimBaseline(report, *simBaseline); err != nil {
+				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if report.ID == "controlscale" && *benchControlOut != "" {
+			if err := writeBenchControl(report, *benchControlOut); err != nil {
+				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if report.ID == "controlscale" && *controlBaseline != "" {
+			if err := checkControlBaseline(report, *controlBaseline); err != nil {
 				fmt.Fprintf(os.Stderr, "smbench: %v\n", err)
 				os.Exit(1)
 			}
@@ -285,6 +314,67 @@ func checkSimBaseline(r *experiments.Report, path string) error {
 		}
 		fmt.Printf("kernel-bench smoke: %d shards at %.0f events/sec vs committed %.0f (ok)\n",
 			pt.Shards, pt.EventsPerSec, b.EventsPerSec)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no point in this run matches any committed point in %s", path)
+	}
+	return nil
+}
+
+// writeBenchControl writes the controlscale experiment's structured
+// control-plane benchmark record (BENCH_controlplane.json): one entry per
+// scale point with the mini-SM pool size, full-vs-delta publication cost and
+// bytes per publish, and simulated map-convergence latency.
+func writeBenchControl(r *experiments.Report, path string) error {
+	if r.Extra == nil {
+		return fmt.Errorf("controlscale report carries no benchmark record")
+	}
+	data, err := json.MarshalIndent(r.Extra, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("control-plane benchmark record written to %s\n", path)
+	return nil
+}
+
+// checkControlBaseline guards delta-publication throughput: every point in
+// the run that has a same-shard-count point in the committed
+// BENCH_controlplane.json must reach at least 80% of its recorded delta
+// entries/sec. The loose margin tolerates shared-machine wall-clock noise;
+// the gate exists to catch structural regressions in the delta publish path.
+func checkControlBaseline(r *experiments.Report, path string) error {
+	rec, ok := r.Extra.(*experiments.ControlScaleRecord)
+	if !ok || rec == nil {
+		return fmt.Errorf("controlscale report carries no benchmark record")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base experiments.ControlScaleRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %v", path, err)
+	}
+	basePts := make(map[int]experiments.ControlScalePointRecord, len(base.Points))
+	for _, pt := range base.Points {
+		basePts[pt.Shards] = pt
+	}
+	checked := 0
+	for _, pt := range rec.Points {
+		b, ok := basePts[pt.Shards]
+		if !ok || b.DeltaEntriesPerSec <= 0 {
+			continue
+		}
+		checked++
+		if pt.DeltaEntriesPerSec < 0.8*b.DeltaEntriesPerSec {
+			return fmt.Errorf("delta publish regression at %d shards: %.0f entries/sec vs committed %.0f (more than 20%% below %s)",
+				pt.Shards, pt.DeltaEntriesPerSec, b.DeltaEntriesPerSec, path)
+		}
+		fmt.Printf("control-plane smoke: %d shards at %.0f delta entries/sec vs committed %.0f (ok)\n",
+			pt.Shards, pt.DeltaEntriesPerSec, b.DeltaEntriesPerSec)
 	}
 	if checked == 0 {
 		return fmt.Errorf("no point in this run matches any committed point in %s", path)

@@ -46,6 +46,10 @@ type Subscription struct {
 	app shard.AppID
 	id  int // per-app subscriber index, for trace labels
 	fn  func(*shard.Map)
+	// deltaFn, when non-nil, receives in-order incremental updates instead
+	// of full snapshots (SubscribeDelta). fn still handles full snapshots:
+	// the initial catch-up and any resync after a missed version.
+	deltaFn func(*shard.Delta)
 	// rng drives this subscriber's propagation delays. Each subscriber owns
 	// a stream forked at Subscribe time: were delays drawn from one shared
 	// service RNG, adding or removing any subscriber would shift every other
@@ -71,6 +75,10 @@ type appState struct {
 	pubAt   time.Duration // simulated time current was published
 	subs    []*Subscription
 	batches []*subBatch // populated only when fanoutBatch > 1
+	// inflight is the delta delivered by the most recent PublishDelta,
+	// retained until the next publish so in-flight deliveries can read it;
+	// it is then handed back to the publisher as a recycled buffer.
+	inflight *shard.Delta
 }
 
 // Service is the discovery system. One instance serves all applications.
@@ -98,7 +106,8 @@ type Service struct {
 	// observers see every delivery outcome. Unlike Subscribe they consume
 	// no RNG draws, so attaching one (healthmon and the auditor do) cannot
 	// perturb a seeded run. lag is publish-to-delivery staleness; status is
-	// "delivered", "stale", or "cancelled".
+	// "delivered", "stale", "cancelled", or — delta mode only — "resync" (a
+	// subscriber that could not chain onto a delta received a full snapshot).
 	observers []func(app shard.AppID, version int64, lag time.Duration, status string)
 }
 
@@ -217,22 +226,96 @@ func (s *Service) publish(m, scratch *shard.Map) *shard.Map {
 	}
 	if s.fanoutBatch > 1 {
 		for _, b := range st.batches {
-			s.deliverBatch(b, snap, st.pubAt)
+			s.deliverBatch(b, st, snap, nil, st.pubAt)
 		}
 	} else {
 		for _, sub := range st.subs {
-			s.deliver(sub, snap, st.pubAt)
+			s.deliver(sub, st, snap, nil, st.pubAt)
 		}
 	}
 	return prev
 }
 
+// PublishDelta publishes an incremental update: the delta is applied in
+// place to the app's current map — O(changed entries) instead of the
+// O(shards) copy a full publish pays — and fanned out to subscribers, who
+// chain it onto their own maps (or resync from a full snapshot when they
+// can't; see SubscribeDelta). Delivery delays draw from the same
+// per-subscriber (or per-batch) RNG streams as full publishes, so a run is
+// schedule-identical whichever form the publisher uses.
+//
+// Ordering follows Publish: a delta whose generation (when stamped, Gen > 0)
+// or target version is behind the current map is dropped as stale and
+// counted in discovery_stale_publishes_total; a non-stale delta whose
+// FromVersion does not match the current map (the publisher diffed against a
+// base the service never saw) is dropped and counted in
+// discovery_delta_gap_publishes_total — the publisher must fall back to a
+// full Publish.
+//
+// Buffer recycling mirrors PublishScratch: the service retains d until the
+// app's next publish and then returns it as the caller's next scratch
+// buffer, so the returned delta (nil on the first call, d itself on a drop)
+// must not be read — only Reset and refilled. As with PublishScratch this is
+// safe only while propagation delays are shorter than the publish interval.
+func (s *Service) PublishDelta(d *shard.Delta) *shard.Delta {
+	if d == nil {
+		panic("discovery: PublishDelta(nil)")
+	}
+	st := s.state(d.App)
+	if st.current == nil {
+		panic("discovery: PublishDelta before any full Publish")
+	}
+	stale := d.ToVersion <= st.current.Version
+	if d.Gen > 0 && st.current.Gen > 0 {
+		stale = d.Gen <= st.current.Gen
+	}
+	if stale {
+		if mr := s.loop.Metrics(); mr != nil {
+			mr.Counter("discovery_stale_publishes_total", "app", string(d.App)).Inc()
+		}
+		return d
+	}
+	if st.current.Version != d.FromVersion {
+		if mr := s.loop.Metrics(); mr != nil {
+			mr.Counter("discovery_delta_gap_publishes_total", "app", string(d.App)).Inc()
+		}
+		return d
+	}
+	if err := st.current.ApplyDelta(d); err != nil {
+		panic("discovery: " + err.Error())
+	}
+	st.pubAt = s.loop.Now()
+	s.Publications++
+	if mr := s.loop.Metrics(); mr != nil {
+		mr.Counter("discovery_publications_total", "app", string(d.App)).Inc()
+		mr.Counter("discovery_delta_publishes_total", "app", string(d.App)).Inc()
+		mr.Gauge("discovery_map_version", "app", string(d.App)).Set(float64(st.current.Version))
+	}
+	if s.fanoutBatch > 1 {
+		for _, b := range st.batches {
+			s.deliverBatch(b, st, nil, d, st.pubAt)
+		}
+	} else {
+		for _, sub := range st.subs {
+			s.deliver(sub, st, nil, d, st.pubAt)
+		}
+	}
+	recycled := st.inflight
+	st.inflight = d
+	return recycled
+}
+
 // delivery is the pooled state of one scheduled per-subscriber delivery —
-// what the old per-delivery closure captured, recycled when it fires.
+// what the old per-delivery closure captured, recycled when it fires. Exactly
+// one of m (full snapshot) and d (incremental delta) is non-nil; st is the
+// owning app's state, consulted at fire time when a delta delivery must fall
+// back to a full resync.
 type delivery struct {
 	s     *Service
 	sub   *Subscription
+	st    *appState
 	m     *shard.Map
+	d     *shard.Delta
 	pubAt time.Duration
 	sp    trace.SpanID
 	next  *delivery
@@ -242,25 +325,38 @@ type delivery struct {
 type batchDelivery struct {
 	s     *Service
 	batch *subBatch
+	st    *appState
 	m     *shard.Map
+	d     *shard.Delta
 	pubAt time.Duration
 	sp    trace.SpanID
 	next  *batchDelivery
 }
 
-// deliver schedules one map delivery; its span stretches from publication to
-// the subscriber's callback, so map-propagation lag is directly visible.
-// pubAt is when the map version was published, so staleness metrics measure
-// from publication rather than from this (possibly later) subscribe time.
-func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) {
+// deliver schedules one delivery — a full map m, or a delta dlt when m is
+// nil; its span stretches from publication to the subscriber's callback, so
+// map-propagation lag is directly visible. pubAt is when the version was
+// published, so staleness metrics measure from publication rather than from
+// this (possibly later) subscribe time. Full and delta deliveries draw their
+// delays from the same per-subscriber RNG stream, so switching a publisher
+// to deltas does not shift anyone's delay sequence.
+func (s *Service) deliver(sub *Subscription, st *appState, m *shard.Map, dlt *shard.Delta, pubAt time.Duration) {
 	d := s.delay(sub.rng)
 	tr := s.loop.Tracer()
 	var sp trace.SpanID
 	if tr.Enabled() {
-		sp = tr.StartSpan("discovery", "propagate", 0,
-			trace.String("app", string(m.App)),
-			trace.Int64("version", m.Version),
-			trace.Int("sub", sub.id))
+		if m != nil {
+			sp = tr.StartSpan("discovery", "propagate", 0,
+				trace.String("app", string(m.App)),
+				trace.Int64("version", m.Version),
+				trace.Int("sub", sub.id))
+		} else {
+			sp = tr.StartSpan("discovery", "propagate", 0,
+				trace.String("app", string(dlt.App)),
+				trace.Int64("version", dlt.ToVersion),
+				trace.Int("sub", sub.id),
+				trace.Int("edits", dlt.Len()))
+		}
 	}
 	dv := s.freeDeliveries
 	if dv == nil {
@@ -269,16 +365,69 @@ func (s *Service) deliver(sub *Subscription, m *shard.Map, pubAt time.Duration) 
 		s.freeDeliveries = dv.next
 		dv.next = nil
 	}
-	dv.sub, dv.m, dv.pubAt, dv.sp = sub, m, pubAt, sp
+	dv.sub, dv.st, dv.m, dv.d, dv.pubAt, dv.sp = sub, st, m, dlt, pubAt, sp
 	s.loop.PostArgL(d, lbDeliver, deliverOne, dv)
+}
+
+// applyDeltaDelivery applies one delta delivery to sub, emitting the delivery
+// metrics and observer calls, and returns the outcome status. A subscriber
+// whose version chains onto the delta (lastSeen == FromVersion) applies it
+// in order through its delta callback; one that missed a version — or that
+// subscribed without a delta callback — resyncs from the app's authoritative
+// current map instead (status "resync").
+func (s *Service) applyDeltaDelivery(sub *Subscription, st *appState, dlt *shard.Delta, lag time.Duration) string {
+	status, version := "delivered", dlt.ToVersion
+	var resync *shard.Map
+	switch {
+	case sub.cancelled:
+		status = "cancelled"
+	case dlt.ToVersion <= sub.lastSeen:
+		status = "stale"
+	case sub.deltaFn != nil && sub.lastSeen == dlt.FromVersion:
+		// In-order: apply below, after metrics/observers.
+	default:
+		if cur := st.current; cur != nil && cur.Version > sub.lastSeen {
+			status, version, resync = "resync", cur.Version, cur
+		} else {
+			status = "stale"
+		}
+	}
+	if mr := s.loop.Metrics(); mr != nil {
+		mr.Counter("discovery_deliveries_total",
+			"app", string(dlt.App), "status", status).Inc()
+		if status == "delivered" || status == "resync" {
+			mr.Histogram("discovery_propagation_ms", nil, "app", string(dlt.App)).
+				Observe(float64(lag) / float64(time.Millisecond))
+		}
+	}
+	for _, obs := range s.observers {
+		obs(dlt.App, version, lag, status)
+	}
+	switch status {
+	case "delivered":
+		sub.lastSeen = dlt.ToVersion
+		sub.deltaFn(dlt)
+	case "resync":
+		sub.lastSeen = resync.Version
+		sub.fn(resync)
+	}
+	return status
 }
 
 // deliverOne runs one per-subscriber delivery at its propagation instant.
 func deliverOne(a any) {
 	dv := a.(*delivery)
-	s, sub, m, pubAt, sp := dv.s, dv.sub, dv.m, dv.pubAt, dv.sp
+	s, sub, st, m, dlt, pubAt, sp := dv.s, dv.sub, dv.st, dv.m, dv.d, dv.pubAt, dv.sp
 	*dv = delivery{s: s, next: s.freeDeliveries}
 	s.freeDeliveries = dv
+
+	if dlt != nil {
+		status := s.applyDeltaDelivery(sub, st, dlt, s.loop.Now()-pubAt)
+		if tr := s.loop.Tracer(); tr.Enabled() {
+			tr.EndSpan(sp, trace.String("status", status))
+		}
+		return
+	}
 
 	status := "delivered"
 	if sub.cancelled || m.Version <= sub.lastSeen {
@@ -313,17 +462,26 @@ func deliverOne(a any) {
 	sub.fn(m)
 }
 
-// deliverBatch schedules one delivery event for a whole subscriber batch:
-// one sampled delay from the batch's RNG, one event, one span.
-func (s *Service) deliverBatch(b *subBatch, m *shard.Map, pubAt time.Duration) {
+// deliverBatch schedules one delivery event for a whole subscriber batch —
+// one sampled delay from the batch's RNG, one event, one span — carrying a
+// full map m or, when m is nil, the delta dlt.
+func (s *Service) deliverBatch(b *subBatch, st *appState, m *shard.Map, dlt *shard.Delta, pubAt time.Duration) {
 	d := s.delay(b.rng)
 	tr := s.loop.Tracer()
 	var sp trace.SpanID
 	if tr.Enabled() {
-		sp = tr.StartSpan("discovery", "propagate", 0,
-			trace.String("app", string(m.App)),
-			trace.Int64("version", m.Version),
-			trace.Int("subs", len(b.subs)))
+		if m != nil {
+			sp = tr.StartSpan("discovery", "propagate", 0,
+				trace.String("app", string(m.App)),
+				trace.Int64("version", m.Version),
+				trace.Int("subs", len(b.subs)))
+		} else {
+			sp = tr.StartSpan("discovery", "propagate", 0,
+				trace.String("app", string(dlt.App)),
+				trace.Int64("version", dlt.ToVersion),
+				trace.Int("subs", len(b.subs)),
+				trace.Int("edits", dlt.Len()))
+		}
 	}
 	bd := s.freeBatchDeliveries
 	if bd == nil {
@@ -332,18 +490,32 @@ func (s *Service) deliverBatch(b *subBatch, m *shard.Map, pubAt time.Duration) {
 		s.freeBatchDeliveries = bd.next
 		bd.next = nil
 	}
-	bd.batch, bd.m, bd.pubAt, bd.sp = b, m, pubAt, sp
+	bd.batch, bd.st, bd.m, bd.d, bd.pubAt, bd.sp = b, st, m, dlt, pubAt, sp
 	s.loop.PostArgL(d, lbDeliver, deliverToBatch, bd)
 }
 
-// deliverToBatch applies one published map to every subscriber in a batch.
+// deliverToBatch applies one published map or delta to every subscriber in a
+// batch.
 func deliverToBatch(a any) {
 	bd := a.(*batchDelivery)
-	s, batch, m, pubAt, sp := bd.s, bd.batch, bd.m, bd.pubAt, bd.sp
+	s, batch, st, m, dlt, pubAt, sp := bd.s, bd.batch, bd.st, bd.m, bd.d, bd.pubAt, bd.sp
 	*bd = batchDelivery{s: s, next: s.freeBatchDeliveries}
 	s.freeBatchDeliveries = bd
 
 	lag := s.loop.Now() - pubAt
+	if dlt != nil {
+		delivered := 0
+		for _, sub := range batch.subs {
+			if s.applyDeltaDelivery(sub, st, dlt, lag) == "delivered" {
+				delivered++
+			}
+		}
+		if tr := s.loop.Tracer(); tr.Enabled() {
+			tr.EndSpan(sp, trace.String("status", "delivered"),
+				trace.Int("delivered", delivered))
+		}
+		return
+	}
 	mr := s.loop.Metrics()
 	delivered := 0
 	for _, sub := range batch.subs {
@@ -398,8 +570,25 @@ func (s *Service) Subscribe(app shard.AppID, fn func(*shard.Map)) *Subscription 
 	if st.current != nil {
 		// Start-up catch-up is per-subscriber even in batch mode: the new
 		// subscriber fetches the current map on its own stream.
-		s.deliver(sub, st.current, st.pubAt)
+		s.deliver(sub, st, st.current, nil, st.pubAt)
 	}
+	return sub
+}
+
+// SubscribeDelta registers a delta-aware subscriber. onDelta receives each
+// in-order incremental update (the N→N+1 delta when the subscriber's map is
+// at N); onFull receives full snapshots — the start-up catch-up, full-map
+// publishes, and a resync whenever the subscriber cannot chain onto a
+// delivered delta (observer status "resync"). Both arguments are
+// service-owned: apply them inside the callback and do not retain them.
+// RNG accounting matches Subscribe exactly, so replacing a Subscribe call
+// with SubscribeDelta does not perturb a seeded run.
+func (s *Service) SubscribeDelta(app shard.AppID, onFull func(*shard.Map), onDelta func(*shard.Delta)) *Subscription {
+	if onFull == nil || onDelta == nil {
+		panic("discovery: SubscribeDelta(nil)")
+	}
+	sub := s.Subscribe(app, onFull)
+	sub.deltaFn = onDelta
 	return sub
 }
 
@@ -411,4 +600,26 @@ func (s *Service) Current(app shard.AppID) *shard.Map {
 		return nil
 	}
 	return st.current.Clone()
+}
+
+// CurrentMeta returns the version and generation of app's current map
+// without cloning it, or ok=false when nothing has been published. Clients
+// use it to decide whether a refresh is worth the copy.
+func (s *Service) CurrentMeta(app shard.AppID) (version, gen int64, ok bool) {
+	st, found := s.apps[app]
+	if !found || st.current == nil {
+		return 0, 0, false
+	}
+	return st.current.Version, st.current.Gen, true
+}
+
+// CurrentInto clones the latest published map for app into dst, reusing its
+// storage (shard.Map.CloneInto; dst may be nil). Returns the clone, or nil
+// when nothing has been published.
+func (s *Service) CurrentInto(app shard.AppID, dst *shard.Map) *shard.Map {
+	st, ok := s.apps[app]
+	if !ok || st.current == nil {
+		return nil
+	}
+	return st.current.CloneInto(dst)
 }

@@ -164,6 +164,18 @@ var registry = []runner{
 		}
 		return SimScale(p)
 	}},
+	{"controlscale", "partitioned control plane: full vs delta publish -> BENCH_controlplane.json", func(s Scale) *Report {
+		p := DefaultControlScaleParams()
+		if s == ScaleQuick {
+			p.Points = []ControlScalePoint{
+				{Shards: 20000, PartitionMaxShards: 2000, MiniSMMaxShards: 2000, ChurnPerPartition: 50, Rounds: 3},
+			}
+		}
+		if controlScaleOverride != nil {
+			controlScaleOverride(&p)
+		}
+		return ControlScale(p)
+	}},
 	{"solverscale", "solver fast-path scale benchmark (serial vs parallel)", func(s Scale) *Report {
 		p := DefaultSolverBenchParams()
 		if s == ScaleQuick {

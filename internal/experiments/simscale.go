@@ -11,6 +11,7 @@ import (
 	"shardmanager/internal/sim"
 	"shardmanager/internal/simprof"
 	"shardmanager/internal/topology"
+	"shardmanager/internal/trace"
 	"shardmanager/internal/workload"
 )
 
@@ -42,6 +43,13 @@ type SimScalePoint struct {
 	// (subscribers per delivery event). 0 or 1 keeps the legacy
 	// per-subscriber fan-out.
 	FanoutBatch int
+
+	// DeltaPublish switches the republication timer to incremental
+	// publishes: each tick stages ChurnPerPublish random single-replica
+	// reassignments and publishes them as a delta — O(changed) instead of
+	// the O(shards) full-map copy — and clients apply deltas in place.
+	DeltaPublish    bool
+	ChurnPerPublish int
 }
 
 // SimScaleParams configure the simscale kernel benchmark.
@@ -58,7 +66,14 @@ type SimScaleParams struct {
 	// PublishInterval paces shard-map republication (version bump + fan-out
 	// to every subscribed client).
 	PublishInterval time.Duration
-	Seed            uint64
+	// MeasureTracerOverhead reruns the first point with a live tracer
+	// attached and records the throughput delta in BENCH_sim.json.
+	MeasureTracerOverhead bool
+	// Tracer, when non-nil, is attached to every point's loop, exercising
+	// the traced kernel dispatch path (span per event plus queue-depth and
+	// lag counters) instead of the nil-tracer fast path.
+	Tracer *trace.Tracer
+	Seed   uint64
 }
 
 // DefaultSimScaleParams mirror the fig18-style production trace shape at
@@ -81,13 +96,16 @@ func DefaultSimScaleParams() SimScaleParams {
 				LivenessInterval: 10 * time.Minute,
 				PublishInterval:  4 * time.Hour,
 				FanoutBatch:      256,
+				DeltaPublish:     true,
+				ChurnPerPublish:  256,
 			},
 		},
-		SimTime:          10 * time.Minute,
-		ClientInterval:   10 * time.Second,
-		LivenessInterval: 15 * time.Second,
-		PublishInterval:  time.Minute,
-		Seed:             1,
+		SimTime:               10 * time.Minute,
+		ClientInterval:        10 * time.Second,
+		LivenessInterval:      15 * time.Second,
+		PublishInterval:       time.Minute,
+		MeasureTracerOverhead: true,
+		Seed:                  1,
 	}
 }
 
@@ -107,6 +125,7 @@ type SimScalePointRecord struct {
 	Servers        int             `json:"servers"`
 	SimTime        string          `json:"sim_time"`
 	FanoutBatch    int             `json:"fanout_batch"`
+	DeltaPublish   bool            `json:"delta_publish"`
 	Events         uint64          `json:"events"`
 	Requests       int             `json:"requests"`
 	MapDeliveries  int             `json:"map_deliveries"`
@@ -122,6 +141,11 @@ type SimScalePointRecord struct {
 type SimScaleRecord struct {
 	SimTime string                `json:"sim_time"`
 	Points  []SimScalePointRecord `json:"points"`
+	// TracedEventsPerSec / TracerOverheadPct record the first point rerun
+	// with a live tracer attached: the throughput of the traced kernel
+	// dispatch path and its overhead relative to the untraced run.
+	TracedEventsPerSec float64 `json:"traced_events_per_sec,omitempty"`
+	TracerOverheadPct  float64 `json:"tracer_overhead_pct,omitempty"`
 }
 
 // SimScale benchmarks the simulation kernel itself: a fig18-style trace —
@@ -162,6 +186,23 @@ func SimScale(p SimScaleParams) *Report {
 		})
 	}
 	rep.Tables = append(rep.Tables, table)
+	if p.MeasureTracerOverhead && p.Tracer == nil && len(p.Points) > 0 {
+		// Rerun the first (smallest) point with a live tracer attached: every
+		// dispatch opens and closes a span and samples two counters, the path
+		// smbench -trace exercises. Recorded so the overhead is tracked
+		// release over release alongside the untraced throughput.
+		tp := p
+		tp.Tracer = trace.New(trace.Options{})
+		traced := runSimScalePoint(tp, p.Points[0], p.Seed)
+		base := rec.Points[0]
+		rec.TracedEventsPerSec = traced.EventsPerSec
+		if traced.EventsPerSec > 0 && base.EventsPerSec > 0 {
+			rec.TracerOverheadPct = (base.EventsPerSec/traced.EventsPerSec - 1) * 100
+		}
+		rep.AddValue("tracer_overhead_pct", rec.TracerOverheadPct)
+		rep.AddNote("tracer-enabled rerun of the %d-shard point: %.0f events/sec, %.0f%% overhead vs %.0f untraced",
+			base.Shards, traced.EventsPerSec, rec.TracerOverheadPct, base.EventsPerSec)
+	}
 	last := rec.Points[len(rec.Points)-1]
 	rep.AddValue("events_per_sec", last.EventsPerSec)
 	rep.AddValue("allocs_per_event", last.AllocsPerEvent)
@@ -204,6 +245,9 @@ func runSimScalePoint(p SimScaleParams, pt SimScalePoint, seed uint64) SimScaleP
 	loop := sim.NewLoop(seed)
 	prof := simprof.New(simprof.Options{})
 	loop.SetProfiler(prof)
+	if p.Tracer != nil {
+		loop.SetTracer(p.Tracer)
+	}
 
 	regions := []topology.RegionID{"region-a", "region-b", "region-c"}
 	fleet := topology.Build(topology.Spec{
@@ -241,19 +285,51 @@ func runSimScalePoint(p SimScaleParams, pt SimScalePoint, seed uint64) SimScaleP
 	const app = shard.AppID("simscale")
 	m := shard.NewMap(app)
 	m.Version = 1
+	ids := make([]shard.ID, pt.Shards)
 	for i := 0; i < pt.Shards; i++ {
-		id := shard.ID(fmt.Sprintf("s%07d", i))
-		m.Entries[id] = []shard.Assignment{{
+		ids[i] = shard.ID(fmt.Sprintf("s%07d", i))
+		m.Entries[ids[i]] = []shard.Assignment{{
 			Server: shard.ServerID(endpoints[i%len(endpoints)]),
 			Role:   shard.RolePrimary,
 		}}
 	}
 	disc.Publish(m)
-	scratch := m.Clone() // seeds the ping-pong; first republish reuses it
-	loop.EveryL(publishInterval, lbSimPublish, func() {
-		m.Version++
-		scratch = disc.PublishScratch(m, scratch)
-	})
+	if pt.DeltaPublish {
+		// Delta republication: each tick stages ChurnPerPublish random
+		// single-replica reassignments (mirrored into the authoritative map)
+		// and publishes only those — O(changed) instead of the O(shards)
+		// copy above, which dominated this point's profile before deltas.
+		churn := pt.ChurnPerPublish
+		if churn < 1 {
+			churn = 1
+		}
+		dlt := shard.NewDelta(app)
+		prng := loop.RNG().Fork()
+		loop.EveryL(publishInterval, lbSimPublish, func() {
+			dlt.Reset(app, m.Version, m.Version+1, 0)
+			for j := 0; j < churn; j++ {
+				id := ids[prng.Intn(pt.Shards)]
+				srv := shard.ServerID(endpoints[prng.Intn(len(endpoints))])
+				dlt.SetOne(id, srv, shard.RolePrimary)
+				m.Entries[id][0] = shard.Assignment{Server: srv, Role: shard.RolePrimary}
+			}
+			m.Version++
+			if next := disc.PublishDelta(dlt); next != nil {
+				dlt = next
+			}
+		})
+	} else {
+		// Full republication recycles map storage through a scratch-buffer
+		// ping-pong: PublishScratch clones into the caller's scratch and
+		// hands back the previous current map as the next scratch, so
+		// steady-state publishes allocate nothing — but still copy
+		// O(shards) entries each, the baseline the delta path replaces.
+		scratch := m.Clone() // seeds the ping-pong; first republish reuses it
+		loop.EveryL(publishInterval, lbSimPublish, func() {
+			m.Version++
+			scratch = disc.PublishScratch(m, scratch)
+		})
+	}
 
 	// One load report per shard, uniformly spread over the horizon. These
 	// are all scheduled up front, so the event queue starts at a depth
@@ -275,10 +351,15 @@ func runSimScalePoint(p SimScaleParams, pt SimScalePoint, seed uint64) SimScaleP
 	onDone := func(time.Duration) { served++ }
 	onFail := func() { failed++ }
 	onMap := func(*shard.Map) { mapsApplied++ }
+	onDelta := func(*shard.Delta) { mapsApplied++ }
 	for c := 0; c < pt.Clients; c++ {
 		region := regions[c%len(regions)]
 		crng := loop.RNG().Fork()
-		disc.Subscribe(app, onMap)
+		if pt.DeltaPublish {
+			disc.SubscribeDelta(app, onMap, onDelta)
+		} else {
+			disc.Subscribe(app, onMap)
+		}
 		var step func()
 		step = func() {
 			target := endpoints[crng.Intn(len(endpoints))]
@@ -310,6 +391,7 @@ func runSimScalePoint(p SimScaleParams, pt SimScalePoint, seed uint64) SimScaleP
 		Servers:       pt.Servers,
 		SimTime:       simTime.String(),
 		FanoutBatch:   fanoutBatch,
+		DeltaPublish:  pt.DeltaPublish,
 		Events:        events,
 		Requests:      served + failed,
 		MapDeliveries: mapsApplied,

@@ -107,6 +107,14 @@ type Config struct {
 	// retried until acknowledged: an unacknowledged orphan is a live
 	// primary the control plane no longer knows about.
 	OrphanRetry time.Duration
+	// DeltaPublish switches publication to the incremental path after the
+	// first full snapshot: the orchestrator retains its last published map,
+	// diffs each new build against it, and hands discovery an O(changed
+	// entries) delta instead of an O(shards) snapshot to clone and fan out.
+	// Off by default (the legacy full-publish path, byte-identical to prior
+	// behavior). Routing clients must set Options.ApplyDeltas when this is
+	// on, because delta publishes mutate the discovery-side map in place.
+	DeltaPublish bool
 }
 
 func (c *Config) fillDefaults() {
@@ -215,6 +223,11 @@ type Orchestrator struct {
 	shards  map[shard.ID]*shardState
 	order   []shard.ID // deterministic shard iteration
 	version int64
+	// lastPub is the previously published map, retained only in
+	// DeltaPublish mode as the diff base; deltaScratch is the ping-ponged
+	// delta buffer recycled through discovery.PublishDelta.
+	lastPub      *shard.Map
+	deltaScratch *shard.Delta
 
 	migrationQueue []migration
 	inFlight       int
@@ -1395,7 +1408,23 @@ func (o *Orchestrator) publish() {
 			h.MapSnapshot(m)
 		}
 	}
-	o.disc.Publish(m)
+	if o.cfg.DeltaPublish && o.lastPub != nil {
+		d := m.Diff(o.lastPub, o.deltaScratch)
+		o.deltaScratch = o.disc.PublishDelta(d)
+		if v, _, ok := o.disc.CurrentMeta(o.cfg.App); !ok || v != m.Version {
+			// The delta could not chain onto discovery's current map (it was
+			// dropped as a gap); resync with a full snapshot.
+			o.disc.Publish(m)
+		}
+		o.lastPub = m
+	} else {
+		o.disc.Publish(m)
+		if o.cfg.DeltaPublish {
+			// First publication: discovery cloned m, so the freshly built map
+			// is ours to retain as the next diff base.
+			o.lastPub = m
+		}
+	}
 
 	// Persist assignments for server start-up reads (§3.2). Servers with
 	// no shards get their node cleared.

@@ -76,6 +76,9 @@ type Span struct {
 	Attrs     []Attr
 
 	seq uint64
+	// evicted marks a span dropped from the retention ring while still
+	// open; EndSpan returns it to the free list instead of the ring.
+	evicted bool
 }
 
 // Duration returns End-Start for ended spans and 0 for open ones.
@@ -154,14 +157,22 @@ func newRing[T any](capacity int) *ring[T] { return &ring[T]{buf: make([]T, 0, c
 
 // push appends v, reporting whether an old element was dropped to make room.
 func (r *ring[T]) push(v T) bool {
+	_, dropped := r.pushEvict(v)
+	return dropped
+}
+
+// pushEvict appends v and returns the element it displaced, if any — the
+// span ring recycles evicted records through the tracer's free list.
+func (r *ring[T]) pushEvict(v T) (old T, dropped bool) {
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, v)
 		r.n++
-		return false
+		return old, false
 	}
+	old = r.buf[r.head]
 	r.buf[r.head] = v
 	r.head = (r.head + 1) % len(r.buf)
-	return true
+	return old, true
 }
 
 // items returns the retained elements oldest-first.
@@ -195,6 +206,10 @@ type Tracer struct {
 
 	spans *ring[*Span]
 	open  map[SpanID]*Span
+	// free recycles spans evicted from the full retention ring: once the
+	// ring wraps, steady-state StartSpan allocates nothing. Spans returned
+	// by Spans() stay valid only until the ring overflows again.
+	free []*Span
 
 	comps   []string // component first-use order, for stable export
 	perComp map[string]*componentEvents
@@ -261,18 +276,41 @@ func (t *Tracer) StartSpan(component, name string, parent SpanID, attrs ...Attr)
 	defer t.mu.Unlock()
 	t.nextSpan++
 	t.seq++
-	sp := &Span{
-		ID:        t.nextSpan,
-		Parent:    parent,
-		Component: component,
-		Name:      name,
-		Start:     t.now(),
-		Attrs:     attrs,
-		seq:       t.seq,
+	var sp *Span
+	if n := len(t.free); n > 0 {
+		sp = t.free[n-1]
+		t.free = t.free[:n-1]
+		*sp = Span{
+			ID:        t.nextSpan,
+			Parent:    parent,
+			Component: component,
+			Name:      name,
+			Start:     t.now(),
+			Attrs:     append(sp.Attrs[:0], attrs...),
+			seq:       t.seq,
+		}
+	} else {
+		sp = &Span{
+			ID:        t.nextSpan,
+			Parent:    parent,
+			Component: component,
+			Name:      name,
+			Start:     t.now(),
+			Attrs:     attrs,
+			seq:       t.seq,
+		}
 	}
 	t.component(component) // reserve the component's export slot in first-use order
-	if t.spans.push(sp) {
+	if old, dropped := t.spans.pushEvict(sp); dropped {
 		t.droppedSpans++
+		if old != nil {
+			if old.Ended {
+				t.free = append(t.free, old)
+			} else {
+				// Still open: EndSpan will recycle it once it closes.
+				old.evicted = true
+			}
+		}
 	}
 	t.open[sp.ID] = sp
 	return sp.ID
@@ -294,6 +332,10 @@ func (t *Tracer) EndSpan(id SpanID, attrs ...Attr) {
 	sp.End = t.now()
 	sp.Ended = true
 	sp.Attrs = append(sp.Attrs, attrs...)
+	if sp.evicted {
+		sp.evicted = false
+		t.free = append(t.free, sp)
+	}
 }
 
 // Event records a structured point event, optionally tied to a span (0 for

@@ -22,6 +22,8 @@ echo "== go test -race (all packages except sim-heavy experiments)"
 go test -race $(go list ./... | grep -v 'internal/experiments$')
 echo "== go test -race ./internal/audit/..."
 go test -race ./internal/audit/...
+echo "== go test -race ./internal/controlplane/..."
+go test -race ./internal/controlplane/...
 echo "== go test ./internal/experiments"
 go test ./internal/experiments
 echo "== audit torture smoke (12 seeds, must be violation-free)"
@@ -32,4 +34,6 @@ echo "== sim-kernel benchmark smoke (-benchtime=1x)"
 go test . -run '^$' -bench 'ProfilerOverhead|SimScale' -benchtime=1x
 echo "== kernel-bench smoke (120k-shard point vs committed BENCH_sim.json, >20% regression fails)"
 go run ./cmd/smbench -fig simscale -sim-smoke -sim-baseline BENCH_sim.json -bench-sim-out ""
+echo "== control-plane smoke (100k-shard point vs committed BENCH_controlplane.json, >20% regression fails)"
+go run ./cmd/smbench -controlscale -controlplane-baseline BENCH_controlplane.json -bench-controlplane-out ""
 echo "check: OK"
